@@ -1,0 +1,192 @@
+"""Ablations for the design choices DESIGN.md calls out (beyond the
+paper's figures):
+
+1. SG-Encoding vs pattern-bound input for LMKG-S (same model budget),
+2. binary vs one-hot term encoding (accuracy and input width),
+3. LMKG-U embedding dimension (8 vs 32),
+4. exact-uniform vs biased random-walk training samples for LMKG-U —
+   quantifying the sampling-quality effect the paper's §VIII-C blames
+   for LMKG-U's residual error.
+"""
+
+import numpy as np
+
+from repro.bench import active_profile, get_context
+from repro.bench.reporting import format_table
+from repro.core.lmkg_s import LMKGS, LMKGSConfig
+from repro.core.lmkg_u import LMKGU, LMKGUConfig
+from repro.core.metrics import summarize
+
+
+def _lmkgs_variant(ctx, size, **overrides):
+    profile = ctx.profile
+    config = LMKGSConfig(
+        hidden_sizes=profile.lmkgs_hidden,
+        epochs=profile.lmkgs_epochs,
+        seed=0,
+        **overrides,
+    )
+    model = LMKGS(ctx.store, ["star"], size, config)
+    model.fit(ctx.train_workload("star", size).records)
+    test = ctx.test_workload("star", size)
+    estimates = model.estimate_batch([r.query for r in test])
+    summary = summarize(estimates, test.cardinalities())
+    return model, summary
+
+
+def test_ablation_query_encoding(benchmark, report):
+    """SG vs pattern-bound for a star-only model."""
+    ctx = get_context("lubm")
+    size = ctx.profile.query_sizes[0]
+
+    def run():
+        rows = []
+        for encoding in ("sg", "pattern"):
+            model, summary = _lmkgs_variant(ctx, size, encoding=encoding)
+            rows.append(
+                (
+                    encoding,
+                    model.input_width,
+                    round(summary.geometric_mean, 2),
+                    round(summary.mean, 2),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ("query encoding", "input width", "gmean q-err", "mean q-err"),
+            rows,
+            title="Ablation — SG vs pattern-bound encoding (LMKG-S, LUBM)",
+        )
+    )
+    # Both encodings must be usable; neither catastrophically worse.
+    gmeans = [row[2] for row in rows]
+    assert max(gmeans) < 20 * max(min(gmeans), 1.0)
+
+
+def test_ablation_term_encoding(benchmark, report):
+    """Binary vs one-hot term encodings: the binary input is drastically
+    narrower (the paper's §V argument for heterogeneous KGs)."""
+    ctx = get_context("lubm")
+    size = ctx.profile.query_sizes[0]
+
+    def run():
+        rows = []
+        for term_encoding in ("binary", "one_hot"):
+            model, summary = _lmkgs_variant(
+                ctx, size, term_encoding=term_encoding, encoding="pattern"
+            )
+            rows.append(
+                (
+                    term_encoding,
+                    model.input_width,
+                    round(summary.geometric_mean, 2),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ("term encoding", "input width", "gmean q-err"),
+            rows,
+            title="Ablation — binary vs one-hot terms (LMKG-S, LUBM)",
+        )
+    )
+    by_kind = {row[0]: row for row in rows}
+    assert by_kind["binary"][1] * 10 < by_kind["one_hot"][1]
+
+
+def test_ablation_lmkgu_embedding_dim(benchmark, report):
+    ctx = get_context("lubm")
+    profile = active_profile()
+    size = profile.query_sizes[0]
+    test = ctx.test_workload("star", size)
+
+    def run():
+        rows = []
+        for dim in (8, 32):
+            model = LMKGU(
+                ctx.store,
+                "star",
+                size,
+                LMKGUConfig(
+                    embed_dim=dim,
+                    hidden_sizes=profile.lmkgu_hidden,
+                    epochs=profile.lmkgu_epochs,
+                    training_samples=profile.lmkgu_samples,
+                    particles=profile.lmkgu_particles,
+                    seed=0,
+                ),
+            )
+            model.fit()
+            estimates = [model.estimate(r.query) for r in test]
+            summary = summarize(estimates, test.cardinalities())
+            rows.append(
+                (
+                    dim,
+                    model.num_parameters(),
+                    round(summary.geometric_mean, 2),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ("embed dim", "parameters", "gmean q-err"),
+            rows,
+            title="Ablation — LMKG-U embedding dimension (LUBM)",
+        )
+    )
+    assert rows[0][1] < rows[1][1]  # smaller dim -> fewer parameters
+
+
+def test_ablation_sampling_quality(benchmark, report):
+    """Exact-uniform vs biased-RW training data for LMKG-U (§VIII-C)."""
+    ctx = get_context("lubm")
+    profile = active_profile()
+    size = profile.query_sizes[0]
+    test = ctx.test_workload("star", size)
+
+    def run():
+        rows = []
+        for method in ("exact", "rw"):
+            model = LMKGU(
+                ctx.store,
+                "star",
+                size,
+                LMKGUConfig(
+                    embed_dim=32,
+                    hidden_sizes=profile.lmkgu_hidden,
+                    epochs=profile.lmkgu_epochs,
+                    training_samples=profile.lmkgu_samples,
+                    particles=profile.lmkgu_particles,
+                    sample_method=method,
+                    seed=0,
+                ),
+            )
+            model.fit()
+            estimates = [model.estimate(r.query) for r in test]
+            summary = summarize(estimates, test.cardinalities())
+            rows.append(
+                (method, round(summary.geometric_mean, 2),
+                 round(summary.mean, 2))
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ("sampling", "gmean q-err", "mean q-err"),
+            rows,
+            title=(
+                "Ablation — exact-uniform vs biased-RW training samples "
+                "(LMKG-U, LUBM)"
+            ),
+        )
+    )
+    # Both must produce a working estimator.
+    assert all(np.isfinite(row[1]) for row in rows)

@@ -1,0 +1,83 @@
+"""Extension bench: how much does tree shape matter per query topology?
+
+The optimizer substrate supports both left-deep orders and bushy join
+trees.  This bench measures the C_out gap between the two optima
+(identical join-output accounting, true cardinalities) on star and
+chain workloads.  Expected shape: star queries gain nothing from bushy
+trees — every join goes through the shared centre, so a left-deep order
+is already optimal — while chain queries can join their halves
+independently and realise real savings.
+"""
+
+import numpy as np
+
+from repro.bench import get_context
+from repro.bench.reporting import format_table
+from repro.optimizer import left_deep_vs_bushy, true_cost_fn
+from repro.sampling import generate_workload
+
+
+def test_ext_bushy_plans(benchmark, report):
+    ctx = get_context("lubm")
+    # Bushy trees only differ from left-deep ones at >= 4 leaves (every
+    # 3-leaf binary tree is a left-deep shape), so this bench fixes
+    # size 4 regardless of the profile's headline sizes.
+    size = 4
+    workloads = {
+        topology: [
+            r.query
+            for r in generate_workload(
+                ctx.store, topology, size, num_queries=25, seed=7
+            ).records[:25]
+        ]
+        for topology in ("star", "chain")
+    }
+    oracle = true_cost_fn(ctx.store)
+
+    def run():
+        rows = []
+        gains = {}
+        for topology, queries in workloads.items():
+            ratios = []
+            improved = 0
+            for query in queries:
+                left_deep, bushy = left_deep_vs_bushy(query, oracle)
+                if left_deep > 0:
+                    ratios.append(bushy / left_deep)
+                    improved += bushy < left_deep - 1e-9
+                else:
+                    ratios.append(1.0)
+            gains[topology] = 1.0 - float(np.mean(ratios))
+            rows.append(
+                (
+                    topology,
+                    len(queries),
+                    improved,
+                    f"{float(np.mean(ratios)):.3f}",
+                    f"{float(np.min(ratios)):.3f}",
+                )
+            )
+        return rows, gains
+
+    rows, gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            (
+                "topology",
+                "queries",
+                "improved by bushy",
+                "mean bushy/left-deep",
+                "best ratio",
+            ),
+            rows,
+            title=(
+                "Extension — left-deep vs bushy C_out optima "
+                f"(LUBM size {size}, true cardinalities)"
+            ),
+        )
+    )
+    # Shape: bushy never loses (ratio <= 1 by construction); stars
+    # cannot benefit — the centre variable makes left-deep optimal —
+    # while size-4 chains realise real savings by joining their halves.
+    assert gains["star"] == 0.0
+    assert gains["chain"] > 0.0

@@ -1,0 +1,86 @@
+"""Fig. 10: average q-error per query type (star vs chain) — all
+estimators, all three datasets.
+
+The paper's observation: LMKG-S and LMKG-U lead for both topologies; WJ
+and MSCN-1k are competitive; CSET is strong on stars (its native shape)
+and weaker on chains.
+"""
+
+import numpy as np
+
+from repro.bench import get_context
+from repro.bench.reporting import format_table
+from repro.core.metrics import q_errors
+
+DATASETS = ("swdf", "lubm", "yago")
+
+
+def _run_dataset(name):
+    ctx = get_context(name)
+    estimators = ctx.estimators()
+    table = {}
+    for estimator in estimators:
+        per_topology = {}
+        for topology in ("star", "chain"):
+            errors = []
+            for size in ctx.sizes_for(topology)[:2]:
+                if (
+                    estimator == "lmkg-u"
+                    and size not in ctx.profile.lmkgu_sizes
+                ):
+                    continue
+                workload = ctx.test_workload(topology, size)
+                estimates = ctx.estimate_all(estimator, workload)
+                errors.extend(
+                    q_errors(estimates, workload.cardinalities())
+                )
+            per_topology[topology] = float(np.mean(errors))
+        table[estimator] = per_topology
+    return estimators, table
+
+
+def _report_dataset(report, name, estimators, table):
+    rows = [
+        [topology]
+        + [round(table[e][topology], 2) for e in estimators]
+        for topology in ("star", "chain")
+    ]
+    report(
+        format_table(
+            ("Query type",) + tuple(estimators),
+            rows,
+            title=f"Fig. 10 — avg q-error by query type ({name.upper()})",
+        )
+    )
+
+
+def _claims(table):
+    # LMKG-S beats the weakest baseline on both topologies.
+    for topology in ("star", "chain"):
+        assert table["lmkg-s"][topology] < table["impr"][topology]
+    # CSET's star/chain asymmetry: native shape no worse than chains.
+    assert table["cset"]["star"] <= table["cset"]["chain"] * 1.5
+
+
+def test_fig10_swdf(benchmark, report):
+    estimators, table = benchmark.pedantic(
+        lambda: _run_dataset("swdf"), rounds=1, iterations=1
+    )
+    _report_dataset(report, "swdf", estimators, table)
+    _claims(table)
+
+
+def test_fig10_lubm(benchmark, report):
+    estimators, table = benchmark.pedantic(
+        lambda: _run_dataset("lubm"), rounds=1, iterations=1
+    )
+    _report_dataset(report, "lubm", estimators, table)
+    _claims(table)
+
+
+def test_fig10_yago(benchmark, report):
+    estimators, table = benchmark.pedantic(
+        lambda: _run_dataset("yago"), rounds=1, iterations=1
+    )
+    _report_dataset(report, "yago", estimators, table)
+    _claims(table)

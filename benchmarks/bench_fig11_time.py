@@ -1,0 +1,126 @@
+"""Fig. 11: estimation time by query size and type (SWDF, LUBM).
+
+For sampling approaches the measured time covers the full G-CARE
+protocol (``runs`` x ``walks_per_run`` walks per estimate), which is what
+the paper timed.  Expected shape: CSET fastest, LMKG-S close behind and
+roughly size-independent, LMKG-U and the sampling approaches slower and
+growing with query size.
+"""
+
+import numpy as np
+
+from repro.bench import get_context
+from repro.bench.reporting import format_table
+
+DATASETS = ("swdf", "lubm")
+
+
+def _warm_up(ctx):
+    """Train every learned model before the timed passes so measurements
+    cover estimation only (training time is Fig. 6's subject)."""
+    ctx.lmkg_s()
+    ctx.mscn(0)
+    ctx.mscn(ctx.profile.mscn_big_samples)
+    if ctx.lmkg_u_available():
+        for topology in ("star", "chain"):
+            for size in ctx.sizes_for(topology):
+                if size in ctx.profile.lmkgu_sizes:
+                    ctx.lmkg_u(topology, size)
+
+
+def _run_dataset(name):
+    ctx = get_context(name)
+    _warm_up(ctx)
+    estimators = ctx.estimators()
+    by_size = {}
+    by_type = {"star": {}, "chain": {}}
+    for estimator in estimators:
+        for size in ctx.profile.query_sizes:
+            times = []
+            for topology in ("star", "chain"):
+                if size not in ctx.sizes_for(topology):
+                    continue
+                if (
+                    estimator == "lmkg-u"
+                    and size not in ctx.profile.lmkgu_sizes
+                ):
+                    continue
+                workload = ctx.test_workload(topology, size)
+                _, ms = ctx.timed_estimates(estimator, workload)
+                times.append(ms)
+                by_type[topology].setdefault(estimator, []).append(ms)
+            if times:
+                by_size.setdefault(estimator, {})[size] = float(
+                    np.mean(times)
+                )
+    type_rows = {
+        topology: {
+            e: float(np.mean(ms_list))
+            for e, ms_list in per_est.items()
+        }
+        for topology, per_est in by_type.items()
+    }
+    return ctx, estimators, by_size, type_rows
+
+
+def _report_dataset(report, name, ctx, estimators, by_size, by_type):
+    size_rows = [
+        [size]
+        + [
+            round(by_size[e].get(size, float("nan")), 2)
+            for e in estimators
+        ]
+        for size in ctx.profile.query_sizes
+    ]
+    report(
+        format_table(
+            ("Query size",) + tuple(estimators),
+            size_rows,
+            title=(
+                f"Fig. 11 — avg estimation time in ms by query size "
+                f"({name.upper()})"
+            ),
+        )
+    )
+    type_table = [
+        [topology]
+        + [round(by_type[topology].get(e, float("nan")), 2) for e in estimators]
+        for topology in ("star", "chain")
+    ]
+    report(
+        format_table(
+            ("Query type",) + tuple(estimators),
+            type_table,
+            title=(
+                f"Fig. 11 — avg estimation time in ms by query type "
+                f"({name.upper()})"
+            ),
+        )
+    )
+
+
+def _claims(ctx, by_size):
+    sizes = sorted(set(by_size["cset"]) & set(by_size["wj"]))
+    # CSET is the fastest approach (pure lookup), as in the paper.
+    for size in sizes:
+        assert by_size["cset"][size] <= by_size["wj"][size]
+    # LMKG-S is faster than the walk-based sampling approaches.
+    mean = lambda e: np.mean(list(by_size[e].values()))
+    assert mean("lmkg-s") < mean("wj")
+    assert mean("lmkg-s") < mean("jsub")
+
+
+def test_fig11_swdf(benchmark, report):
+    ctx, estimators, by_size, by_type = benchmark.pedantic(
+        lambda: _run_dataset("swdf"), rounds=1, iterations=1
+    )
+    _report_dataset(report, "swdf", ctx, estimators, by_size, by_type)
+    _claims(ctx, by_size)
+
+
+def test_fig11_lubm(benchmark, report):
+    ctx, estimators, by_size, by_type = benchmark.pedantic(
+        lambda: _run_dataset("lubm"), rounds=1, iterations=1
+    )
+    _report_dataset(report, "lubm", ctx, estimators, by_size, by_type)
+    _claims(ctx, by_size)

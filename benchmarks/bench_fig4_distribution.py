@@ -1,0 +1,59 @@
+"""Fig. 4: query-cardinality distribution per dataset.
+
+The paper shows that, averaged over query sizes, the vast majority of
+queries have small cardinalities with a long tail of outliers.  This
+bench prints the share of sampled queries per result-size bucket for each
+dataset and asserts the skew shape.
+"""
+
+from collections import Counter
+
+from repro.bench import get_context, print_table
+from repro.bench.reporting import format_table
+from repro.sampling import NUM_BUCKETS, bucket_label, generate_workload
+
+DATASETS = ("swdf", "lubm", "yago")
+
+
+def test_fig4_query_cardinality_distribution(benchmark, report):
+    def run():
+        table = {}
+        for name in DATASETS:
+            ctx = get_context(name)
+            counts: Counter = Counter()
+            total = 0
+            for topology in ("star", "chain"):
+                for size in ctx.profile.query_sizes[:2]:
+                    workload = generate_workload(
+                        ctx.store,
+                        topology,
+                        size,
+                        num_queries=300,
+                        seed=400 + size,
+                    )
+                    for record in workload:
+                        if record.bucket is not None:
+                            counts[record.bucket] += 1
+                            total += 1
+            table[name] = [
+                counts.get(b, 0) / max(total, 1)
+                for b in range(NUM_BUCKETS)
+            ]
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [bucket_label(b)] + [round(table[d][b], 3) for d in DATASETS]
+        for b in range(NUM_BUCKETS)
+    ]
+    report(
+        format_table(
+            ("Result size",) + tuple(d.upper() for d in DATASETS),
+            rows,
+            title="Fig. 4 — share of queries per result-size bucket",
+        )
+    )
+    for name in DATASETS:
+        shares = table[name]
+        # Skew: the two smallest buckets dominate the two largest by far.
+        assert shares[0] + shares[1] > 5 * (shares[-1] + shares[-2]), name

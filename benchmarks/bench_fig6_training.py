@@ -1,0 +1,98 @@
+"""Fig. 6: training time vs accuracy — epochs sweeps for both models.
+
+(a) LMKG-U over {1, 2, 5, 10} epochs and (b) LMKG-S over
+{20, 50, 100, 200} epochs on a LUBM sample, reporting max and average
+q-error after each budget, as in the paper's bars+dots plot.  Budgets are
+scaled by the active profile.
+"""
+
+from repro.bench import active_profile, get_context
+from repro.bench.reporting import format_table
+from repro.core.lmkg_s import LMKGS, LMKGSConfig
+from repro.core.lmkg_u import LMKGU, LMKGUConfig
+from repro.core.metrics import summarize
+
+
+def _epoch_grid(full_grid, cap):
+    return tuple(e for e in full_grid if e <= cap) or (cap,)
+
+
+def test_fig6a_lmkgu_epochs(benchmark, report):
+    ctx = get_context("lubm")
+    profile = active_profile()
+    size = profile.query_sizes[0]
+    grid = _epoch_grid((1, 2, 5, 10), max(profile.lmkgu_epochs * 2, 2))
+    test = ctx.test_workload("star", size)
+
+    def run():
+        rows = []
+        for epochs in grid:
+            model = LMKGU(
+                ctx.store,
+                "star",
+                size,
+                LMKGUConfig(
+                    embed_dim=32,
+                    hidden_sizes=profile.lmkgu_hidden,
+                    epochs=epochs,
+                    training_samples=profile.lmkgu_samples,
+                    particles=profile.lmkgu_particles,
+                    seed=0,
+                ),
+            )
+            model.fit()
+            estimates = [model.estimate(r.query) for r in test]
+            summary = summarize(estimates, test.cardinalities())
+            rows.append((epochs, summary.mean, summary.max))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ("Epochs", "Avg q-error", "Max q-error"),
+            rows,
+            title="Fig. 6a — LMKG-U training epochs vs accuracy (LUBM)",
+        )
+    )
+    # Shape: more epochs must not make the average error much worse.
+    assert rows[-1][1] <= rows[0][1] * 1.5
+
+
+def test_fig6b_lmkgs_epochs(benchmark, report):
+    ctx = get_context("lubm")
+    profile = active_profile()
+    size = profile.query_sizes[0]
+    grid = _epoch_grid(
+        (20, 50, 100, 200), max(profile.lmkgs_epochs * 2, 20)
+    )
+    train = ctx.train_workload("star", size).records
+    test = ctx.test_workload("star", size)
+
+    def run():
+        rows = []
+        for epochs in grid:
+            model = LMKGS(
+                ctx.store,
+                ["star"],
+                size,
+                LMKGSConfig(
+                    hidden_sizes=profile.lmkgs_hidden,
+                    epochs=epochs,
+                    seed=0,
+                ),
+            )
+            model.fit(train)
+            estimates = model.estimate_batch([r.query for r in test])
+            summary = summarize(estimates, test.cardinalities())
+            rows.append((epochs, summary.mean, summary.max))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        format_table(
+            ("Epochs", "Avg q-error", "Max q-error"),
+            rows,
+            title="Fig. 6b — LMKG-S training epochs vs accuracy (LUBM)",
+        )
+    )
+    assert rows[-1][1] <= rows[0][1] * 1.5

@@ -1,0 +1,98 @@
+"""Fig. 8: average q-error vs query size — all estimators, SWDF & LUBM.
+
+The paper's headline comparison: as the number of joins grows, the
+sampling and summary baselines degrade while LMKG-S stays flat.  Prints
+one row per query size with one column per estimator (averaged over star
+and chain workloads of that size, like the figure).
+"""
+
+import numpy as np
+
+from repro.bench import get_context
+from repro.bench.reporting import format_table
+from repro.core.metrics import q_errors
+
+DATASETS = ("swdf", "lubm")
+
+
+def _size_row(ctx, estimator, size):
+    errors = []
+    for topology in ("star", "chain"):
+        if size not in ctx.sizes_for(topology):
+            continue
+        if estimator == "lmkg-u" and size not in ctx.profile.lmkgu_sizes:
+            continue
+        workload = ctx.test_workload(topology, size)
+        estimates = ctx.estimate_all(estimator, workload)
+        errors.extend(q_errors(estimates, workload.cardinalities()))
+    return float(np.mean(errors)) if errors else float("nan")
+
+
+def _run_dataset(name):
+    ctx = get_context(name)
+    estimators = ctx.estimators()
+    table = {}
+    for estimator in estimators:
+        table[estimator] = {
+            size: _size_row(ctx, estimator, size)
+            for size in ctx.profile.query_sizes
+        }
+    return ctx, estimators, table
+
+
+def _report_dataset(report, name, ctx, estimators, table):
+    rows = [
+        [size]
+        + [round(table[e][size], 2) for e in estimators]
+        for size in ctx.profile.query_sizes
+    ]
+    report(
+        format_table(
+            ("Query size",) + tuple(estimators),
+            rows,
+            title=f"Fig. 8 — avg q-error by query size ({name.upper()})",
+        )
+    )
+
+
+def test_fig8_swdf(benchmark, report):
+    ctx, estimators, table = benchmark.pedantic(
+        lambda: _run_dataset("swdf"), rounds=1, iterations=1
+    )
+    _report_dataset(report, "swdf", ctx, estimators, table)
+    _assert_shape(ctx, table)
+
+
+def test_fig8_lubm(benchmark, report):
+    ctx, estimators, table = benchmark.pedantic(
+        lambda: _run_dataset("lubm"), rounds=1, iterations=1
+    )
+    _report_dataset(report, "lubm", ctx, estimators, table)
+    _assert_shape(ctx, table)
+
+
+def _assert_shape(ctx, table):
+    import math
+
+    sizes = [
+        s
+        for s in ctx.profile.query_sizes
+        if not math.isnan(table["lmkg-s"][s])
+    ]
+    largest = sizes[-1]
+    # LMKG-S beats the weakest baseline at the largest size (the paper's
+    # central claim: accuracy does not collapse with join count).  JSUB's
+    # upper-bound bias only bites from ~5 joins on, so that comparison is
+    # asserted only when the profile reaches those sizes.
+    assert table["lmkg-s"][largest] < table["impr"][largest]
+    if largest >= 5:
+        assert table["lmkg-s"][largest] < table["jsub"][largest]
+    # And LMKG-S stays within an order of magnitude of its small-query
+    # accuracy while impr degrades by much more.
+    lmkg_growth = table["lmkg-s"][largest] / max(
+        table["lmkg-s"][sizes[0]], 1.0
+    )
+    impr_growth = table["impr"][largest] / max(
+        table["impr"][sizes[0]], 1.0
+    )
+    assert lmkg_growth < max(impr_growth, 10.0)

@@ -1,0 +1,111 @@
+"""Table II: memory consumption of the different approaches.
+
+Reports model/synopsis sizes for LMKG-U and LMKG-S per query size
+k ∈ {2, 3, 5}, and the SUMRDF, CSET, and MSCN footprints per dataset.
+LMKG-U on YAGO is marked X like the paper (the model would not fit the
+unique-term domain at the paper's scale).
+
+Expected shape: LMKG-S ≪ LMKG-U; CSET tiny for LUBM but growing with
+characteristic-set count; SUMRDF dominated by the per-node bucket table
+(largest for YAGO); MSCN-1k > MSCN-0 by the sample bitmap.
+"""
+
+from repro.bench import format_bytes, get_context
+from repro.bench.reporting import format_table
+from repro.core.lmkg_s import LMKGS, LMKGSConfig
+from repro.core.lmkg_u import LMKGU, LMKGUConfig
+
+DATASETS = ("swdf", "lubm", "yago")
+SIZES = (2, 3, 5)
+
+
+def _lmkgs_bytes(ctx, size):
+    """Architecture-only build: one epoch on a tiny slice (memory does
+    not depend on training length)."""
+    records = ctx.train_workload("star", size).records[:64]
+    model = LMKGS(
+        ctx.store,
+        ["star", "chain"],
+        size,
+        LMKGSConfig(
+            hidden_sizes=ctx.profile.lmkgs_hidden, epochs=1, seed=0
+        ),
+    )
+    model.fit(records)
+    return model.memory_bytes()
+
+
+def _lmkgu_bytes(ctx, size):
+    model = LMKGU(
+        ctx.store,
+        "star",
+        size,
+        LMKGUConfig(
+            embed_dim=32, hidden_sizes=ctx.profile.lmkgu_hidden, seed=0
+        ),
+    )
+    model.build_model()
+    return model.memory_bytes()
+
+
+def test_table2_memory(benchmark, report):
+    def run():
+        rows = []
+        raw = {}
+        for name in DATASETS:
+            ctx = get_context(name)
+            lmkgu = [
+                "X" if name == "yago" else format_bytes(_lmkgu_bytes(ctx, k))
+                for k in SIZES
+            ]
+            lmkgs_bytes = [_lmkgs_bytes(ctx, k) for k in SIZES]
+            sumrdf = ctx.baseline("sumrdf").memory_bytes()
+            cset = ctx.baseline("cset").memory_bytes()
+            mscn0 = ctx.mscn(0).memory_bytes()
+            mscn1k = ctx.mscn(ctx.profile.mscn_big_samples).memory_bytes()
+            raw[name] = {
+                "lmkgs": lmkgs_bytes,
+                "lmkgu": None
+                if name == "yago"
+                else [_lmkgu_bytes(ctx, k) for k in SIZES],
+                "sumrdf": sumrdf,
+                "cset": cset,
+                "mscn0": mscn0,
+                "mscn1k": mscn1k,
+            }
+            rows.append(
+                [name.upper()]
+                + lmkgu
+                + [format_bytes(b) for b in lmkgs_bytes]
+                + [
+                    format_bytes(sumrdf),
+                    format_bytes(cset),
+                    f"{format_bytes(mscn0)} / {format_bytes(mscn1k)}",
+                ]
+            )
+        return rows, raw
+
+    rows, raw = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers = (
+        ("Dataset",)
+        + tuple(f"LMKG-U k={k}" for k in SIZES)
+        + tuple(f"LMKG-S k={k}" for k in SIZES)
+        + ("SUMRDF", "CSET", "MSCN 0/1k")
+    )
+    report(
+        format_table(
+            headers, rows, title="Table II — memory consumption"
+        )
+    )
+    # Shape assertions from the paper's table.
+    for name in ("swdf", "lubm"):
+        # LMKG-S is smaller than LMKG-U at every k.
+        for s_bytes, u_bytes in zip(
+            raw[name]["lmkgs"], raw[name]["lmkgu"]
+        ):
+            assert s_bytes < u_bytes, name
+    # MSCN-1k carries the sample overhead.
+    for name in DATASETS:
+        assert raw[name]["mscn1k"] > raw[name]["mscn0"]
+    # SUMRDF's bucket table makes it largest on YAGO.
+    assert raw["yago"]["sumrdf"] > raw["swdf"]["sumrdf"]

@@ -1,0 +1,34 @@
+"""Benchmark fixtures: uncaptured reporting and a results archive.
+
+Every bench prints its paper-style table straight to the terminal (pytest
+captures stdout by default; the ``report`` fixture bypasses capture) and
+appends it to ``benchmarks/results/<test>.txt`` so runs leave an artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys, request):
+    """Callable printing text to the real terminal and archiving it."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        out = RESULTS_DIR / f"{request.node.name}.txt"
+        with open(out, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    # Fresh file per test run.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{request.node.name}.txt"
+    if path.exists():
+        path.unlink()
+    return _report

@@ -1,0 +1,118 @@
+"""Bring your own knowledge graph: N-Triples in, estimates out.
+
+Shows the ingestion path a downstream user follows with real data:
+
+1. write a small bibliographic graph as an N-Triples file (stand-in for
+   your own dump),
+2. load it into a dictionary-encoded store,
+3. inspect statistics and predicate correlations,
+4. train an unsupervised LMKG-U model (no workload needed — it learns
+   from the graph itself) and estimate SPARQL queries over it.
+
+Run:  python examples/custom_graph.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import LMKGUConfig, q_error
+from repro.core.lmkg_u import LMKGU
+from repro.rdf import (
+    compute_stats,
+    count_bgp,
+    load_ntriples,
+    parse_sparql,
+    write_ntriples,
+)
+from repro.rdf.stats import correlation_factor
+
+
+def synthesize_library_graph(rng) -> list:
+    """A books/authors/publishers graph with correlated predicates."""
+    triples = []
+    genres = ["Horror", "SciFi", "Fantasy", "Crime"]
+    publishers = [f"publisher{i}" for i in range(5)]
+    for a in range(40):
+        author = f"author{a}"
+        # Authors specialise: genre correlates with author.
+        home_genre = genres[a % len(genres)]
+        triples.append((author, "bornIn", f"country{a % 7}"))
+        for b in range(int(rng.integers(1, 8))):
+            book = f"book{a}_{b}"
+            genre = (
+                home_genre
+                if rng.random() < 0.8
+                else genres[int(rng.integers(len(genres)))]
+            )
+            triples.append((book, "hasAuthor", author))
+            triples.append((book, "genre", genre))
+            triples.append(
+                (
+                    book,
+                    "publishedBy",
+                    publishers[int(rng.integers(len(publishers)))],
+                )
+            )
+    return triples
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "library.nt"
+        count = write_ntriples(path, synthesize_library_graph(rng))
+        print(f"Wrote {count} triples to {path.name}")
+
+        store = load_ntriples(path)
+        stats = compute_stats(store, "library")
+        print(
+            f"Loaded: {stats.num_triples} triples, "
+            f"{stats.num_entities} entities, "
+            f"{stats.num_predicates} predicates"
+        )
+
+        d = store.dictionary
+        author_p = d.predicates.lookup("hasAuthor")
+        genre_p = d.predicates.lookup("genre")
+        corr = correlation_factor(store, author_p, genre_p)
+        print(f"hasAuthor/genre co-occurrence factor: {corr:.2f}")
+
+        print("\nTraining LMKG-U on star patterns of size 2 ...")
+        model = LMKGU(
+            store,
+            "star",
+            2,
+            LMKGUConfig(
+                hidden_sizes=(64, 64),
+                epochs=12,
+                training_samples=5_000,
+                particles=256,
+            ),
+        )
+        model.fit()
+
+        queries = [
+            # Books by author0 in their home genre (correlated: common).
+            'SELECT ?b WHERE { ?b <hasAuthor> <author0> ; '
+            "<genre> <Horror> . }",
+            # Cross-genre (anti-correlated: rare).
+            'SELECT ?b WHERE { ?b <hasAuthor> <author0> ; '
+            "<genre> <SciFi> . }",
+            # All books with any author and a publisher edge.
+            "SELECT ?b WHERE { ?b <hasAuthor> ?a ; <publishedBy> ?p . }",
+        ]
+        print()
+        for text in queries:
+            query = parse_sparql(text, d)
+            truth = count_bgp(store, query)
+            estimate = model.estimate(query)
+            print(
+                f"true={truth:5d}  est={estimate:8.1f}  "
+                f"q-err={q_error(estimate, truth):6.2f}   {text}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml because the offline environment lacks the
+``wheel`` package, so editable installs must use the legacy
+``pip install -e . --no-use-pep517`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "LMKG reproduction: learned cardinality estimation for "
+        "knowledge graphs"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,59 @@
+"""repro — a reproduction of LMKG (EDBT 2022): learned cardinality
+estimation for knowledge graphs.
+
+Public API highlights:
+
+- :class:`repro.core.LMKG` — the framework façade (both LMKG-S and
+  LMKG-U behind grouping strategies and query decomposition),
+- :mod:`repro.rdf` — triple store, exact matcher, SPARQL-subset parser,
+- :mod:`repro.datasets` — SWDF/LUBM/YAGO-like synthetic graphs,
+- :mod:`repro.sampling` — training-data and workload generation,
+- :mod:`repro.baselines` — CSET, SUMRDF, WanderJoin, JSUB, Impr, MSCN,
+  and the Huang & Liu Bayesian-network baseline,
+- :mod:`repro.optimizer` — join-order optimization over the estimates
+  (plans, C_out, enumeration, executor, plan-quality analysis),
+- :mod:`repro.nn` — the numpy neural-network substrate.
+
+The paper's future-work items live in :mod:`repro.core` alongside the
+models: :class:`~repro.core.compound.CompoundEstimator` (§VII-B),
+:class:`~repro.core.monitor.AdaptiveLMKG` (§IV workload shift), and
+:class:`~repro.core.ranges.LMKGSRange` (§IV range queries).
+"""
+
+from repro.core import (
+    LMKG,
+    LMKGS,
+    LMKGU,
+    LMKGSConfig,
+    LMKGUConfig,
+    q_error,
+    summarize,
+)
+from repro.datasets import load_dataset
+from repro.rdf import (
+    QueryPattern,
+    TripleStore,
+    Variable,
+    chain_pattern,
+    count_bgp,
+    star_pattern,
+)
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "LMKG",
+    "LMKGS",
+    "LMKGU",
+    "LMKGSConfig",
+    "LMKGUConfig",
+    "q_error",
+    "summarize",
+    "load_dataset",
+    "QueryPattern",
+    "TripleStore",
+    "Variable",
+    "chain_pattern",
+    "count_bgp",
+    "star_pattern",
+]

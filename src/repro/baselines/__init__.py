@@ -1,0 +1,37 @@
+"""Competitor estimators from the paper's evaluation (§VIII).
+
+Summary-based: :class:`CharacteristicSets` (CSET), :class:`SumRDF`,
+:class:`BayesNetEstimator` (Huang & Liu's BN + chain histogram, §II [14]).
+Sampling-based: :class:`WanderJoin` (WJ), :class:`JSUB`, :class:`Impr`.
+Learned: :class:`MSCN` (MSCN-0 / MSCN-1k via ``MSCNConfig.num_samples``).
+Plus the :class:`IndependenceEstimator` floor.
+"""
+
+from repro.baselines.base import CardinalityEstimator
+from repro.baselines.bayesnet import (
+    BayesNetEstimator,
+    ChainHistogram,
+    StarBayesNet,
+)
+from repro.baselines.cset import CharacteristicSets
+from repro.baselines.impr import Impr
+from repro.baselines.independence import IndependenceEstimator
+from repro.baselines.jsub import JSUB
+from repro.baselines.mscn import MSCN, MSCNConfig
+from repro.baselines.sumrdf import SumRDF
+from repro.baselines.wanderjoin import WanderJoin
+
+__all__ = [
+    "BayesNetEstimator",
+    "CardinalityEstimator",
+    "ChainHistogram",
+    "CharacteristicSets",
+    "StarBayesNet",
+    "Impr",
+    "IndependenceEstimator",
+    "JSUB",
+    "MSCN",
+    "MSCNConfig",
+    "SumRDF",
+    "WanderJoin",
+]

@@ -1,0 +1,28 @@
+"""Common estimator interface shared by LMKG models and all baselines.
+
+Every estimator answers ``estimate(query) -> float``.  Sampling-based
+estimators additionally expose ``runs`` — the number of repetitions
+G-CARE averages over (30 in the paper); their ``estimate`` already
+performs the averaging internally so benches measure the same work the
+paper timed.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.pattern import QueryPattern
+
+
+class CardinalityEstimator:
+    """Protocol for every estimator in the evaluation."""
+
+    #: short identifier used in result tables ("cset", "wj", ...)
+    name: str = "abstract"
+
+    def estimate(self, query: QueryPattern) -> float:
+        """Estimated cardinality of *query* (non-negative)."""
+        raise NotImplementedError
+
+    def memory_bytes(self) -> int:
+        """Size of the synopsis/model; 0 when the estimator reads the
+        graph directly (sampling approaches)."""
+        return 0

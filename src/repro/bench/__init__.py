@@ -1,0 +1,29 @@
+"""Benchmark harness: profiles, per-dataset contexts, and reporting."""
+
+from repro.bench.harness import (
+    ESTIMATOR_ORDER,
+    BenchContext,
+    get_context,
+)
+from repro.bench.profiles import (
+    FULL,
+    QUICK,
+    STANDARD,
+    BenchProfile,
+    active_profile,
+)
+from repro.bench.reporting import format_bytes, format_table, print_table
+
+__all__ = [
+    "ESTIMATOR_ORDER",
+    "BenchContext",
+    "get_context",
+    "FULL",
+    "QUICK",
+    "STANDARD",
+    "BenchProfile",
+    "active_profile",
+    "format_bytes",
+    "format_table",
+    "print_table",
+]

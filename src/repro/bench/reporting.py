@@ -1,0 +1,59 @@
+"""Table and series printers for benchmark output.
+
+Every bench prints rows in the same layout the paper's tables/figures
+use, so paper-vs-measured comparison (EXPERIMENTS.md) is line-by-line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or 0 < abs(value) < 1e-2:
+            return f"{value:.2e}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def print_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> None:
+    print()
+    print(format_table(headers, rows, title=title))
+    print()
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Human-readable size like the paper's Table II (KB/MB)."""
+    if num_bytes >= 1_000_000:
+        return f"{num_bytes / 1_000_000:.1f}MB"
+    if num_bytes >= 1_000:
+        return f"{num_bytes / 1_000:.1f}KB"
+    return f"{num_bytes}B"

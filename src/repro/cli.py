@@ -1,0 +1,362 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+- ``stats``   — Table I-style statistics for a built-in or N-Triples graph,
+- ``train``   — train an LMKG model and write a checkpoint,
+- ``estimate``— estimate a SPARQL query with a trained checkpoint,
+- ``workload``— generate a labelled query workload as TSV,
+- ``plan``    — pick a join order for a SPARQL query and compare it
+  against the true-optimal order.
+
+Examples::
+
+    python -m repro stats --dataset lubm
+    python -m repro train --dataset lubm --model lmkg-s \
+        --shapes star:2 chain:2 --out /tmp/lubm_s.npz
+    python -m repro estimate --dataset lubm --checkpoint /tmp/lubm_s.npz \
+        --query 'SELECT ?x WHERE { ?x <ub:advisor> ?y . ?x <ub:takesCourse> ?z . }'
+    python -m repro workload --dataset swdf --topology star --size 3 \
+        --count 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.lmkg_s import LMKGS, LMKGSConfig
+from repro.core.lmkg_u import LMKGU, LMKGUConfig
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.rdf import (
+    compute_stats,
+    count_bgp,
+    load_ntriples,
+    parse_sparql,
+)
+from repro.rdf.store import TripleStore
+from repro.sampling import generate_workload
+
+
+def _load_store(args) -> TripleStore:
+    if args.ntriples:
+        return load_ntriples(args.ntriples)
+    return load_dataset(args.dataset, scale=args.scale)
+
+
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        choices=DATASET_NAMES,
+        default="lubm",
+        help="built-in synthetic dataset",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="dataset scale factor"
+    )
+    parser.add_argument(
+        "--ntriples",
+        help="load this N-Triples file instead of a built-in dataset",
+    )
+
+
+def _parse_shapes(values: Sequence[str]) -> List[Tuple[str, int]]:
+    shapes = []
+    for value in values:
+        try:
+            topology, size = value.split(":")
+            shapes.append((topology, int(size)))
+        except ValueError:
+            raise SystemExit(
+                f"bad shape {value!r}; expected topology:size like star:2"
+            )
+    return shapes
+
+
+def cmd_stats(args) -> int:
+    store = _load_store(args)
+    stats = compute_stats(store, args.dataset or "graph")
+    print(f"triples:         {stats.num_triples}")
+    print(f"entities:        {stats.num_entities}")
+    print(f"predicates:      {stats.num_predicates}")
+    print(f"max out-degree:  {stats.max_out_degree}")
+    print(f"max in-degree:   {stats.max_in_degree}")
+    print(f"mean out-degree: {stats.mean_out_degree:.2f}")
+    print(f"degree gini:     {stats.degree_gini:.3f}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    store = _load_store(args)
+    shapes = _parse_shapes(args.shapes)
+    if args.model == "lmkg-s-range":
+        from repro.core.ranges import LMKGSRange, generate_range_workload
+
+        topologies = sorted({t for t, _ in shapes})
+        max_size = max(s for _, s in shapes)
+        model = LMKGSRange(
+            store,
+            topologies,
+            max_size,
+            LMKGSConfig(
+                hidden_sizes=tuple(args.hidden),
+                epochs=args.epochs,
+                seed=args.seed,
+            ),
+        )
+        records = []
+        for topology, size in shapes:
+            records.extend(
+                generate_range_workload(
+                    store, topology, size, args.queries, seed=args.seed
+                )
+            )
+        history = model.fit(records)
+        print(
+            f"trained LMKGS-Range on {len(records)} range queries; "
+            f"final loss {history.final_loss:.4f}"
+        )
+        model.save(args.out)
+        print(f"checkpoint written to {args.out}")
+        return 0
+    if args.model == "lmkg-s":
+        topologies = sorted({t for t, _ in shapes})
+        max_size = max(s for _, s in shapes)
+        model = LMKGS(
+            store,
+            topologies,
+            max_size,
+            LMKGSConfig(
+                hidden_sizes=tuple(args.hidden),
+                epochs=args.epochs,
+                seed=args.seed,
+            ),
+        )
+        records = []
+        for topology, size in shapes:
+            workload = generate_workload(
+                store, topology, size, args.queries, seed=args.seed
+            )
+            records.extend(workload.records)
+        history = model.fit(records)
+        print(
+            f"trained LMKG-S on {len(records)} queries; "
+            f"final loss {history.final_loss:.4f}"
+        )
+    else:
+        if len(shapes) != 1:
+            raise SystemExit("lmkg-u trains one topology:size per model")
+        topology, size = shapes[0]
+        model = LMKGU(
+            store,
+            topology,
+            size,
+            LMKGUConfig(
+                hidden_sizes=tuple(args.hidden),
+                epochs=args.epochs,
+                training_samples=args.queries,
+                seed=args.seed,
+            ),
+        )
+        history = model.fit()
+        print(
+            f"trained LMKG-U on {args.queries} instances; "
+            f"final NLL {history[-1]:.4f}"
+        )
+    model.save(args.out)
+    print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    store = _load_store(args)
+    if store.dictionary is None:
+        raise SystemExit("estimate requires a dictionary-encoded store")
+    if args.model == "lmkg-s-range":
+        from repro.core.ranges import (
+            LMKGSRange,
+            count_range_query,
+            parse_sparql_range,
+        )
+
+        query = parse_sparql_range(args.query, store.dictionary)
+        model = LMKGSRange.load(args.checkpoint, store)
+        estimate = model.estimate(query)
+        truth = count_range_query(store, query) if args.exact else None
+    else:
+        query = parse_sparql(args.query, store.dictionary)
+        if args.model == "lmkg-s":
+            model = LMKGS.load(args.checkpoint, store)
+        else:
+            model = LMKGU.load(args.checkpoint, store)
+        estimate = model.estimate(query)
+        truth = count_bgp(store, query) if args.exact else None
+    print(f"estimate: {estimate:.1f}")
+    if truth is not None:
+        ratio = max(estimate, 1) / max(truth, 1)
+        q = max(ratio, 1 / ratio)
+        print(f"exact:    {truth}")
+        print(f"q-error:  {q:.2f}")
+    return 0
+
+
+def cmd_workload(args) -> int:
+    store = _load_store(args)
+    workload = generate_workload(
+        store, args.topology, args.size, args.count, seed=args.seed
+    )
+    if args.out:
+        from repro.sampling.io import save_workload
+
+        written = save_workload(args.out, workload)
+        print(f"{written} queries written to {args.out}")
+        return 0
+    print("topology\tsize\tcardinality\tquery")
+    for record in workload:
+        print(
+            f"{record.topology}\t{record.size}\t"
+            f"{record.cardinality}\t{record.query!r}"
+        )
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.baselines import BayesNetEstimator, IndependenceEstimator
+    from repro.optimizer import (
+        Optimizer,
+        cout_cost,
+        dp_best_order,
+        execute_order,
+        true_cost_fn,
+    )
+
+    store = _load_store(args)
+    if store.dictionary is None:
+        raise SystemExit("plan requires a dictionary-encoded store")
+    query = parse_sparql(args.query, store.dictionary)
+    if len(query.triples) < 2:
+        raise SystemExit("planning needs at least two triple patterns")
+    oracle = true_cost_fn(store)
+    if args.estimator == "exact":
+        optimizer = Optimizer(oracle)
+    elif args.estimator == "indep":
+        optimizer = Optimizer(IndependenceEstimator(store))
+    else:
+        optimizer = Optimizer(BayesNetEstimator(store))
+    plan = optimizer.optimize(query)
+    optimal = dp_best_order(query, oracle)
+    chosen_cost = cout_cost(query, plan.order, oracle)
+    print(f"chosen order:  {plan.order} (estimated cost {plan.cost:.1f})")
+    print(f"optimal order: {optimal.order}")
+    print(f"true C_out:    chosen {chosen_cost:.1f}, optimal {optimal.cost:.1f}")
+    if optimal.cost > 0:
+        print(f"suboptimality: {chosen_cost / optimal.cost:.2f}x")
+    if args.execute:
+        execution = execute_order(store, query, plan.order)
+        print(
+            f"executed:      {execution.result_size} results, "
+            f"{execution.probes} index probes, "
+            f"intermediates {list(execution.intermediate_sizes)}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LMKG: learned cardinality estimation for KGs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="dataset statistics")
+    _add_store_options(p_stats)
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_train = sub.add_parser("train", help="train a model checkpoint")
+    _add_store_options(p_train)
+    p_train.add_argument(
+        "--model",
+        choices=("lmkg-s", "lmkg-u", "lmkg-s-range"),
+        default="lmkg-s",
+    )
+    p_train.add_argument(
+        "--shapes",
+        nargs="+",
+        default=["star:2"],
+        help="topology:size pairs, e.g. star:2 chain:3",
+    )
+    p_train.add_argument("--epochs", type=int, default=40)
+    p_train.add_argument(
+        "--hidden", type=int, nargs="+", default=[128, 128]
+    )
+    p_train.add_argument(
+        "--queries",
+        type=int,
+        default=500,
+        help="training queries (lmkg-s) or instances (lmkg-u) per shape",
+    )
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--out", required=True, help="checkpoint path")
+    p_train.set_defaults(func=cmd_train)
+
+    p_est = sub.add_parser("estimate", help="estimate a SPARQL query")
+    _add_store_options(p_est)
+    p_est.add_argument(
+        "--model",
+        choices=("lmkg-s", "lmkg-u", "lmkg-s-range"),
+        default="lmkg-s",
+    )
+    p_est.add_argument("--checkpoint", required=True)
+    p_est.add_argument("--query", required=True, help="SPARQL text")
+    p_est.add_argument(
+        "--exact",
+        action="store_true",
+        help="also compute the exact count and q-error",
+    )
+    p_est.set_defaults(func=cmd_estimate)
+
+    p_wl = sub.add_parser(
+        "workload", help="generate a labelled workload (TSV)"
+    )
+    _add_store_options(p_wl)
+    p_wl.add_argument(
+        "--topology", choices=("star", "chain"), default="star"
+    )
+    p_wl.add_argument("--size", type=int, default=2)
+    p_wl.add_argument("--count", type=int, default=50)
+    p_wl.add_argument("--seed", type=int, default=0)
+    p_wl.add_argument(
+        "--out",
+        help="write the workload to this TSV file instead of stdout",
+    )
+    p_wl.set_defaults(func=cmd_workload)
+
+    p_plan = sub.add_parser(
+        "plan", help="pick and score a join order for a query"
+    )
+    _add_store_options(p_plan)
+    p_plan.add_argument("--query", required=True, help="SPARQL text")
+    p_plan.add_argument(
+        "--estimator",
+        choices=("exact", "indep", "bayesnet"),
+        default="bayesnet",
+        help="cardinality source the optimizer plans with",
+    )
+    p_plan.add_argument(
+        "--execute",
+        action="store_true",
+        help="run the chosen plan and report measured intermediates",
+    )
+    p_plan.set_defaults(func=cmd_plan)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""LMKG core: encodings, the learned estimators, and the framework.
+
+Beyond the paper's evaluated models (LMKG-S, LMKG-U, grouping, the
+façade), this package implements its future-work items: the compound
+S+U estimator (§VII-B), execution-phase workload-shift adaptation
+(§IV), range queries via histogram-selectivity encodings (§IV), and a
+NeuroCard-style universal autoregressive model over all shapes (§II).
+"""
+
+from repro.core.compound import CompoundEstimator, ShapeWeights
+from repro.core.decomposition import (
+    combine_estimates,
+    decompose,
+    shared_variables,
+)
+from repro.core.encoders import (
+    TermEncoder,
+    binary_width,
+    decode_binary,
+    encode_binary,
+    encode_one_hot,
+    make_encoders,
+    one_hot_width,
+)
+from repro.core.framework import LMKG, CreationReport, EstimationError
+from repro.core.grouping import (
+    GroupingStrategy,
+    SingleGrouping,
+    SizeGrouping,
+    SpecializedGrouping,
+    TypeGrouping,
+    group_extent,
+    make_grouping,
+)
+from repro.core.lmkg_s import LMKGS, LMKGSConfig
+from repro.core.lmkg_u import LMKGU, LMKGUConfig
+from repro.core.lmkg_u_universal import UniversalLMKGU
+from repro.core.metrics import AccuracySummary, q_error, q_errors, summarize
+from repro.core.monitor import (
+    AdaptationEvent,
+    AdaptiveLMKG,
+    DriftReport,
+    WorkloadMonitor,
+    total_variation,
+)
+from repro.core.outliers import BufferedEstimator, OutlierBuffer
+from repro.core.planner import (
+    ModelPlan,
+    ModelPlanner,
+    PlannedModel,
+    WorkloadProfile,
+    project_lmkgs_bytes,
+)
+from repro.core.pattern_bound import PatternBoundEncoder
+from repro.core.ranges import (
+    EquiDepthHistogram,
+    HistogramRangeEstimator,
+    LMKGSRange,
+    PredicateHistograms,
+    RangeConstraint,
+    RangeQuery,
+    RangeRecord,
+    count_range_query,
+    format_sparql_range,
+    generate_range_workload,
+    parse_sparql_range,
+)
+from repro.core.sg_encoding import SGEncoding
+
+__all__ = [
+    "AdaptationEvent",
+    "AdaptiveLMKG",
+    "CompoundEstimator",
+    "DriftReport",
+    "EquiDepthHistogram",
+    "HistogramRangeEstimator",
+    "LMKGSRange",
+    "UniversalLMKGU",
+    "PredicateHistograms",
+    "RangeConstraint",
+    "RangeQuery",
+    "RangeRecord",
+    "count_range_query",
+    "format_sparql_range",
+    "generate_range_workload",
+    "parse_sparql_range",
+    "WorkloadMonitor",
+    "total_variation",
+    "ShapeWeights",
+    "combine_estimates",
+    "decompose",
+    "shared_variables",
+    "TermEncoder",
+    "binary_width",
+    "decode_binary",
+    "encode_binary",
+    "encode_one_hot",
+    "make_encoders",
+    "one_hot_width",
+    "LMKG",
+    "CreationReport",
+    "EstimationError",
+    "GroupingStrategy",
+    "SingleGrouping",
+    "SizeGrouping",
+    "SpecializedGrouping",
+    "TypeGrouping",
+    "group_extent",
+    "make_grouping",
+    "LMKGS",
+    "LMKGSConfig",
+    "LMKGU",
+    "LMKGUConfig",
+    "AccuracySummary",
+    "q_error",
+    "q_errors",
+    "summarize",
+    "BufferedEstimator",
+    "OutlierBuffer",
+    "ModelPlan",
+    "ModelPlanner",
+    "PlannedModel",
+    "WorkloadProfile",
+    "project_lmkgs_bytes",
+    "PatternBoundEncoder",
+    "SGEncoding",
+]

@@ -1,0 +1,95 @@
+"""Term-level encodings: one-hot and binary (paper §V).
+
+Terms are dictionary-encoded ids in ``[1, domain]``; id 0 means unbound.
+The one-hot encoding sets the term's position to 1 (all-zero for unbound);
+the binary encoding writes the id in base 2 (all-zero for unbound), using
+``ceil(log2(domain + 1))`` bits so every id including ``domain`` fits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.rdf.terms import PatternTerm, Variable
+
+
+def one_hot_width(domain: int) -> int:
+    """Vector width of the one-hot encoding for ids in [1, domain]."""
+    if domain < 1:
+        raise ValueError("domain must be >= 1")
+    return domain
+
+
+def binary_width(domain: int) -> int:
+    """Vector width of the binary encoding for ids in [1, domain]."""
+    if domain < 1:
+        raise ValueError("domain must be >= 1")
+    return max(1, math.ceil(math.log2(domain + 1)))
+
+
+def encode_one_hot(term: PatternTerm, domain: int) -> np.ndarray:
+    """One-hot encode a term id; variables become the zero vector."""
+    vec = np.zeros(one_hot_width(domain))
+    if isinstance(term, Variable):
+        return vec
+    if not 1 <= term <= domain:
+        raise ValueError(f"term id {term} outside [1, {domain}]")
+    vec[term - 1] = 1.0
+    return vec
+
+
+def encode_binary(term: PatternTerm, domain: int) -> np.ndarray:
+    """Binary encode a term id (LSB first); variables become zeros."""
+    width = binary_width(domain)
+    vec = np.zeros(width)
+    if isinstance(term, Variable):
+        return vec
+    if not 1 <= term <= domain:
+        raise ValueError(f"term id {term} outside [1, {domain}]")
+    value = int(term)
+    for bit in range(width):
+        vec[bit] = (value >> bit) & 1
+    return vec
+
+
+def decode_binary(vec: np.ndarray) -> int:
+    """Invert :func:`encode_binary`; returns 0 for the all-zero vector."""
+    value = 0
+    for bit, flag in enumerate(np.asarray(vec)):
+        if flag >= 0.5:
+            value |= 1 << bit
+    return value
+
+
+class TermEncoder:
+    """Fixed-width encoder for one term domain (nodes or predicates)."""
+
+    def __init__(self, domain: int, kind: str = "binary") -> None:
+        if kind not in ("binary", "one_hot"):
+            raise ValueError(f"unknown encoding kind {kind!r}")
+        self.domain = domain
+        self.kind = kind
+        self.width = (
+            binary_width(domain) if kind == "binary" else one_hot_width(domain)
+        )
+
+    def encode(self, term: PatternTerm) -> np.ndarray:
+        if self.kind == "binary":
+            return encode_binary(term, self.domain)
+        return encode_one_hot(term, self.domain)
+
+    def __repr__(self) -> str:
+        return f"TermEncoder({self.kind}, domain={self.domain})"
+
+
+def make_encoders(
+    num_nodes: int, num_predicates: int, kind: str = "binary"
+) -> "tuple[TermEncoder, TermEncoder]":
+    """(node encoder, predicate encoder) for one knowledge graph."""
+    return (
+        TermEncoder(num_nodes, kind),
+        TermEncoder(num_predicates, kind),
+    )

@@ -1,0 +1,253 @@
+"""The LMKG framework façade (paper §IV, Fig. 1).
+
+Bundles the creation phase — choose models per the grouping strategy,
+generate training data, train — and the execution phase — route a query
+to the model covering its (topology, size), decomposing composite queries
+first.
+
+Typical use::
+
+    from repro import LMKG
+    framework = LMKG(store, model_type="supervised", grouping="size")
+    framework.fit(shapes=[("star", 2), ("star", 3), ("chain", 2)])
+    framework.estimate(query)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.decomposition import combine_estimates, decompose
+from repro.core.grouping import (
+    GroupingStrategy,
+    SpecializedGrouping,
+    group_extent,
+    make_grouping,
+)
+from repro.core.lmkg_s import LMKGS, LMKGSConfig
+from repro.core.lmkg_u import LMKGU, LMKGUConfig
+from repro.rdf.pattern import QueryPattern, Topology
+from repro.rdf.store import TripleStore
+from repro.sampling.workload import QueryRecord, generate_workload
+
+Shape = Tuple[str, int]
+
+
+class EstimationError(RuntimeError):
+    """Raised when no trained model can answer a query component."""
+
+
+@dataclass
+class CreationReport:
+    """What the creation phase built: model keys and training sizes."""
+
+    model_keys: List[Hashable] = field(default_factory=list)
+    training_records: Dict[Hashable, int] = field(default_factory=dict)
+
+
+class LMKG:
+    """Compound estimator: a set of learned models plus routing logic."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        model_type: str = "supervised",
+        grouping: Union[str, GroupingStrategy] = "size",
+        lmkgs_config: Optional[LMKGSConfig] = None,
+        lmkgu_config: Optional[LMKGUConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if model_type not in ("supervised", "unsupervised"):
+            raise ValueError(f"unknown model type {model_type!r}")
+        self.store = store
+        self.model_type = model_type
+        if model_type == "unsupervised":
+            # LMKG-U is per-shape by construction (§VIII-B: query size and
+            # type grouping); a coarser grouping cannot apply.
+            self.grouping: GroupingStrategy = SpecializedGrouping()
+        elif isinstance(grouping, GroupingStrategy):
+            self.grouping = grouping
+        else:
+            self.grouping = make_grouping(grouping)
+        self.lmkgs_config = lmkgs_config
+        self.lmkgu_config = lmkgu_config
+        self.seed = seed
+        self.models: Dict[Hashable, Union[LMKGS, LMKGU]] = {}
+        self._group_max_size: Dict[Hashable, int] = {}
+        self._group_topologies: Dict[Hashable, set] = {}
+
+    # ------------------------------------------------------------------
+    # Creation phase
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        shapes: Sequence[Shape],
+        workload: Optional[Sequence[QueryRecord]] = None,
+        queries_per_shape: int = 2_000,
+    ) -> CreationReport:
+        """Train the models covering *shapes*.
+
+        With no sample *workload*, training data is generated from the
+        store (supervised: sampled queries labelled with exact counts;
+        unsupervised: bound instances).
+        """
+        report = CreationReport()
+        if self.model_type == "unsupervised":
+            for topology, size in shapes:
+                key = self.grouping.key(topology, size)
+                config = self.lmkgu_config or LMKGUConfig(seed=self.seed)
+                model = LMKGU(self.store, topology, size, config)
+                model.fit()
+                self.models[key] = model
+                self._group_max_size[key] = size
+                self._group_topologies[key] = {topology}
+                report.model_keys.append(key)
+                report.training_records[key] = config.training_samples
+            return report
+
+        records = (
+            list(workload)
+            if workload is not None
+            else self._generate_training_data(shapes, queries_per_shape)
+        )
+        for key, group in self.grouping.partition(records).items():
+            topologies, max_size = group_extent(group)
+            config = self.lmkgs_config or LMKGSConfig(seed=self.seed)
+            model = LMKGS(self.store, topologies, max_size, config)
+            model.fit(group)
+            self.models[key] = model
+            self._group_max_size[key] = max_size
+            self._group_topologies[key] = {r.topology for r in group}
+            report.model_keys.append(key)
+            report.training_records[key] = len(group)
+        return report
+
+    def _generate_training_data(
+        self, shapes: Sequence[Shape], queries_per_shape: int
+    ) -> List[QueryRecord]:
+        from repro.sampling.trees import generate_tree_workload
+
+        records: List[QueryRecord] = []
+        for i, (topology, size) in enumerate(shapes):
+            if topology == "tree":
+                workload = generate_tree_workload(
+                    self.store,
+                    size,
+                    num_queries=queries_per_shape,
+                    seed=self.seed + 37 * i,
+                )
+            else:
+                workload = generate_workload(
+                    self.store,
+                    topology,
+                    size,
+                    num_queries=queries_per_shape,
+                    seed=self.seed + 37 * i,
+                )
+            records.extend(workload.records)
+        return records
+
+    # ------------------------------------------------------------------
+    # Execution phase
+    # ------------------------------------------------------------------
+
+    def estimate(self, query: QueryPattern) -> float:
+        """Estimated cardinality, decomposing composite queries.
+
+        Tree-shaped composites are answered directly when a tree model
+        was trained (the SG-Encoding covers arbitrary topologies);
+        otherwise the query is decomposed into star/chain components.
+        """
+        if query.topology() is Topology.COMPOSITE:
+            tree_estimate = self._try_tree_model(query)
+            if tree_estimate is not None:
+                return tree_estimate
+        components = decompose(query)
+        if len(components) == 1:
+            return self._estimate_component(components[0])
+        estimates = [self._estimate_component(c) for c in components]
+        return combine_estimates(self.store, components, estimates)
+
+    def _try_tree_model(self, query: QueryPattern) -> Optional[float]:
+        from repro.rdf.treecount import is_tree_query
+
+        key = self.grouping.key("tree", query.size)
+        model = self.models.get(key)
+        if model is None or isinstance(model, LMKGU):
+            return None
+        # Only answer directly when the model actually saw tree queries;
+        # an untouched star/chain model would extrapolate blindly.
+        if "tree" not in self._group_topologies.get(key, set()):
+            return None
+        if query.size > self._group_max_size.get(key, 0):
+            return None
+        if not is_tree_query(query):
+            return None
+        return max(float(model.estimate(query)), 0.0)
+
+    def _estimate_component(self, component: QueryPattern) -> float:
+        if component.size == 1:
+            # Single triple patterns are answered exactly from the indexes,
+            # as every RDF engine does.
+            return float(self.store.count_pattern(component.triples[0]))
+        topology = component.topology()
+        if topology is not Topology.COMPOSITE:
+            try:
+                model = self._model_for(topology.value, component.size)
+            except EstimationError:
+                # A star/chain is also a tree; a trained tree model can
+                # stand in when no shape-specific model exists.
+                tree_estimate = self._try_tree_model(component)
+                if tree_estimate is not None:
+                    return tree_estimate
+                raise
+            return max(float(model.estimate(component)), 0.0)
+        return self._estimate_composite_component(component)
+
+    def _estimate_composite_component(
+        self, component: QueryPattern
+    ) -> float:
+        # Decomposition only emits stars, chains, and singles; reaching
+        # here means a bug upstream, except for tree-shaped leftovers a
+        # trained tree model can still absorb.
+        tree_estimate = self._try_tree_model(component)
+        if tree_estimate is not None:
+            return tree_estimate
+        raise EstimationError(
+            "decomposition produced a composite component; "
+            f"cannot estimate {component!r}"
+        )
+
+    def _model_for(
+        self, topology: str, size: int
+    ) -> Union[LMKGS, LMKGU]:
+        key = self.grouping.key(topology, size)
+        model = self.models.get(key)
+        if model is None:
+            raise EstimationError(
+                f"no model trained for key {key!r} "
+                f"(topology={topology}, size={size})"
+            )
+        if size > self._group_max_size.get(key, 0):
+            raise EstimationError(
+                f"model {key!r} covers sizes up to "
+                f"{self._group_max_size[key]}, query has {size}"
+            )
+        if isinstance(model, LMKGU) and model.size != size:
+            raise EstimationError(
+                f"LMKG-U model {key!r} is fixed to size {model.size}"
+            )
+        return model
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Total checkpoint size of all trained models."""
+        return sum(m.memory_bytes() for m in self.models.values())
+
+    def num_models(self) -> int:
+        return len(self.models)

@@ -1,0 +1,116 @@
+"""Model grouping strategies (paper §VII-B).
+
+LMKG can maintain one model per (topology, size) — *specialized* — or
+share models across query types and/or sizes.  A grouping strategy maps a
+query's (topology, size) to the key of the model responsible for it, and
+conversely partitions a workload into per-model training sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.sampling.workload import QueryRecord
+
+GroupKey = Hashable
+
+
+class GroupingStrategy:
+    """Maps (topology, size) to a model key."""
+
+    name: str = "abstract"
+
+    def key(self, topology: str, size: int) -> GroupKey:
+        raise NotImplementedError
+
+    def partition(
+        self, records: Sequence[QueryRecord]
+    ) -> Dict[GroupKey, List[QueryRecord]]:
+        """Split a workload into per-model training sets."""
+        groups: Dict[GroupKey, List[QueryRecord]] = {}
+        for record in records:
+            groups.setdefault(
+                self.key(record.topology, record.size), []
+            ).append(record)
+        return groups
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SpecializedGrouping(GroupingStrategy):
+    """One model per (topology, size) — best accuracy, most models."""
+
+    name = "specialized"
+
+    def key(self, topology: str, size: int) -> GroupKey:
+        return (topology, size)
+
+
+class TypeGrouping(GroupingStrategy):
+    """One model per topology, covering all sizes."""
+
+    name = "type"
+
+    def key(self, topology: str, size: int) -> GroupKey:
+        return topology
+
+
+class SizeGrouping(GroupingStrategy):
+    """One model per size range, shared across topologies.
+
+    ``boundaries`` are inclusive upper bounds: boundaries (4,) creates a
+    model for sizes <= 4 and one for everything larger — the example in
+    §VII-B.
+    """
+
+    name = "size"
+
+    def __init__(self, boundaries: Sequence[int] = (4,)) -> None:
+        self.boundaries = tuple(sorted(boundaries))
+        if not self.boundaries:
+            raise ValueError("need at least one size boundary")
+
+    def key(self, topology: str, size: int) -> GroupKey:
+        for bound in self.boundaries:
+            if size <= bound:
+                return f"size<={bound}"
+        return f"size>{self.boundaries[-1]}"
+
+    def __repr__(self) -> str:
+        return f"SizeGrouping(boundaries={self.boundaries})"
+
+
+class SingleGrouping(GroupingStrategy):
+    """One model for every query type and size (the SingleModel of Fig. 7)."""
+
+    name = "single"
+
+    def key(self, topology: str, size: int) -> GroupKey:
+        return "all"
+
+
+def make_grouping(name: str, **kwargs) -> GroupingStrategy:
+    """Factory by name: specialized / type / size / single."""
+    strategies = {
+        "specialized": SpecializedGrouping,
+        "type": TypeGrouping,
+        "size": SizeGrouping,
+        "single": SingleGrouping,
+    }
+    cls = strategies.get(name)
+    if cls is None:
+        raise KeyError(
+            f"unknown grouping {name!r}; one of {sorted(strategies)}"
+        )
+    return cls(**kwargs)
+
+
+def group_extent(
+    records: Sequence[QueryRecord],
+) -> Tuple[List[str], int]:
+    """(topologies, max size) covered by a record set — the dimensions a
+    shared model must be built with."""
+    topologies = sorted({r.topology for r in records})
+    max_size = max(r.size for r in records)
+    return topologies, max_size

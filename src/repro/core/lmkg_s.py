@@ -1,0 +1,228 @@
+"""LMKG-S: the supervised deep-learning estimator (paper §VI-A).
+
+A multi-layer perceptron maps an encoded query pattern to a scaled
+cardinality.  Architecture per Fig. 3: the flattened (A, X, E) components
+(or the pattern-bound vector) pass through fully connected ReLU layers —
+optionally with dropout — and a sigmoid output head.  Targets are
+log-scaled then min-max scaled; the training loss is the mean q-error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.encoders import TermEncoder, make_encoders
+from repro.core.pattern_bound import PatternBoundEncoder
+from repro.core.sg_encoding import SGEncoding
+from repro.nn.losses import MSELoss, QErrorLoss
+from repro.nn.network import Regressor, TrainingHistory, build_mlp
+from repro.nn.scaling import LogMinMaxScaler
+from repro.rdf.pattern import QueryPattern
+from repro.rdf.store import TripleStore
+from repro.sampling.workload import QueryRecord
+
+
+@dataclass(frozen=True)
+class LMKGSConfig:
+    """Hyperparameters of one supervised model.
+
+    Defaults follow the paper's tuning (§VIII-A): 2 hidden layers of 512
+    units, q-error loss, binary term encoding, SG query encoding.  Epochs
+    default to 100 — enough for the CPU-scale datasets; the Fig. 6 bench
+    sweeps this knob explicitly.
+    """
+
+    encoding: str = "sg"  # "sg" | "pattern"
+    term_encoding: str = "binary"  # "binary" | "one_hot"
+    hidden_sizes: Tuple[int, ...] = (512, 512)
+    epochs: int = 100
+    batch_size: int = 128
+    learning_rate: float = 1e-3
+    dropout: float = 0.0
+    loss: str = "q_error"  # "q_error" | "mse"
+    seed: int = 0
+
+
+class LMKGS:
+    """A supervised estimator for star/chain queries up to a fixed size.
+
+    One instance hosts one model: depending on the grouping strategy that
+    model may be specialised to a single (topology, size) or shared across
+    topologies and sizes (the SG-Encoding makes the latter possible).
+    """
+
+    def __init__(
+        self,
+        store: TripleStore,
+        topologies: Sequence[str],
+        max_size: int,
+        config: Optional[LMKGSConfig] = None,
+    ) -> None:
+        self.store = store
+        self.topologies = tuple(topologies)
+        self.max_size = max_size
+        self.config = config if config is not None else LMKGSConfig()
+        node_enc, pred_enc = make_encoders(
+            max(store.num_nodes, 1),
+            max(store.num_predicates, 1),
+            self.config.term_encoding,
+        )
+        self._encoder = self._build_encoder(node_enc, pred_enc)
+        self.scaler = LogMinMaxScaler()
+        self._regressor: Optional[Regressor] = None
+        self.history: Optional[TrainingHistory] = None
+
+    def _build_encoder(
+        self, node_enc: TermEncoder, pred_enc: TermEncoder
+    ):
+        if self.config.encoding == "sg":
+            return SGEncoding.for_query_size(
+                self.max_size, node_enc, pred_enc
+            )
+        if self.config.encoding == "pattern":
+            if len(self.topologies) != 1:
+                raise ValueError(
+                    "the pattern-bound encoding is tied to one topology; "
+                    "use encoding='sg' for mixed models"
+                )
+            return PatternBoundEncoder(
+                self.topologies[0], self.max_size, node_enc, pred_enc
+            )
+        raise ValueError(f"unknown encoding {self.config.encoding!r}")
+
+    @property
+    def input_width(self) -> int:
+        return self._encoder.width
+
+    def featurize(self, queries: List[QueryPattern]) -> np.ndarray:
+        return self._encoder.encode_batch(queries)
+
+    def fit(self, records: Sequence[QueryRecord]) -> TrainingHistory:
+        """Train on labelled queries; returns the loss history."""
+        if not records:
+            raise ValueError("cannot train on an empty workload")
+        queries = [r.query for r in records]
+        cards = np.array([r.cardinality for r in records], dtype=np.float64)
+        features = self.featurize(queries)
+        targets = self.scaler.fit_transform(cards)
+        rng = np.random.default_rng(self.config.seed)
+        network = build_mlp(
+            features.shape[1],
+            list(self.config.hidden_sizes),
+            rng,
+            dropout=self.config.dropout,
+        )
+        if self.config.loss == "q_error":
+            loss = QErrorLoss(self.scaler.span)
+        elif self.config.loss == "mse":
+            loss = MSELoss()
+        else:
+            raise ValueError(f"unknown loss {self.config.loss!r}")
+        self._regressor = Regressor(
+            network, loss, lr=self.config.learning_rate
+        )
+        self.history = self._regressor.fit(
+            features,
+            targets,
+            epochs=self.config.epochs,
+            batch_size=self.config.batch_size,
+            seed=self.config.seed,
+        )
+        return self.history
+
+    def estimate(self, query: QueryPattern) -> float:
+        """Estimated cardinality of one query."""
+        return float(self.estimate_batch([query])[0])
+
+    def estimate_batch(self, queries: List[QueryPattern]) -> np.ndarray:
+        """Vectorised estimation for a batch of queries."""
+        if self._regressor is None:
+            raise RuntimeError("estimate() before fit()")
+        features = self.featurize(queries)
+        scaled = self._regressor.predict(features)
+        return self.scaler.inverse(scaled)
+
+    def num_parameters(self) -> int:
+        if self._regressor is None:
+            raise RuntimeError("model not built yet")
+        return self._regressor.num_parameters()
+
+    def memory_bytes(self) -> int:
+        """Model size at float32 checkpoint precision."""
+        if self._regressor is None:
+            raise RuntimeError("model not built yet")
+        return self._regressor.memory_bytes()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Checkpoint weights, scaler, and architecture metadata."""
+        import numpy as np
+
+        from repro.nn.serialization import save_arrays
+
+        if self._regressor is None:
+            raise RuntimeError("save() before fit()")
+        arrays = {
+            p.name: p.value
+            for p in self._regressor.network.parameters()
+        }
+        scaler_state = self.scaler.state()
+        arrays["_meta_scaler"] = np.array(
+            [scaler_state["log_min"], scaler_state["log_max"]]
+        )
+        arrays["_meta_topologies"] = np.array(
+            [t.encode() for t in self.topologies]
+        )
+        arrays["_meta_arch"] = np.array(
+            [self.max_size, int(self.config.dropout * 1000)]
+            + list(self.config.hidden_sizes)
+        )
+        arrays["_meta_encoding"] = np.array(
+            [self.config.encoding.encode(), self.config.term_encoding.encode()]
+        )
+        save_arrays(path, arrays)
+
+    @classmethod
+    def load(cls, path, store: TripleStore) -> "LMKGS":
+        """Rebuild a trained model against the same store."""
+        import numpy as np
+
+        from repro.nn.scaling import LogMinMaxScaler
+        from repro.nn.serialization import load_arrays
+
+        arrays = load_arrays(path)
+        arch = arrays["_meta_arch"]
+        encoding, term_encoding = (
+            bytes(v).decode() for v in arrays["_meta_encoding"]
+        )
+        config = LMKGSConfig(
+            encoding=encoding,
+            term_encoding=term_encoding,
+            hidden_sizes=tuple(int(v) for v in arch[2:]),
+            dropout=float(arch[1]) / 1000.0,
+        )
+        topologies = [
+            bytes(v).decode() for v in arrays["_meta_topologies"]
+        ]
+        model = cls(store, topologies, int(arch[0]), config)
+        log_min, log_max = arrays["_meta_scaler"]
+        model.scaler = LogMinMaxScaler.from_state(
+            {"log_min": log_min, "log_max": log_max}
+        )
+        rng = np.random.default_rng(config.seed)
+        network = build_mlp(
+            model.input_width,
+            list(config.hidden_sizes),
+            rng,
+            dropout=config.dropout,
+        )
+        for param in network.parameters():
+            param.value[...] = arrays[param.name]
+        model._regressor = Regressor(network, MSELoss())
+        return model

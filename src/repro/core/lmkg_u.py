@@ -1,0 +1,295 @@
+"""LMKG-U: the unsupervised autoregressive estimator (paper §VI-B).
+
+A ResMADE learns the joint distribution of the flattened term sequence
+``[n1, p1, n2, p2, ..., pk, nk+1]`` of bound pattern instances of one
+shape.  A query's cardinality is::
+
+    card(qp) = N_shape * P(bound positions take the query's values)
+
+where ``N_shape`` is the exact number of shape instances in the graph
+(ordered star tuples / directed walks — see
+:mod:`repro.sampling.random_walk`), and the probability marginalises the
+unbound positions.  Marginalisation uses the paper's likelihood-weighted
+forward sampling: positions are visited in model order; at a bound
+position each particle's weight is multiplied by the conditional
+probability of the bound value, at an unbound position a value is sampled
+from the conditional.  The mean particle weight is an unbiased estimate
+of ``P``.
+
+One LMKG-U instance covers one (topology, size) — the query size and type
+grouping the paper uses for its experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.masked import MADE
+from repro.rdf.pattern import QueryPattern, Topology
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import PatternTerm, Variable, is_bound
+from repro.sampling.random_walk import sample_instances
+
+#: vocabulary indices inside the MADE
+_NODE_VOCAB = 0
+_PRED_VOCAB = 1
+
+
+@dataclass(frozen=True)
+class LMKGUConfig:
+    """Hyperparameters of one autoregressive model.
+
+    32-dimensional term embeddings, ResMADE hidden stack, 5 training
+    epochs — the paper's §VIII-A choices.  ``training_samples`` bounds the
+    number of bound instances drawn; ``particles`` is the number of
+    likelihood-weighting samples per estimate.
+    """
+
+    embed_dim: int = 32
+    hidden_sizes: Tuple[int, ...] = (256, 256)
+    residual: bool = True
+    epochs: int = 5
+    batch_size: int = 256
+    learning_rate: float = 1e-3
+    training_samples: int = 20_000
+    particles: int = 256
+    sample_method: str = "exact"  # "exact" | "rw"
+    seed: int = 0
+
+
+class LMKGU:
+    """Autoregressive estimator for one query topology and size."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        topology: str,
+        size: int,
+        config: Optional[LMKGUConfig] = None,
+    ) -> None:
+        if topology not in ("star", "chain"):
+            raise ValueError(f"unsupported topology {topology!r}")
+        self.store = store
+        self.topology = topology
+        self.size = size
+        self.config = config if config is not None else LMKGUConfig()
+        self.num_positions = 2 * size + 1
+        # Position kinds alternate node/predicate/node/...
+        self._var_vocabs = [
+            _NODE_VOCAB if i % 2 == 0 else _PRED_VOCAB
+            for i in range(self.num_positions)
+        ]
+        self._vocab_sizes = [
+            store.num_nodes + 1,
+            store.num_predicates + 1,
+        ]
+        self.model: Optional[MADE] = None
+        self.universe: Optional[int] = None
+        self.history: List[float] = []
+
+    def build_model(self) -> MADE:
+        """Instantiate the (untrained) ResMADE for this shape.
+
+        Exposed separately from :meth:`fit` so size/memory accounting
+        (Table II) does not require a training run.
+        """
+        self.model = MADE(
+            var_vocabs=self._var_vocabs,
+            vocab_sizes=self._vocab_sizes,
+            embed_dim=self.config.embed_dim,
+            hidden_sizes=self.config.hidden_sizes,
+            residual=self.config.residual,
+            seed=self.config.seed,
+        )
+        return self.model
+
+    def fit(self, instances=None) -> List[float]:
+        """Sample bound instances and train the ResMADE on them.
+
+        Args:
+            instances: pre-sampled bound instances (e.g. from a
+                :mod:`repro.sampling.strategies` strategy); when None
+                the configured ``sample_method`` draws them.
+        """
+        if instances is None:
+            instances, universe = sample_instances(
+                self.store,
+                self.topology,
+                self.size,
+                self.config.training_samples,
+                seed=self.config.seed,
+                method=self.config.sample_method,
+            )
+        else:
+            _, universe = sample_instances(
+                self.store, self.topology, self.size, 0,
+            )
+        self.universe = universe
+        data = np.array(instances, dtype=np.int64)
+        self.build_model()
+        self.history = self.model.fit(
+            data,
+            epochs=self.config.epochs,
+            batch_size=self.config.batch_size,
+            lr=self.config.learning_rate,
+            seed=self.config.seed,
+        )
+        return self.history
+
+    # ------------------------------------------------------------------
+    # Query → position constraints
+    # ------------------------------------------------------------------
+
+    def _query_sequence(
+        self, query: QueryPattern
+    ) -> List[Optional[int]]:
+        """Bound value per model position, None where unbound.
+
+        Star queries list the centre then the (predicate, object) pairs in
+        triple order; chains follow the walk.  Repeated variables in
+        different positions are not representable for this estimator and
+        raise.
+        """
+        if query.size != self.size:
+            raise ValueError(
+                f"model is for size {self.size}, query has {query.size}"
+            )
+        topo = query.topology()
+        if self.topology == "star":
+            if topo not in (Topology.STAR, Topology.SINGLE):
+                raise ValueError("star model got a non-star query")
+            terms: List[PatternTerm] = [query.triples[0].s]
+            for tp in query.triples:
+                terms.extend((tp.p, tp.o))
+        else:
+            if topo not in (Topology.CHAIN, Topology.SINGLE):
+                raise ValueError("chain model got a non-chain query")
+            terms = [query.triples[0].s]
+            for tp in query.triples:
+                terms.extend((tp.p, tp.o))
+        self._check_variable_use(query, terms)
+        return [t if is_bound(t) else None for t in terms]
+
+    def _check_variable_use(
+        self, query: QueryPattern, terms: List[PatternTerm]
+    ) -> None:
+        # The flattening above already encodes the topology's structural
+        # sharing (star centre appears once; chain joints appear once).
+        # Any *additional* sharing (e.g. two star objects forced equal)
+        # would make the factorisation wrong, so reject it.
+        variables = [t for t in terms if isinstance(t, Variable)]
+        if len(variables) != len(set(variables)):
+            raise ValueError(
+                "query repeats a variable beyond the topology's structure; "
+                "LMKG-U cannot estimate it directly"
+            )
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+
+    def estimate(self, query: QueryPattern) -> float:
+        """Estimated cardinality via likelihood-weighted sampling."""
+        if self.model is None or self.universe is None:
+            raise RuntimeError("estimate() before fit()")
+        constraints = self._query_sequence(query)
+        probability = self._probability(constraints)
+        return float(self.universe * probability)
+
+    def _probability(
+        self, constraints: Sequence[Optional[int]]
+    ) -> float:
+        model = self.model
+        assert model is not None
+        fully_bound = all(v is not None for v in constraints)
+        particles = 1 if fully_bound else self.config.particles
+        rng = np.random.default_rng(self.config.seed + 9)
+        ids = np.zeros((particles, self.num_positions), dtype=np.int64)
+        weights = np.ones(particles)
+        for position, value in enumerate(constraints):
+            probs = model.conditionals(ids, position)
+            if value is not None:
+                weights *= probs[:, value]
+                ids[:, position] = value
+                continue
+            # Sample a value per particle from the conditional, excluding
+            # the reserved unbound id 0 (never seen in training).
+            probs = probs.copy()
+            probs[:, 0] = 0.0
+            totals = probs.sum(axis=1, keepdims=True)
+            dead = totals.ravel() <= 0
+            if dead.any():
+                # A particle whose conditional collapsed carries weight 0.
+                weights[dead] = 0.0
+                totals[dead] = 1.0
+                probs[dead, 1] = 1.0
+            cdf = np.cumsum(probs / totals, axis=1)
+            draws = rng.random((particles, 1))
+            ids[:, position] = (cdf > draws).argmax(axis=1)
+        return float(weights.mean())
+
+    def log_likelihood(self, instances: np.ndarray) -> float:
+        """Mean log-likelihood of bound instances (training diagnostics)."""
+        if self.model is None:
+            raise RuntimeError("model not trained")
+        return float(self.model.log_prob(instances).mean())
+
+    def num_parameters(self) -> int:
+        if self.model is None:
+            raise RuntimeError("model not built yet")
+        return self.model.num_parameters()
+
+    def memory_bytes(self) -> int:
+        """Model size at float32 checkpoint precision."""
+        if self.model is None:
+            raise RuntimeError("model not built yet")
+        return self.model.memory_bytes()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Checkpoint the ResMADE plus the shape universe count."""
+        from repro.nn.serialization import save_arrays
+
+        if self.model is None or self.universe is None:
+            raise RuntimeError("save() before fit()")
+        arrays = self.model.state()
+        arrays["_meta_shape"] = np.array(
+            [self.size, 1 if self.topology == "star" else 0]
+        )
+        # Universe counts are unbounded Python ints (outdeg^k sums can
+        # exceed int64); store the decimal string, which npz accepts
+        # without pickling.
+        arrays["_meta_universe"] = np.array([str(self.universe)])
+        arrays["_meta_particles"] = np.array([self.config.particles])
+        save_arrays(path, arrays)
+
+    @classmethod
+    def load(cls, path, store: TripleStore) -> "LMKGU":
+        """Rebuild a trained model against the same store."""
+        from repro.nn.masked import MADE
+        from repro.nn.serialization import load_arrays
+
+        arrays = load_arrays(path)
+        size, is_star = arrays["_meta_shape"]
+        made = MADE.from_state(arrays)
+        config = LMKGUConfig(
+            embed_dim=made.embed_dim,
+            hidden_sizes=tuple(made.hidden_sizes),
+            residual=made.residual,
+            particles=int(arrays["_meta_particles"][0]),
+        )
+        model = cls(
+            store,
+            "star" if is_star else "chain",
+            int(size),
+            config,
+        )
+        model.model = made
+        model.universe = int(arrays["_meta_universe"][0])
+        return model

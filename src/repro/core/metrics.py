@@ -1,0 +1,71 @@
+"""Accuracy metrics: the q-error and its workload aggregates (§VI-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def q_error(estimate: float, truth: float) -> float:
+    """q-error = max(est/true, true/est), both clamped to >= 1.
+
+    The clamp matches the evaluation convention of the paper and G-CARE:
+    estimators returning 0 (or below 1) for a non-empty result are scored
+    as if they answered 1.
+    """
+    est = max(float(estimate), 1.0)
+    tru = max(float(truth), 1.0)
+    return max(est / tru, tru / est)
+
+
+def q_errors(
+    estimates: Sequence[float], truths: Sequence[float]
+) -> np.ndarray:
+    """Vector of per-query q-errors."""
+    est = np.maximum(np.asarray(estimates, dtype=np.float64), 1.0)
+    tru = np.maximum(np.asarray(truths, dtype=np.float64), 1.0)
+    if est.shape != tru.shape:
+        raise ValueError("estimates and truths differ in length")
+    return np.maximum(est / tru, tru / est)
+
+
+@dataclass(frozen=True)
+class AccuracySummary:
+    """Aggregate q-error statistics over one workload."""
+
+    count: int
+    mean: float
+    geometric_mean: float
+    median: float
+    p90: float
+    p99: float
+    max: float
+
+    def row(self) -> str:
+        return (
+            f"n={self.count:4d} mean={self.mean:10.2f} "
+            f"gmean={self.geometric_mean:8.2f} median={self.median:8.2f} "
+            f"p90={self.p90:10.2f} p99={self.p99:12.2f} "
+            f"max={self.max:12.2f}"
+        )
+
+
+def summarize(
+    estimates: Sequence[float], truths: Sequence[float]
+) -> AccuracySummary:
+    """Aggregate q-errors the way the paper's figures report them."""
+    errors = q_errors(estimates, truths)
+    if errors.size == 0:
+        nan = float("nan")
+        return AccuracySummary(0, nan, nan, nan, nan, nan, nan)
+    return AccuracySummary(
+        count=int(errors.size),
+        mean=float(errors.mean()),
+        geometric_mean=float(np.exp(np.log(errors).mean())),
+        median=float(np.median(errors)),
+        p90=float(np.percentile(errors, 90)),
+        p99=float(np.percentile(errors, 99)),
+        max=float(errors.max()),
+    )

@@ -1,0 +1,287 @@
+"""Workload-shift detection during the execution phase (§IV).
+
+The framework overview states: "If a change in the workload of queries
+is detected during the execution phase, a new model may be created, or
+an existing model may be dropped."  This module implements that loop:
+
+- :class:`WorkloadMonitor` keeps a sliding window of recently executed
+  query shapes and compares the window's shape distribution against a
+  reference profile (the distribution the models were created for) by
+  total-variation distance.  Crossing the threshold yields a
+  :class:`DriftReport` naming the shapes to add and to drop.
+- :class:`AdaptiveLMKG` wires the monitor to an
+  :class:`~repro.core.framework.LMKG` façade: every estimate records
+  the query's shape, and on drift the façade fits models for newly hot
+  shapes and drops models whose shapes left the workload.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.framework import EstimationError, LMKG
+from repro.rdf.pattern import QueryPattern
+from repro.sampling.workload import QueryRecord
+
+Shape = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """The monitor's verdict when the workload has shifted.
+
+    Attributes:
+        distance: total-variation distance between the reference and the
+            current window distribution (0 = identical, 1 = disjoint).
+        emerging: shapes above the hot threshold in the window but not
+            in the reference's covered set.
+        fading: reference shapes that fell below the cold threshold.
+        window_shares: the current window distribution, for logging.
+    """
+
+    distance: float
+    emerging: Tuple[Shape, ...]
+    fading: Tuple[Shape, ...]
+    window_shares: Dict[Shape, float]
+
+
+def total_variation(
+    reference: Dict[Shape, float], window: Dict[Shape, float]
+) -> float:
+    """Total-variation distance between two shape distributions."""
+    shapes = set(reference) | set(window)
+    return 0.5 * sum(
+        abs(reference.get(shape, 0.0) - window.get(shape, 0.0))
+        for shape in shapes
+    )
+
+
+class WorkloadMonitor:
+    """Sliding-window drift detector over query shapes.
+
+    Args:
+        window_size: how many recent queries the window holds.
+        threshold: total-variation distance that counts as drift.
+        min_queries: observations required before ``check`` may fire
+            (avoids reacting to the first handful of queries).
+        hot_share: window share above which an uncovered shape is
+            reported as *emerging*.
+        cold_share: window share below which a covered shape is
+            reported as *fading*.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 500,
+        threshold: float = 0.25,
+        min_queries: int = 50,
+        hot_share: float = 0.1,
+        cold_share: float = 0.01,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if window_size < 1:
+            raise ValueError("window_size must be positive")
+        self.window_size = window_size
+        self.threshold = threshold
+        self.min_queries = min_queries
+        self.hot_share = hot_share
+        self.cold_share = cold_share
+        self._window: Deque[Shape] = deque(maxlen=window_size)
+        self._reference: Dict[Shape, float] = {}
+        self._observed = 0
+
+    # ------------------------------------------------------------------
+    # Reference profile
+    # ------------------------------------------------------------------
+
+    def set_reference(self, shares: Dict[Shape, float]) -> None:
+        """Pin the reference distribution (must sum to ~1)."""
+        total = sum(shares.values())
+        if total <= 0:
+            raise ValueError("reference shares must sum to a positive value")
+        self._reference = {
+            shape: share / total for shape, share in shares.items()
+        }
+
+    def set_reference_from_shapes(self, shapes: Sequence[Shape]) -> None:
+        """Uniform reference over the shapes the models were built for."""
+        if not shapes:
+            raise ValueError("need at least one reference shape")
+        share = 1.0 / len(shapes)
+        self._reference = {shape: share for shape in set(shapes)}
+
+    @property
+    def reference(self) -> Dict[Shape, float]:
+        return dict(self._reference)
+
+    # ------------------------------------------------------------------
+    # Observation and detection
+    # ------------------------------------------------------------------
+
+    def observe(self, shape: Shape) -> None:
+        """Record one executed query's (topology, size)."""
+        self._window.append(shape)
+        self._observed += 1
+
+    def observe_query(self, query: QueryPattern) -> None:
+        self.observe((query.topology().value, query.size))
+
+    def window_shares(self) -> Dict[Shape, float]:
+        """The current window's shape distribution."""
+        if not self._window:
+            return {}
+        counts = Counter(self._window)
+        total = len(self._window)
+        return {shape: count / total for shape, count in counts.items()}
+
+    def check(self) -> Optional[DriftReport]:
+        """A :class:`DriftReport` when the workload drifted, else None."""
+        if self._observed < self.min_queries or not self._reference:
+            return None
+        window = self.window_shares()
+        distance = total_variation(self._reference, window)
+        if distance < self.threshold:
+            return None
+        covered = set(self._reference)
+        emerging = tuple(
+            sorted(
+                shape
+                for shape, share in window.items()
+                if share >= self.hot_share and shape not in covered
+            )
+        )
+        fading = tuple(
+            sorted(
+                shape
+                for shape in covered
+                if window.get(shape, 0.0) <= self.cold_share
+            )
+        )
+        return DriftReport(
+            distance=distance,
+            emerging=emerging,
+            fading=fading,
+            window_shares=window,
+        )
+
+    def reset(self) -> None:
+        """Clear the window (after the framework has adapted)."""
+        self._window.clear()
+        self._observed = 0
+
+
+@dataclass
+class AdaptationEvent:
+    """One adaptation the execution phase performed."""
+
+    report: DriftReport
+    added: Tuple[Shape, ...]
+    dropped: Tuple[Shape, ...]
+
+
+class AdaptiveLMKG:
+    """The execution-phase loop: estimate, monitor, adapt.
+
+    Wraps a fitted :class:`LMKG` façade.  Every ``estimate`` records the
+    query's shape; once the monitor reports drift, models are fitted for
+    emerging shapes and dropped for fading ones, the reference becomes
+    the drifted window, and the window restarts.
+
+    Only shape-grouped models can be dropped precisely; for coarser
+    groupings the drop is skipped (the grouped model still answers).
+    """
+
+    def __init__(
+        self,
+        framework: LMKG,
+        monitor: Optional[WorkloadMonitor] = None,
+        queries_per_shape: int = 500,
+    ) -> None:
+        self.framework = framework
+        self.monitor = monitor or WorkloadMonitor()
+        self.queries_per_shape = queries_per_shape
+        self.events: List[AdaptationEvent] = []
+        #: shapes fitted on demand when an uncovered query arrived
+        #: before the drift detector fired.
+        self.cold_starts: List[Shape] = []
+        if not self.monitor.reference and framework.models:
+            covered = self._covered_shapes()
+            if covered:
+                self.monitor.set_reference_from_shapes(sorted(covered))
+
+    def _covered_shapes(self) -> Set[Shape]:
+        shapes: Set[Shape] = set()
+        for key, topologies in self.framework._group_topologies.items():
+            max_size = self.framework._group_max_size.get(key, 0)
+            for topology in topologies:
+                for size in range(2, max_size + 1):
+                    shapes.add((topology, size))
+        return shapes
+
+    def estimate(self, query: QueryPattern) -> float:
+        """Estimate and feed the monitor; adapts on detected drift.
+
+        A query whose shape no model covers triggers an immediate
+        *cold-start* fit for that shape — the execution phase must still
+        answer it; the drift detector then governs dropping stale models
+        and pre-emptive additions.
+        """
+        self.monitor.observe_query(query)
+        report = self.monitor.check()
+        if report is not None:
+            self._adapt(report)
+        try:
+            return self.framework.estimate(query)
+        except EstimationError:
+            shape = (query.topology().value, query.size)
+            if shape[0] not in ("star", "chain", "tree"):
+                raise
+            self.framework.fit(
+                shapes=[shape],
+                queries_per_shape=self.queries_per_shape,
+            )
+            self.cold_starts.append(shape)
+            return self.framework.estimate(query)
+
+    def _adapt(self, report: DriftReport) -> None:
+        # Emerging shapes already covered by a cold-start fit keep
+        # their model; only genuinely missing ones are trained.
+        to_fit = [
+            shape
+            for shape in report.emerging
+            if self.framework.grouping.key(*shape)
+            not in self.framework.models
+        ]
+        added: List[Shape] = []
+        if to_fit:
+            self.framework.fit(
+                shapes=to_fit,
+                queries_per_shape=self.queries_per_shape,
+            )
+            added = to_fit
+        dropped: List[Shape] = []
+        for shape in report.fading:
+            key = self.framework.grouping.key(*shape)
+            if key in self.framework.models and self._key_is_exact(
+                key, shape
+            ):
+                del self.framework.models[key]
+                dropped.append(shape)
+        self.monitor.set_reference(report.window_shares)
+        self.monitor.reset()
+        self.events.append(
+            AdaptationEvent(
+                report=report,
+                added=tuple(added),
+                dropped=tuple(dropped),
+            )
+        )
+
+    def _key_is_exact(self, key, shape: Shape) -> bool:
+        """True when *key*'s model answers only *shape* (safe to drop)."""
+        topologies = self.framework._group_topologies.get(key, set())
+        max_size = self.framework._group_max_size.get(key, 0)
+        return topologies == {shape[0]} and max_size == shape[1]

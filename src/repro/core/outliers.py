@@ -1,0 +1,105 @@
+"""Outlier buffer: the improvement the paper proposes in §VIII-C.
+
+LMKG-S's dominant failure mode is the extreme-cardinality outliers
+(Fig. 5 / Fig. 9); the paper suggests that "given a larger space budget,
+a possible improvement can be to store the cardinalities of the outliers
+on the side".  :class:`OutlierBuffer` implements exactly that: it wraps
+any estimator, memorises the top-k training queries by cardinality (keyed
+on the variable-renaming-invariant canonical form), answers those exactly,
+and delegates everything else.
+
+The buffer also detects *covered* queries: a query identical to a stored
+outlier up to variable naming hits the buffer even if it was generated
+independently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.rdf.pattern import QueryPattern
+from repro.sampling.workload import QueryRecord
+
+
+class OutlierBuffer:
+    """Exact side-storage for the heaviest queries of a workload."""
+
+    def __init__(self, capacity: int = 100) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._buffer: Dict[Tuple, int] = {}
+        self._threshold: float = float("inf")
+
+    def fit(self, records: Sequence[QueryRecord]) -> int:
+        """Store the top-``capacity`` records by cardinality.
+
+        Returns the number of entries stored and records the smallest
+        buffered cardinality as the outlier threshold (useful for
+        diagnostics).
+        """
+        self._buffer.clear()
+        if self.capacity == 0 or not records:
+            self._threshold = float("inf")
+            return 0
+        heaviest = sorted(
+            records, key=lambda r: r.cardinality, reverse=True
+        )[: self.capacity]
+        for record in heaviest:
+            self._buffer[record.query.canonical_key()] = (
+                record.cardinality
+            )
+        self._threshold = float(heaviest[-1].cardinality)
+        return len(self._buffer)
+
+    @property
+    def threshold(self) -> float:
+        """Smallest cardinality held in the buffer."""
+        return self._threshold
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def lookup(self, query: QueryPattern) -> Optional[int]:
+        """Exact cardinality when *query* is buffered, else None."""
+        return self._buffer.get(query.canonical_key())
+
+    def memory_bytes(self) -> int:
+        """Rough buffer size: one canonical key + count per entry."""
+        return len(self._buffer) * 64
+
+
+class BufferedEstimator:
+    """An estimator wrapped with an :class:`OutlierBuffer`.
+
+    Matches the common ``estimate(query) -> float`` protocol so it can
+    stand in for the raw model anywhere, including the bench harness.
+    """
+
+    def __init__(
+        self,
+        base,
+        records: Sequence[QueryRecord],
+        capacity: int = 100,
+        name: Optional[str] = None,
+    ) -> None:
+        self.base = base
+        self.buffer = OutlierBuffer(capacity)
+        self.buffer.fit(records)
+        self.name = name or f"{getattr(base, 'name', 'model')}+buf"
+        self.hits = 0
+        self.misses = 0
+
+    def estimate(self, query: QueryPattern) -> float:
+        exact = self.buffer.lookup(query)
+        if exact is not None:
+            self.hits += 1
+            return float(exact)
+        self.misses += 1
+        return float(self.base.estimate(query))
+
+    def memory_bytes(self) -> int:
+        base_bytes = 0
+        if hasattr(self.base, "memory_bytes"):
+            base_bytes = self.base.memory_bytes()
+        return base_bytes + self.buffer.memory_bytes()

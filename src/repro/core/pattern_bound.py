@@ -1,0 +1,111 @@
+"""Pattern-bound query encoding (paper §V-A2).
+
+An encoding tailored to one query topology: the flattened concatenation of
+the term encodings in the topology's natural order.
+
+- **Star**: subject encoding followed by the k (predicate, object) pair
+  encodings.  Pairs are sorted canonically (bound predicates first by id,
+  then bound objects before variables) so that queries differing only in
+  triple order featurize identically.
+- **Chain**: the node/predicate alternation ``[n1, p1, n2, ..., pk, nk+1]``
+  in walk order — the order is already evident from the topology, as the
+  paper notes.
+
+A pattern-bound encoder is fixed to one topology and one size; grouped
+models that must host several sizes zero-pad shorter queries (an absent
+triple encodes exactly like an all-unbound one, which cannot collide with
+a real triple because real predicates are always bound in our workloads).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.encoders import TermEncoder
+from repro.rdf.pattern import QueryPattern, Topology
+from repro.rdf.terms import PatternTerm, Variable, is_bound
+
+
+def _pair_sort_key(pair: Tuple[PatternTerm, PatternTerm]):
+    p, o = pair
+    p_key = (0, p) if is_bound(p) else (1, 0)
+    o_key = (0, o) if is_bound(o) else (1, 0)
+    return (p_key, o_key)
+
+
+class PatternBoundEncoder:
+    """Flat featurizer for star or chain queries up to a maximum size."""
+
+    def __init__(
+        self,
+        topology: str,
+        max_size: int,
+        node_encoder: TermEncoder,
+        predicate_encoder: TermEncoder,
+    ) -> None:
+        if topology not in ("star", "chain"):
+            raise ValueError(f"unsupported topology {topology!r}")
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        self.topology = topology
+        self.max_size = max_size
+        self.nodes = node_encoder
+        self.predicates = predicate_encoder
+        # Star: subject + k pairs; chain: k+1 nodes interleaved with k preds.
+        self.width = (
+            self.nodes.width
+            + max_size * (self.predicates.width + self.nodes.width)
+        )
+
+    def encode(self, query: QueryPattern) -> np.ndarray:
+        """Featurize *query*; raises on topology/size mismatch."""
+        if query.size > self.max_size:
+            raise ValueError(
+                f"query size {query.size} exceeds encoder max "
+                f"{self.max_size}"
+            )
+        if self.topology == "star":
+            return self._encode_star(query)
+        return self._encode_chain(query)
+
+    def _require_topology(self, query: QueryPattern, topo: Topology) -> None:
+        actual = query.topology()
+        if actual not in (topo, Topology.SINGLE):
+            raise ValueError(
+                f"{self.topology} encoder got a {actual.value} query"
+            )
+
+    def _encode_star(self, query: QueryPattern) -> np.ndarray:
+        self._require_topology(query, Topology.STAR)
+        centre = query.triples[0].s
+        pairs = sorted(
+            ((tp.p, tp.o) for tp in query.triples), key=_pair_sort_key
+        )
+        parts: List[np.ndarray] = [self.nodes.encode(centre)]
+        for p, o in pairs:
+            parts.append(self.predicates.encode(p))
+            parts.append(self.nodes.encode(o))
+        return self._pad(parts, len(pairs))
+
+    def _encode_chain(self, query: QueryPattern) -> np.ndarray:
+        self._require_topology(query, Topology.CHAIN)
+        parts: List[np.ndarray] = [self.nodes.encode(query.triples[0].s)]
+        for tp in query.triples:
+            parts.append(self.predicates.encode(tp.p))
+            parts.append(self.nodes.encode(tp.o))
+        return self._pad(parts, len(query.triples))
+
+    def _pad(self, parts: List[np.ndarray], size: int) -> np.ndarray:
+        pad_per_triple = self.predicates.width + self.nodes.width
+        missing = self.max_size - size
+        if missing > 0:
+            parts.append(np.zeros(missing * pad_per_triple))
+        vec = np.concatenate(parts)
+        assert vec.shape == (self.width,)
+        return vec
+
+    def encode_batch(self, queries: List[QueryPattern]) -> np.ndarray:
+        """Featurize a list of queries into a (n, width) matrix."""
+        return np.stack([self.encode(q) for q in queries])

@@ -1,0 +1,195 @@
+"""Workload-driven model choice (paper §IV, "Model choice").
+
+Given a sample workload and a memory budget, LMKG "can decide which
+models have a higher priority".  :class:`ModelPlanner` implements that
+decision: it profiles the workload (share of queries per topology and
+size), estimates each candidate model's memory, and greedily selects the
+grouping plan that covers the most workload under the budget —
+specialised models for hot shapes first, falling back to coarser grouped
+models for the long tail.
+
+The output is a :class:`ModelPlan` the :class:`~repro.core.framework.LMKG`
+façade can execute shape-by-shape.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.encoders import binary_width
+from repro.rdf.store import TripleStore
+from repro.sampling.workload import QueryRecord
+
+Shape = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Share of the workload per (topology, size) shape."""
+
+    total: int
+    shares: Dict[Shape, float]
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[QueryRecord]
+    ) -> "WorkloadProfile":
+        counts = Counter((r.topology, r.size) for r in records)
+        total = sum(counts.values())
+        shares = {
+            shape: count / total for shape, count in counts.items()
+        }
+        return cls(total=total, shares=shares)
+
+    def hot_shapes(self, threshold: float = 0.1) -> List[Shape]:
+        """Shapes above *threshold* share, hottest first."""
+        return [
+            shape
+            for shape, share in sorted(
+                self.shares.items(), key=lambda kv: -kv[1]
+            )
+            if share >= threshold
+        ]
+
+
+@dataclass
+class PlannedModel:
+    """One model in a plan: its key, shapes, and projected memory."""
+
+    grouping: str                  # "specialized" | "size" | "single"
+    shapes: Tuple[Shape, ...]
+    projected_bytes: int
+    coverage: float                # workload share this model answers
+
+
+@dataclass
+class ModelPlan:
+    """The planner's output: models to build, in priority order."""
+
+    models: List[PlannedModel] = field(default_factory=list)
+    uncovered: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.projected_bytes for m in self.models)
+
+    @property
+    def coverage(self) -> float:
+        return sum(m.coverage for m in self.models)
+
+    def shapes(self) -> List[Shape]:
+        seen: Dict[Shape, None] = {}
+        for model in self.models:
+            for shape in model.shapes:
+                seen.setdefault(shape, None)
+        return list(seen.keys())
+
+
+def project_lmkgs_bytes(
+    store: TripleStore,
+    max_size: int,
+    hidden_sizes: Sequence[int] = (256, 256),
+) -> int:
+    """Projected float32 checkpoint size of an SG-encoded LMKG-S model.
+
+    Mirrors the architecture arithmetic of
+    :func:`repro.nn.network.build_mlp` over the SG-Encoding width without
+    instantiating anything.
+    """
+    node_bits = binary_width(max(store.num_nodes, 1))
+    pred_bits = binary_width(max(store.num_predicates, 1))
+    n = max_size + 1
+    input_width = (
+        n * n * max_size + n * node_bits + max_size * pred_bits
+    )
+    params = 0
+    prev = input_width
+    for width in hidden_sizes:
+        params += prev * width + width
+        prev = width
+    params += prev * 1 + 1
+    return params * 4
+
+
+class ModelPlanner:
+    """Greedy budgeted model selection over a workload profile."""
+
+    def __init__(
+        self,
+        store: TripleStore,
+        hidden_sizes: Sequence[int] = (256, 256),
+        hot_threshold: float = 0.1,
+    ) -> None:
+        self.store = store
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.hot_threshold = hot_threshold
+
+    def plan(
+        self,
+        records: Sequence[QueryRecord],
+        budget_bytes: Optional[int] = None,
+    ) -> ModelPlan:
+        """Select models for *records* under *budget_bytes*.
+
+        Strategy: hot shapes get specialised models (best accuracy per
+        §VII-B) while budget allows; the remaining shapes share one
+        size-grouped model when it fits, else everything collapses into a
+        single model; shapes that fit nothing are reported uncovered.
+        """
+        if not records:
+            raise ValueError("cannot plan over an empty workload")
+        profile = WorkloadProfile.from_records(records)
+        budget = (
+            budget_bytes if budget_bytes is not None else math.inf
+        )
+        plan = ModelPlan()
+        spent = 0
+        covered: Dict[Shape, bool] = {}
+
+        for shape in profile.hot_shapes(self.hot_threshold):
+            cost = project_lmkgs_bytes(
+                self.store, shape[1], self.hidden_sizes
+            )
+            if spent + cost > budget:
+                continue
+            plan.models.append(
+                PlannedModel(
+                    grouping="specialized",
+                    shapes=(shape,),
+                    projected_bytes=cost,
+                    coverage=profile.shares[shape],
+                )
+            )
+            spent += cost
+            covered[shape] = True
+
+        remaining = [
+            shape for shape in profile.shares if shape not in covered
+        ]
+        if remaining:
+            max_size = max(size for _, size in remaining)
+            cost = project_lmkgs_bytes(
+                self.store, max_size, self.hidden_sizes
+            )
+            share = sum(profile.shares[s] for s in remaining)
+            if spent + cost <= budget:
+                plan.models.append(
+                    PlannedModel(
+                        grouping="size",
+                        shapes=tuple(remaining),
+                        projected_bytes=cost,
+                        coverage=share,
+                    )
+                )
+                spent += cost
+                for shape in remaining:
+                    covered[shape] = True
+            else:
+                plan.uncovered = share
+        plan.uncovered = round(
+            1.0 - sum(m.coverage for m in plan.models), 9
+        )
+        return plan

@@ -1,0 +1,654 @@
+"""Range-query cardinality estimation (§IV's future-work direction).
+
+The paper limits LMKG to equality ("presence or absence of terms") and
+sketches the extension: "For cardinality estimation of range queries,
+one could modify the input encoding with histogram selectivity values."
+This module builds exactly that:
+
+- :class:`RangeQuery` — a BGP whose triples may carry an inclusive
+  numeric range over their object position (the RDF idiom for literal
+  filters like ``FILTER(?year >= 1990 && ?year <= 2000)``),
+- :func:`count_range_query` — the exact oracle, for labels and tests,
+- :class:`EquiDepthHistogram` / :class:`PredicateHistograms` — classic
+  per-predicate equi-depth synopses over object values,
+- :class:`LMKGSRange` — LMKG-S with the input encoding widened by one
+  histogram-selectivity slot per triple, trained on labelled range
+  queries,
+- :func:`generate_range_workload` — range-query training/test data.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.lmkg_s import LMKGS, LMKGSConfig
+from repro.rdf.matcher import iter_bindings
+from repro.rdf.parser import ParseError, parse_sparql
+from repro.rdf.pattern import QueryPattern
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Variable, is_bound
+from repro.sampling.workload import generate_workload
+
+
+@dataclass(frozen=True)
+class RangeConstraint:
+    """Inclusive object-value range on one triple of a query.
+
+    Attributes:
+        triple_index: which triple pattern the constraint filters.
+        low / high: inclusive bounds over the object's numeric value
+            (dictionary-encoded ids play the role of literal values in
+            this reproduction, exactly as they would for an
+            order-preserving literal dictionary).
+    """
+
+    triple_index: int
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(
+                f"empty range [{self.low}, {self.high}]"
+            )
+        if self.triple_index < 0:
+            raise ValueError("triple_index must be non-negative")
+
+    def contains(self, value: int) -> bool:
+        return self.low <= value <= self.high
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A graph pattern plus range filters on object positions."""
+
+    base: QueryPattern
+    constraints: Tuple[RangeConstraint, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: set = set()
+        for constraint in self.constraints:
+            if constraint.triple_index >= len(self.base.triples):
+                raise ValueError(
+                    f"constraint on triple {constraint.triple_index} "
+                    f"but the query has {len(self.base.triples)} triples"
+                )
+            if constraint.triple_index in seen:
+                raise ValueError(
+                    "at most one range constraint per triple"
+                )
+            seen.add(constraint.triple_index)
+
+    @property
+    def size(self) -> int:
+        return self.base.size
+
+    def constraint_for(self, triple_index: int) -> Optional[RangeConstraint]:
+        for constraint in self.constraints:
+            if constraint.triple_index == triple_index:
+                return constraint
+        return None
+
+
+def count_range_query(store: TripleStore, query: RangeQuery) -> int:
+    """Exact cardinality of a range query (filtered BGP semantics).
+
+    Every solution of the base BGP is kept iff each constrained
+    triple's object value falls inside its range.
+    """
+    if not query.constraints:
+        from repro.rdf.fastcount import count_query
+
+        return count_query(store, query.base)
+    total = 0
+    for bindings in iter_bindings(store, query.base):
+        ok = True
+        for constraint in query.constraints:
+            obj = query.base.triples[constraint.triple_index].o
+            value = bindings[obj] if isinstance(obj, Variable) else obj
+            if not constraint.contains(value):
+                ok = False
+                break
+        if ok:
+            total += 1
+    return total
+
+
+class EquiDepthHistogram:
+    """Compressed equi-depth histogram over integer values.
+
+    Values frequent enough to fill a whole bucket are kept as exact
+    *singleton* entries (the "compressed histogram" of Poosala et al.);
+    the remaining values fill equi-depth buckets whose range selectivity
+    interpolates linearly.  Singletons make point ranges over heavy
+    values exact instead of diluted across a zero-width bucket.
+    """
+
+    def __init__(self, values: Sequence[int], num_buckets: int = 32) -> None:
+        if num_buckets < 1:
+            raise ValueError("need at least one bucket")
+        data = np.asarray(values, dtype=np.float64)
+        if data.size == 0:
+            raise ValueError("cannot build a histogram over no values")
+        self.total = int(data.size)
+        depth = self.total / num_buckets
+        uniques, counts = np.unique(data, return_counts=True)
+        heavy_mask = counts >= max(depth, 2.0)
+        self.singletons: Dict[float, float] = {
+            float(value): float(count)
+            for value, count in zip(
+                uniques[heavy_mask], counts[heavy_mask]
+            )
+        }
+        rest = np.repeat(uniques[~heavy_mask], counts[~heavy_mask])
+        if rest.size:
+            quantiles = np.linspace(0.0, 1.0, num_buckets + 1)
+            self.boundaries = np.quantile(rest, quantiles)
+            self.counts = np.histogram(rest, bins=self.boundaries)[
+                0
+            ].astype(np.float64)
+        else:
+            self.boundaries = np.array([])
+            self.counts = np.array([])
+
+    def selectivity(self, low: float, high: float) -> float:
+        """Estimated fraction of values in the inclusive [low, high]."""
+        if high < low or self.total == 0:
+            return 0.0
+        covered = sum(
+            count
+            for value, count in self.singletons.items()
+            if low <= value <= high
+        )
+        for i, count in enumerate(self.counts):
+            left, right = self.boundaries[i], self.boundaries[i + 1]
+            if right < low or left > high:
+                continue
+            span = right - left
+            if span <= 0:
+                covered += count if low <= left <= high else 0.0
+                continue
+            overlap = min(high, right) - max(low, left)
+            covered += count * max(overlap, 0.0) / span
+        return float(min(covered / self.total, 1.0))
+
+    def memory_bytes(self) -> int:
+        return (
+            len(self.boundaries)
+            + len(self.counts)
+            + 2 * len(self.singletons)
+        ) * 8
+
+
+class PredicateHistograms:
+    """One equi-depth histogram per predicate over its object values."""
+
+    def __init__(self, store: TripleStore, num_buckets: int = 32) -> None:
+        self.store = store
+        self.num_buckets = num_buckets
+        self._histograms: Dict[int, EquiDepthHistogram] = {}
+        objects_by_pred: Dict[int, List[int]] = {}
+        for s, p, o in store:
+            objects_by_pred.setdefault(p, []).append(o)
+        for p, objects in objects_by_pred.items():
+            self._histograms[p] = EquiDepthHistogram(
+                objects, num_buckets=num_buckets
+            )
+        all_objects = [o for objs in objects_by_pred.values() for o in objs]
+        self._global = (
+            EquiDepthHistogram(all_objects, num_buckets=num_buckets)
+            if all_objects
+            else None
+        )
+
+    def selectivity(
+        self, predicate: Optional[int], low: float, high: float
+    ) -> float:
+        """Range selectivity under *predicate*'s histogram.
+
+        Unbound predicates (None) and predicates never seen fall back to
+        the global object-value histogram.
+        """
+        histogram = (
+            self._histograms.get(predicate)
+            if predicate is not None
+            else None
+        )
+        if histogram is None:
+            histogram = self._global
+        if histogram is None:
+            return 0.0
+        return histogram.selectivity(low, high)
+
+    def memory_bytes(self) -> int:
+        total = sum(
+            h.memory_bytes() for h in self._histograms.values()
+        )
+        if self._global is not None:
+            total += self._global.memory_bytes()
+        return total
+
+
+@dataclass(frozen=True)
+class RangeRecord:
+    """One labelled range query."""
+
+    query: RangeQuery
+    topology: str
+    size: int
+    cardinality: int
+
+
+class LMKGSRange:
+    """LMKG-S over the selectivity-augmented input encoding.
+
+    The base query is encoded exactly as in :class:`LMKGS`; one extra
+    input slot per triple carries the histogram selectivity of that
+    triple's range constraint (1.0 when unconstrained), realising the
+    paper's "modify the input encoding with histogram selectivity
+    values".
+    """
+
+    def __init__(
+        self,
+        store: TripleStore,
+        topologies: Sequence[str],
+        max_size: int,
+        config: Optional[LMKGSConfig] = None,
+        num_buckets: int = 32,
+    ) -> None:
+        self.store = store
+        self.max_size = max_size
+        self.histograms = PredicateHistograms(
+            store, num_buckets=num_buckets
+        )
+        self._base = LMKGS(store, topologies, max_size, config)
+        self._regressor_ready = False
+
+    @property
+    def input_width(self) -> int:
+        return self._base.input_width + self.max_size
+
+    #: selectivities below this floor saturate the feature at 1.0.
+    _SELECTIVITY_FLOOR = 1e-4
+
+    def _selectivity_features(
+        self, queries: Sequence[RangeQuery]
+    ) -> np.ndarray:
+        """One log-scaled selectivity slot per triple.
+
+        The constrained cardinality is (to first order) the base
+        cardinality *times* the selectivity, and the training target is
+        the log cardinality — so the feature carries ``log(sel)``
+        (normalised to [0, 1]: 0 = unconstrained, 1 = at the floor),
+        making the relationship the network must learn additive.
+        """
+        features = np.zeros((len(queries), self.max_size))
+        floor = self._SELECTIVITY_FLOOR
+        for row, query in enumerate(queries):
+            for constraint in query.constraints:
+                tp = query.base.triples[constraint.triple_index]
+                predicate = tp.p if is_bound(tp.p) else None
+                selectivity = self.histograms.selectivity(
+                    predicate, constraint.low, constraint.high
+                )
+                features[row, constraint.triple_index] = np.log(
+                    max(selectivity, floor)
+                ) / np.log(floor)
+        return features
+
+    def featurize(self, queries: Sequence[RangeQuery]) -> np.ndarray:
+        base = self._base.featurize([q.base for q in queries])
+        return np.concatenate(
+            [base, self._selectivity_features(queries)], axis=1
+        )
+
+    def fit(self, records: Sequence[RangeRecord]):
+        """Train on labelled range queries; returns the loss history."""
+        if not records:
+            raise ValueError("cannot train on an empty workload")
+        from repro.nn.losses import MSELoss, QErrorLoss
+        from repro.nn.network import Regressor, build_mlp
+
+        config = self._base.config
+        features = self.featurize([r.query for r in records])
+        cards = np.array(
+            [r.cardinality for r in records], dtype=np.float64
+        )
+        targets = self._base.scaler.fit_transform(cards)
+        rng = np.random.default_rng(config.seed)
+        network = build_mlp(
+            features.shape[1],
+            list(config.hidden_sizes),
+            rng,
+            dropout=config.dropout,
+        )
+        loss = (
+            QErrorLoss(self._base.scaler.span)
+            if config.loss == "q_error"
+            else MSELoss()
+        )
+        self._base._regressor = Regressor(
+            network, loss, lr=config.learning_rate
+        )
+        history = self._base._regressor.fit(
+            features,
+            targets,
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            seed=config.seed,
+        )
+        self._base.history = history
+        self._regressor_ready = True
+        return history
+
+    def estimate(self, query: RangeQuery) -> float:
+        return float(self.estimate_batch([query])[0])
+
+    def estimate_batch(
+        self, queries: Sequence[RangeQuery]
+    ) -> np.ndarray:
+        if not self._regressor_ready:
+            raise RuntimeError("estimate() before fit()")
+        features = self.featurize(queries)
+        scaled = self._base._regressor.predict(features)
+        return self._base.scaler.inverse(scaled)
+
+    def memory_bytes(self) -> int:
+        """Model weights plus the histogram synopsis."""
+        return (
+            self._base.memory_bytes() + self.histograms.memory_bytes()
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Checkpoint weights, scaler, and architecture metadata.
+
+        Histograms are rebuilt from the store at load time (they are a
+        deterministic function of the data, like the term encoders).
+        """
+        from repro.nn.serialization import save_arrays
+
+        if not self._regressor_ready:
+            raise RuntimeError("save() before fit()")
+        arrays = {
+            p.name: p.value
+            for p in self._base._regressor.network.parameters()
+        }
+        scaler_state = self._base.scaler.state()
+        arrays["_meta_scaler"] = np.array(
+            [scaler_state["log_min"], scaler_state["log_max"]]
+        )
+        arrays["_meta_topologies"] = np.array(
+            [t.encode() for t in self._base.topologies]
+        )
+        arrays["_meta_arch"] = np.array(
+            [self.max_size, self.histograms.num_buckets]
+            + list(self._base.config.hidden_sizes)
+        )
+        save_arrays(path, arrays)
+
+    @classmethod
+    def load(cls, path, store: TripleStore) -> "LMKGSRange":
+        """Rebuild a trained range model against the same store."""
+        from repro.nn.losses import MSELoss
+        from repro.nn.network import Regressor, build_mlp
+        from repro.nn.scaling import LogMinMaxScaler
+        from repro.nn.serialization import load_arrays
+
+        arrays = load_arrays(path)
+        arch = arrays["_meta_arch"]
+        topologies = [
+            bytes(value).decode()
+            for value in arrays["_meta_topologies"]
+        ]
+        config = LMKGSConfig(
+            hidden_sizes=tuple(int(value) for value in arch[2:])
+        )
+        model = cls(
+            store,
+            topologies,
+            int(arch[0]),
+            config,
+            num_buckets=int(arch[1]),
+        )
+        log_min, log_max = arrays["_meta_scaler"]
+        model._base.scaler = LogMinMaxScaler.from_state(
+            {"log_min": log_min, "log_max": log_max}
+        )
+        rng = np.random.default_rng(config.seed)
+        network = build_mlp(
+            model.input_width,
+            list(config.hidden_sizes),
+            rng,
+            dropout=config.dropout,
+        )
+        for param in network.parameters():
+            param.value[...] = arrays[param.name]
+        model._base._regressor = Regressor(network, MSELoss())
+        model._regressor_ready = True
+        return model
+
+
+class HistogramRangeEstimator:
+    """Histogram-only baseline for range queries.
+
+    Estimates the unconstrained cardinality with the independence
+    product and multiplies in each constraint's histogram selectivity —
+    what a traditional optimizer would do, and the floor LMKGSRange
+    should beat on correlated data.
+    """
+
+    name = "range-histogram"
+
+    def __init__(self, store: TripleStore, num_buckets: int = 32) -> None:
+        from repro.baselines.independence import IndependenceEstimator
+
+        self.store = store
+        self.histograms = PredicateHistograms(
+            store, num_buckets=num_buckets
+        )
+        self._base = IndependenceEstimator(store)
+
+    def estimate(self, query: RangeQuery) -> float:
+        estimate = self._base.estimate(query.base)
+        for constraint in query.constraints:
+            tp = query.base.triples[constraint.triple_index]
+            predicate = tp.p if is_bound(tp.p) else None
+            estimate *= self.histograms.selectivity(
+                predicate, constraint.low, constraint.high
+            )
+        return estimate
+
+
+# ----------------------------------------------------------------------
+# SPARQL FILTER parsing
+# ----------------------------------------------------------------------
+
+_FILTER_CLAUSE = re.compile(r"FILTER\s*\(([^)]*)\)\s*\.?", re.IGNORECASE)
+_FILTER_CONDITION = re.compile(
+    r"^\?([A-Za-z_][A-Za-z0-9_]*)\s*(<=|>=|<|>|=)\s*(-?\d+)$"
+)
+
+#: Bound used when a filter constrains only one side of the range.
+_UNBOUNDED = 2**62
+
+
+def parse_sparql_range(text: str, dictionary) -> RangeQuery:
+    """Parse a SELECT query whose WHERE clause may contain FILTERs.
+
+    Supported filter form — numeric comparisons on object variables,
+    conjoined with ``&&`` inside one or several FILTER clauses::
+
+        SELECT ?x WHERE {
+          ?x <pub:year> ?y .
+          FILTER(?y >= 1990 && ?y <= 2000)
+        }
+
+    Comparisons translate to the inclusive :class:`RangeConstraint`
+    bounds (``<`` and ``>`` tighten by one — values are integers).  A
+    filtered variable must occur as some triple's object; filters on
+    subject-only variables are outside the pattern-encoding extension
+    and raise :class:`~repro.rdf.parser.ParseError`.
+    """
+    clauses = _FILTER_CLAUSE.findall(text)
+    # Validate the filters before parsing the base: an unsupported
+    # condition (e.g. regex) should fail with the filter error, not with
+    # whatever the leftover characters do to the triple parser.
+    bounds: Dict[str, List[int]] = {}
+    for clause in clauses:
+        for condition in clause.split("&&"):
+            match = _FILTER_CONDITION.match(condition.strip())
+            if match is None:
+                raise ParseError(
+                    f"unsupported FILTER condition {condition.strip()!r}"
+                )
+            var, op, literal = match.groups()
+            value = int(literal)
+            low, high = bounds.setdefault(
+                var, [-_UNBOUNDED, _UNBOUNDED]
+            )
+            if op == "=":
+                bounds[var] = [max(low, value), min(high, value)]
+            elif op == ">=":
+                bounds[var][0] = max(low, value)
+            elif op == ">":
+                bounds[var][0] = max(low, value + 1)
+            elif op == "<=":
+                bounds[var][1] = min(high, value)
+            else:  # "<"
+                bounds[var][1] = min(high, value - 1)
+    base = parse_sparql(_FILTER_CLAUSE.sub("", text), dictionary)
+    constraints: List[RangeConstraint] = []
+    for var, (low, high) in bounds.items():
+        if low > high:
+            raise ParseError(
+                f"FILTER on ?{var} selects an empty range [{low}, {high}]"
+            )
+        triple_index = next(
+            (
+                idx
+                for idx, tp in enumerate(base.triples)
+                if tp.o == Variable(var)
+            ),
+            None,
+        )
+        if triple_index is None:
+            raise ParseError(
+                f"FILTER on ?{var}: range filters are supported on "
+                "object variables only"
+            )
+        constraints.append(RangeConstraint(triple_index, low, high))
+    return RangeQuery(
+        base,
+        tuple(sorted(constraints, key=lambda c: c.triple_index)),
+    )
+
+
+def format_sparql_range(query: RangeQuery, dictionary) -> str:
+    """Render a range query back to SPARQL text with FILTER clauses."""
+    from repro.rdf.parser import format_sparql
+
+    text = format_sparql(query.base, dictionary)
+    if not query.constraints:
+        return text
+    filters = []
+    for constraint in query.constraints:
+        obj = query.base.triples[constraint.triple_index].o
+        if not isinstance(obj, Variable):
+            continue
+        filters.append(
+            f"  FILTER(?{obj.name} >= {constraint.low} && "
+            f"?{obj.name} <= {constraint.high}) ."
+        )
+    if not filters:
+        return text
+    return text[: -len("\n}")] + "\n" + "\n".join(filters) + "\n}"
+
+
+def _random_constraints(
+    store: TripleStore,
+    base: QueryPattern,
+    rng: np.random.Generator,
+    max_constraints: int,
+) -> Tuple[RangeConstraint, ...]:
+    """Random ranges over unbound-object triples of *base*.
+
+    Ranges are anchored at actual object values of the triple's
+    predicate so constraints are selective but rarely empty.
+    """
+    candidates = [
+        idx
+        for idx, tp in enumerate(base.triples)
+        if isinstance(tp.o, Variable) and is_bound(tp.p)
+    ]
+    if not candidates:
+        return ()
+    rng.shuffle(candidates)
+    constraints: List[RangeConstraint] = []
+    for idx in candidates[:max_constraints]:
+        tp = base.triples[idx]
+        objects = sorted(
+            {o for _, o in self_objects(store, tp.p)}
+        )
+        if len(objects) < 2:
+            continue
+        lo_pos = int(rng.integers(0, len(objects)))
+        hi_pos = int(rng.integers(lo_pos, len(objects)))
+        constraints.append(
+            RangeConstraint(
+                triple_index=idx,
+                low=objects[lo_pos],
+                high=objects[hi_pos],
+            )
+        )
+    return tuple(constraints)
+
+
+def self_objects(store: TripleStore, predicate: int):
+    """(subject, object) pairs of one predicate."""
+    for s, objs in store._pso.get(predicate, {}).items():
+        for o in objs:
+            yield s, o
+
+
+def generate_range_workload(
+    store: TripleStore,
+    topology: str,
+    size: int,
+    num_queries: int,
+    seed: int = 0,
+    max_constraints: int = 2,
+) -> List[RangeRecord]:
+    """Labelled range queries of one shape.
+
+    Base queries come from the equality workload generator; each gets up
+    to *max_constraints* random ranges over its unbound objects and is
+    labelled with the exact filtered count.
+    """
+    rng = np.random.default_rng(seed)
+    base_workload = generate_workload(
+        store, topology, size, num_queries=num_queries, seed=seed
+    )
+    records: List[RangeRecord] = []
+    for record in base_workload.records:
+        constraints = _random_constraints(
+            store, record.query, rng, max_constraints
+        )
+        query = RangeQuery(base=record.query, constraints=constraints)
+        records.append(
+            RangeRecord(
+                query=query,
+                topology=topology,
+                size=size,
+                cardinality=count_range_query(store, query),
+            )
+        )
+    return records

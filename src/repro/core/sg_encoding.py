@@ -1,0 +1,98 @@
+"""SG-Encoding: the paper's novel subgraph encoding (§V-A1).
+
+A subgraph pattern with up to ``n`` nodes and ``e`` edge occurrences is
+represented as ``SG = (A, X, E)``:
+
+- ``A ∈ {0,1}^{n×n×e}`` — adjacency tensor; ``A[i][j][l] = 1`` when the
+  l-th edge (in query edge order) connects the i-th node to the j-th node
+  (in query node order),
+- ``X`` — node feature matrix: row i is the (binary or one-hot) encoding
+  of the i-th node's term id, all-zero for variables,
+- ``E`` — edge feature matrix: row l encodes the l-th predicate's term id.
+
+Unlike the pattern-bound encoding, A makes the *topology* explicit, so one
+model can be trained on stars, chains, and any composite of them.  Node
+and edge orders come from :meth:`repro.rdf.pattern.QueryPattern.node_order`
+/ ``edge_order`` (first-occurrence order, as in Fig. 2 step 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.encoders import TermEncoder
+from repro.rdf.pattern import QueryPattern
+from repro.rdf.terms import PatternTerm
+
+
+class SGEncoding:
+    """Featurizer producing flattened (A, X, E) vectors."""
+
+    def __init__(
+        self,
+        max_nodes: int,
+        max_edges: int,
+        node_encoder: TermEncoder,
+        predicate_encoder: TermEncoder,
+    ) -> None:
+        if max_nodes < 2 or max_edges < 1:
+            raise ValueError("need at least 2 nodes and 1 edge")
+        self.max_nodes = max_nodes
+        self.max_edges = max_edges
+        self.nodes = node_encoder
+        self.predicates = predicate_encoder
+        self.a_width = max_nodes * max_nodes * max_edges
+        self.x_width = max_nodes * node_encoder.width
+        self.e_width = max_edges * predicate_encoder.width
+        self.width = self.a_width + self.x_width + self.e_width
+
+    @classmethod
+    def for_query_size(
+        cls,
+        max_size: int,
+        node_encoder: TermEncoder,
+        predicate_encoder: TermEncoder,
+    ) -> "SGEncoding":
+        """Dimension the encoding for star/chain queries up to *max_size*
+        triples: both have at most ``size + 1`` nodes and ``size`` edges."""
+        return cls(
+            max_size + 1, max_size, node_encoder, predicate_encoder
+        )
+
+    def components(self, query: QueryPattern):
+        """The (A, X, E) arrays of *query*, unflattened."""
+        node_order = query.node_order()
+        if len(node_order) > self.max_nodes:
+            raise ValueError(
+                f"query has {len(node_order)} nodes, encoder holds "
+                f"{self.max_nodes}"
+            )
+        if query.size > self.max_edges:
+            raise ValueError(
+                f"query has {query.size} edges, encoder holds "
+                f"{self.max_edges}"
+            )
+        node_index: Dict[PatternTerm, int] = {
+            term: i for i, term in enumerate(node_order)
+        }
+        a = np.zeros((self.max_nodes, self.max_nodes, self.max_edges))
+        e = np.zeros((self.max_edges, self.predicates.width))
+        for l, tp in enumerate(query.triples):
+            i = node_index[tp.s]
+            j = node_index[tp.o]
+            a[i, j, l] = 1.0
+            e[l] = self.predicates.encode(tp.p)
+        x = np.zeros((self.max_nodes, self.nodes.width))
+        for i, term in enumerate(node_order):
+            x[i] = self.nodes.encode(term)
+        return a, x, e
+
+    def encode(self, query: QueryPattern) -> np.ndarray:
+        """Flattened [A | X | E] feature vector."""
+        a, x, e = self.components(query)
+        return np.concatenate([a.ravel(), x.ravel(), e.ravel()])
+
+    def encode_batch(self, queries: List[QueryPattern]) -> np.ndarray:
+        return np.stack([self.encode(q) for q in queries])

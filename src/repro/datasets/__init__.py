@@ -1,0 +1,28 @@
+"""Synthetic evaluation datasets calibrated to the paper's Table I.
+
+SWDF-like (dense, 171 predicates), LUBM-like (faithful generator
+re-implementation, 19 predicates), and YAGO-like (heterogeneous, huge
+unique-term domain, 91 predicates).  See DESIGN.md for the substitution
+rationale.
+"""
+
+from repro.datasets.lubm import LubmProfile, generate_lubm
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    clear_cache,
+    dataset_builders,
+    load_dataset,
+)
+from repro.datasets.swdf import generate_swdf
+from repro.datasets.yago import generate_yago
+
+__all__ = [
+    "LubmProfile",
+    "generate_lubm",
+    "DATASET_NAMES",
+    "clear_cache",
+    "dataset_builders",
+    "load_dataset",
+    "generate_swdf",
+    "generate_yago",
+]

@@ -1,0 +1,69 @@
+"""Dataset registry: named access to the three evaluation graphs.
+
+The experiments refer to datasets by name ("swdf", "lubm", "yago"); this
+module centralises their construction, applies a common ``scale`` knob,
+and memoises stores so a bench suite touching the same dataset from many
+experiments only ever generates it once per process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.datasets.lubm import generate_lubm
+from repro.datasets.swdf import generate_swdf
+from repro.datasets.yago import generate_yago
+from repro.rdf.store import TripleStore
+
+DATASET_NAMES = ("swdf", "lubm", "yago")
+
+_cache: Dict[Tuple[str, float, int], TripleStore] = {}
+
+
+def _build(name: str, scale: float, seed: int) -> TripleStore:
+    if name == "swdf":
+        return generate_swdf(
+            conferences=max(2, int(12 * scale)),
+            papers_per_conference=110,
+            people_pool=max(50, int(900 * scale)),
+            seed=seed,
+        )
+    if name == "lubm":
+        return generate_lubm(universities=max(1, int(5 * scale)), seed=seed)
+    if name == "yago":
+        return generate_yago(
+            num_triples=max(2_000, int(40_000 * scale)), seed=seed
+        )
+    raise KeyError(
+        f"unknown dataset {name!r}; available: {', '.join(DATASET_NAMES)}"
+    )
+
+
+def load_dataset(
+    name: str, scale: float = 1.0, seed: int = 0
+) -> TripleStore:
+    """Return the named dataset at the given scale (memoised).
+
+    The returned store is shared; callers must not mutate it.  ``seed``
+    offsets the generator seed so tests can request independent copies.
+    """
+    key = (name, scale, seed)
+    store = _cache.get(key)
+    if store is None:
+        store = _build(name, scale, seed)
+        _cache[key] = store
+    return store
+
+
+def clear_cache() -> None:
+    """Drop memoised datasets (used by tests that measure generation)."""
+    _cache.clear()
+
+
+def dataset_builders() -> Dict[str, Callable[..., TripleStore]]:
+    """The raw generator functions, for callers needing custom knobs."""
+    return {
+        "swdf": generate_swdf,
+        "lubm": generate_lubm,
+        "yago": generate_yago,
+    }

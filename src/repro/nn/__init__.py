@@ -1,0 +1,74 @@
+"""Numpy neural-network substrate.
+
+Replaces the paper's TensorFlow dependency with a small, exact-gradient
+framework: dense layers (:mod:`repro.nn.layers`), masked autoregressive
+models (:mod:`repro.nn.masked`), losses including the mean q-error loss
+(:mod:`repro.nn.losses`), Adam/SGD (:mod:`repro.nn.optimizers`), the
+training loop (:mod:`repro.nn.network`), target scaling
+(:mod:`repro.nn.scaling`) and npz checkpointing
+(:mod:`repro.nn.serialization`).
+"""
+
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    Layer,
+    Linear,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+)
+from repro.nn.losses import (
+    HuberLogLoss,
+    Loss,
+    MSELoss,
+    QErrorLoss,
+    log_softmax,
+    softmax_cross_entropy,
+)
+from repro.nn.masked import MADE, MaskedLinear, hidden_degrees
+from repro.nn.network import Regressor, TrainingHistory, build_mlp
+from repro.nn.optimizers import SGD, Adam, Optimizer
+from repro.nn.scaling import LogMinMaxScaler
+from repro.nn.serialization import (
+    load_arrays,
+    load_made,
+    load_sequential,
+    save_arrays,
+    save_made,
+    save_sequential,
+)
+
+__all__ = [
+    "Dropout",
+    "Embedding",
+    "Layer",
+    "Linear",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "HuberLogLoss",
+    "Loss",
+    "MSELoss",
+    "QErrorLoss",
+    "log_softmax",
+    "softmax_cross_entropy",
+    "MADE",
+    "MaskedLinear",
+    "hidden_degrees",
+    "Regressor",
+    "TrainingHistory",
+    "build_mlp",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "LogMinMaxScaler",
+    "load_arrays",
+    "load_made",
+    "load_sequential",
+    "save_arrays",
+    "save_made",
+    "save_sequential",
+]

@@ -1,0 +1,28 @@
+"""Weight initialisation schemes for the numpy NN substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform init — the TensorFlow Dense default."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_uniform(
+    rng: np.random.Generator, fan_in: int, fan_out: int
+) -> np.ndarray:
+    """He uniform init, appropriate ahead of ReLU activations."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def normal_embedding(
+    rng: np.random.Generator, vocab: int, dim: int, scale: float = 0.05
+) -> np.ndarray:
+    """Small-variance normal init for embedding tables."""
+    return rng.normal(0.0, scale, size=(vocab, dim))

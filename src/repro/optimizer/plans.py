@@ -1,0 +1,92 @@
+"""Left-deep join plans over BGP triple patterns.
+
+A *join order* is a permutation of the query's triple-pattern indices; the
+plan joins patterns one at a time in that order (a left-deep tree, the
+plan space classical optimizers search first).  An order is *connected*
+when every pattern after the first shares at least one variable with an
+earlier pattern — otherwise the join degenerates into a Cartesian
+product, which RDF engines never plan voluntarily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Iterator, List, Sequence, Set, Tuple
+
+from repro.rdf.pattern import QueryPattern
+from repro.rdf.terms import Variable
+
+JoinOrder = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """A chosen join order together with the cost the chooser assigned.
+
+    Attributes:
+        order: triple-pattern indices in join sequence.
+        cost: the (estimated or true) C_out cost under which the order
+            was selected.  Comparable only across plans costed by the
+            same cost function.
+    """
+
+    order: JoinOrder
+    cost: float
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+
+def pattern_variables(query: QueryPattern) -> List[Set[Variable]]:
+    """Variable set of each triple pattern, by pattern index."""
+    return [set(tp.variables) for tp in query.triples]
+
+
+def is_connected_order(query: QueryPattern, order: Sequence[int]) -> bool:
+    """True when every join step shares a variable with the prefix.
+
+    Patterns without variables (fully bound triples) join trivially and
+    never break connectivity.
+    """
+    variables = pattern_variables(query)
+    seen: Set[Variable] = set(variables[order[0]])
+    for idx in order[1:]:
+        step = variables[idx]
+        if step and seen and not (step & seen):
+            return False
+        seen |= step
+    return True
+
+
+def connected_orders(query: QueryPattern) -> Iterator[JoinOrder]:
+    """All permutations of the query's patterns that avoid cross products.
+
+    Falls back to yielding every permutation when the query graph itself
+    is disconnected (then no order can avoid the cross product and the
+    optimizer must still pick something).
+    """
+    orders = permutations(range(len(query.triples)))
+    yielded = False
+    buffered: List[JoinOrder] = []
+    for order in orders:
+        buffered.append(order)
+        if is_connected_order(query, order):
+            yielded = True
+            yield order
+    if not yielded:
+        yield from buffered
+
+
+def prefix_patterns(
+    query: QueryPattern, order: Sequence[int]
+) -> List[QueryPattern]:
+    """The intermediate queries a left-deep plan materialises.
+
+    Prefix ``i`` is the sub-query over the first ``i + 1`` patterns of
+    *order*; its cardinality is the size of the i-th intermediate result.
+    """
+    return [
+        QueryPattern([query.triples[idx] for idx in order[: cut + 1]])
+        for cut in range(len(order))
+    ]

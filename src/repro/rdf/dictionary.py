@@ -1,0 +1,97 @@
+"""Dictionary encoding between lexical RDF terms (URIs/literals) and ids.
+
+Knowledge-graph engines almost universally dictionary-encode terms; LMKG's
+encodings (Section V of the paper) assume every node and predicate carries an
+integer id in ``[1, max]``.  Ids are assigned densely starting at 1 — id 0 is
+reserved to mean "absent/unbound" in the model encodings, mirroring the
+paper's treatment of unbound terms.
+
+Nodes (subjects and objects) share a single id space, because a chain query
+requires expressing that the object of one triple equals the subject of the
+next.  Predicates get their own id space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+#: Reserved id meaning "unbound"; never assigned to a real term.
+UNBOUND_ID = 0
+
+
+class TermDictionary:
+    """Bidirectional mapping for one term domain (nodes or predicates)."""
+
+    def __init__(self) -> None:
+        self._to_id: Dict[str, int] = {}
+        self._to_term: List[str] = []  # index i holds term with id i + 1
+
+    def __len__(self) -> int:
+        return len(self._to_term)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._to_id
+
+    def encode(self, term: str) -> int:
+        """Return the id of *term*, assigning the next free id if new."""
+        existing = self._to_id.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._to_term) + 1
+        self._to_id[term] = new_id
+        self._to_term.append(term)
+        return new_id
+
+    def lookup(self, term: str) -> Optional[int]:
+        """Return the id of *term* or None when it was never encoded."""
+        return self._to_id.get(term)
+
+    def decode(self, term_id: int) -> str:
+        """Return the lexical form for *term_id*.
+
+        Raises:
+            KeyError: for the unbound id or any id never assigned.
+        """
+        if term_id == UNBOUND_ID:
+            raise KeyError("id 0 is reserved for unbound terms")
+        if not 1 <= term_id <= len(self._to_term):
+            raise KeyError(f"unknown term id {term_id}")
+        return self._to_term[term_id - 1]
+
+    def items(self) -> Iterable[tuple]:
+        """Iterate ``(term, id)`` pairs in id order."""
+        for i, term in enumerate(self._to_term):
+            yield term, i + 1
+
+
+class GraphDictionary:
+    """The two dictionaries of a knowledge graph: nodes and predicates."""
+
+    def __init__(self) -> None:
+        self.nodes = TermDictionary()
+        self.predicates = TermDictionary()
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of distinct subjects/objects (shared id space)."""
+        return len(self.nodes)
+
+    @property
+    def num_predicates(self) -> int:
+        return len(self.predicates)
+
+    def encode_triple(self, s: str, p: str, o: str) -> tuple:
+        """Encode a lexical triple, assigning ids as needed."""
+        return (
+            self.nodes.encode(s),
+            self.predicates.encode(p),
+            self.nodes.encode(o),
+        )
+
+    def decode_triple(self, triple: tuple) -> tuple:
+        s, p, o = triple
+        return (
+            self.nodes.decode(s),
+            self.predicates.decode(p),
+            self.nodes.decode(o),
+        )

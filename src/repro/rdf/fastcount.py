@@ -1,0 +1,181 @@
+"""Specialised exact counters for star and chain queries.
+
+Generating training data requires labelling tens of thousands of queries
+with their true cardinality.  The generic backtracking matcher
+(:mod:`repro.rdf.matcher`) enumerates solutions, so its cost grows with
+the answer size; for the two topologies LMKG supports there are
+closed-form/DP counters whose cost is independent of the result
+cardinality:
+
+- **Star** (?s shared, objects distinct variables or bound): the count is
+  ``sum over candidate subjects of the product over triples of the
+  per-triple match count`` — per-subject factors multiply because the
+  object variables are distinct.
+- **Chain** (n1 -p1-> n2 -p2-> ... with distinct node variables): a
+  forward dynamic program over "number of partial walks ending at node v"
+  gives the count in one pass per triple.
+
+Both are *exact* and are validated against the generic matcher in the
+test suite.  :func:`count_query` dispatches to the fast path when the
+query shape allows it and falls back to :func:`repro.rdf.matcher.count_bgp`
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.rdf import matcher
+from repro.rdf.pattern import QueryPattern, Topology
+from repro.rdf.store import TripleStore
+from repro.rdf.terms import Variable, is_bound
+
+
+def _distinct_variables(query: QueryPattern) -> bool:
+    """True when no variable occurs in two *different* roles that the
+    fast counters cannot handle (they handle only the structural sharing
+    that defines the topology)."""
+    seen = {}
+    for t_idx, tp in enumerate(query.triples):
+        for pos, term in zip("spo", tp):
+            if isinstance(term, Variable):
+                seen.setdefault(term, []).append((t_idx, pos))
+    return seen
+
+
+def count_star(store: TripleStore, query: QueryPattern) -> Optional[int]:
+    """Exact count for a subject-star query; None when not applicable.
+
+    Applicable when all triples share the subject term, predicates are
+    bound, and every object is either bound or a variable that occurs
+    exactly once in the query.
+    """
+    centre = query.triples[0].s
+    for tp in query.triples:
+        if tp.s != centre or not is_bound(tp.p):
+            return None
+    occurrences = _distinct_variables(query)
+    for var, occ in occurrences.items():
+        if var == centre:
+            if any(pos != "s" for _, pos in occ):
+                return None
+        elif len(occ) != 1 or occ[0][1] != "o":
+            return None
+
+    if is_bound(centre):
+        candidates: Iterable[int] = (centre,)
+    else:
+        # Seed candidates from the most selective triple.
+        best = min(
+            query.triples,
+            key=lambda tp: (
+                len(store.subjects_of(tp.p, tp.o))
+                if is_bound(tp.o)
+                else store.predicate_count(tp.p)
+            ),
+        )
+        if is_bound(best.o):
+            candidates = store.subjects_of(best.p, best.o)
+        else:
+            candidates = store._pso.get(best.p, {}).keys()
+
+    total = 0
+    for s in candidates:
+        product = 1
+        for tp in query.triples:
+            if is_bound(tp.o):
+                if tp.o not in store.objects_of(s, tp.p):
+                    product = 0
+                    break
+            else:
+                factor = len(store.objects_of(s, tp.p))
+                if factor == 0:
+                    product = 0
+                    break
+                product *= factor
+        total += product
+    return total
+
+
+def count_chain(store: TripleStore, query: QueryPattern) -> Optional[int]:
+    """Exact count for a chain query via a forward DP; None if not
+    applicable.
+
+    Applicable when object i is subject i+1, predicates are bound, and
+    every node variable occurs only in its chain positions.
+    """
+    triples = query.triples
+    for prev, nxt in zip(triples, triples[1:]):
+        if prev.o != nxt.s:
+            return None
+    for tp in triples:
+        if not is_bound(tp.p):
+            return None
+    # Build the occurrence map the chain structure *implies* and require
+    # the actual variable occurrences to match it exactly.  A variable
+    # appearing anywhere else (a cycle back to an earlier node) breaks the
+    # DP's independence assumption, so those queries fall back.
+    chain_nodes = [triples[0].s] + [tp.o for tp in triples]
+    var_nodes = [t for t in chain_nodes if isinstance(t, Variable)]
+    if len(var_nodes) != len(set(var_nodes)):
+        return None
+    expected: Dict[Variable, list] = {}
+    last = len(chain_nodes) - 1
+    for i, node in enumerate(chain_nodes):
+        if not isinstance(node, Variable):
+            continue
+        positions = []
+        if i < last:
+            positions.append((i, "s"))
+        if i > 0:
+            positions.append((i - 1, "o"))
+        expected[node] = sorted(positions)
+    occurrences = _distinct_variables(query)
+    for var, occ in occurrences.items():
+        if sorted(occ) != expected.get(var):
+            return None
+
+    # frontier: node id -> number of partial walks ending at that node.
+    first = triples[0]
+    frontier: Dict[int, int] = {}
+    if is_bound(first.s):
+        frontier[first.s] = 1
+    else:
+        for s in store._spo.keys():
+            frontier[s] = 1
+
+    for tp in triples:
+        new_frontier: Dict[int, int] = {}
+        for node, ways in frontier.items():
+            objs = store.objects_of(node, tp.p)
+            if not objs:
+                continue
+            if is_bound(tp.o):
+                if tp.o in objs:
+                    new_frontier[tp.o] = new_frontier.get(tp.o, 0) + ways
+            else:
+                for o in objs:
+                    new_frontier[o] = new_frontier.get(o, 0) + ways
+        frontier = new_frontier
+        if not frontier:
+            return 0
+    return sum(frontier.values())
+
+
+def count_query(store: TripleStore, query: QueryPattern) -> int:
+    """Exact cardinality using the fastest applicable strategy."""
+    if len(query.triples) == 1:
+        tp = query.triples[0]
+        if len(tp.variables) == len(set(tp.variables)):
+            return store.count_pattern(tp)
+        return matcher.count_bgp(store, query)
+    topo = query.topology()
+    if topo is Topology.STAR:
+        result = count_star(store, query)
+        if result is not None:
+            return result
+    if topo is Topology.CHAIN:
+        result = count_chain(store, query)
+        if result is not None:
+            return result
+    return matcher.count_bgp(store, query)

@@ -1,0 +1,128 @@
+"""Workload persistence: save and reload labelled query sets.
+
+Training a model on exactly the same workload across runs (and sharing
+workloads between machines) needs a durable format.  One query per
+line, tab-separated::
+
+    topology  size  cardinality  pattern
+
+where *pattern* serialises the triple patterns as
+``(s p o);(s p o);...`` with integers for bound term ids and ``?name``
+for variables — the dictionary-encoded form, so files pair with the
+store they were generated from (record the dataset and seed alongside,
+as `python -m repro workload` output does).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.rdf.pattern import QueryPattern
+from repro.rdf.terms import PatternTerm, TriplePattern, Variable
+from repro.sampling.workload import QueryRecord, Workload
+
+
+class WorkloadFormatError(ValueError):
+    """Raised when a workload file line cannot be parsed."""
+
+
+def _render_term(term: PatternTerm) -> str:
+    if isinstance(term, Variable):
+        return f"?{term.name}"
+    return str(term)
+
+
+def _parse_term(text: str) -> PatternTerm:
+    if text.startswith("?"):
+        if len(text) < 2:
+            raise WorkloadFormatError("empty variable name")
+        return Variable(text[1:])
+    try:
+        return int(text)
+    except ValueError:
+        raise WorkloadFormatError(f"bad term {text!r}")
+
+
+def render_pattern(query: QueryPattern) -> str:
+    """Serialise a query pattern to its one-line form."""
+    return ";".join(
+        f"({_render_term(tp.s)} {_render_term(tp.p)} {_render_term(tp.o)})"
+        for tp in query.triples
+    )
+
+
+def parse_pattern(text: str) -> QueryPattern:
+    """Inverse of :func:`render_pattern`."""
+    triples: List[TriplePattern] = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not (chunk.startswith("(") and chunk.endswith(")")):
+            raise WorkloadFormatError(
+                f"triple {chunk!r} is not parenthesised"
+            )
+        parts = chunk[1:-1].split()
+        if len(parts) != 3:
+            raise WorkloadFormatError(
+                f"triple {chunk!r} does not have three terms"
+            )
+        triples.append(TriplePattern(*(_parse_term(p) for p in parts)))
+    if not triples:
+        raise WorkloadFormatError("empty pattern")
+    return QueryPattern(triples)
+
+
+def save_workload(
+    path: Union[str, Path], records: Union[Workload, List[QueryRecord]]
+) -> int:
+    """Write records as TSV; returns the number of lines written."""
+    rows = list(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("topology\tsize\tcardinality\tpattern\n")
+        for record in rows:
+            handle.write(
+                f"{record.topology}\t{record.size}\t"
+                f"{record.cardinality}\t"
+                f"{render_pattern(record.query)}\n"
+            )
+    return len(rows)
+
+
+def load_workload(path: Union[str, Path]) -> List[QueryRecord]:
+    """Read records back from TSV (header line required)."""
+    records: List[QueryRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline().rstrip("\n")
+        if header.split("\t") != [
+            "topology",
+            "size",
+            "cardinality",
+            "pattern",
+        ]:
+            raise WorkloadFormatError(
+                f"unexpected header {header!r}"
+            )
+        for number, line in enumerate(handle, start=2):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 4:
+                raise WorkloadFormatError(
+                    f"line {number}: expected 4 fields, got {len(parts)}"
+                )
+            topology, size, cardinality, pattern = parts
+            try:
+                records.append(
+                    QueryRecord(
+                        query=parse_pattern(pattern),
+                        topology=topology,
+                        size=int(size),
+                        cardinality=int(cardinality),
+                    )
+                )
+            except (ValueError, WorkloadFormatError) as exc:
+                raise WorkloadFormatError(
+                    f"line {number}: {exc}"
+                ) from exc
+    return records

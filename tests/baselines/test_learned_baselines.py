@@ -1,0 +1,129 @@
+"""Tests for MSCN and the independence baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import IndependenceEstimator, MSCN, MSCNConfig
+from repro.core.metrics import q_errors
+from repro.rdf.pattern import QueryPattern, chain_pattern, star_pattern
+from repro.rdf.terms import TriplePattern, Variable
+from repro.sampling import generate_workload
+
+
+def v(name):
+    return Variable(name)
+
+
+@pytest.fixture(scope="module")
+def lubm_store():
+    from repro.datasets import load_dataset
+
+    return load_dataset("lubm", scale=0.5, seed=1)
+
+
+@pytest.fixture(scope="module")
+def training_records(lubm_store):
+    star = generate_workload(lubm_store, "star", 2, 250, seed=51)
+    chain = generate_workload(lubm_store, "chain", 2, 250, seed=52)
+    return star.records + chain.records
+
+
+class TestIndependence:
+    def test_single_pattern_exact(self, tiny_store):
+        indep = IndependenceEstimator(tiny_store)
+        query = QueryPattern([TriplePattern(v("s"), 2, v("o"))])
+        assert indep.estimate(query) == 3.0
+
+    def test_join_divides_by_domain(self, tiny_store):
+        indep = IndependenceEstimator(tiny_store)
+        query = chain_pattern([v("a"), 2, v("b"), 3, v("c")])
+        # 3 * 2 / 6 (shared ?b, domain 6 nodes) = 1.0
+        assert indep.estimate(query) == pytest.approx(1.0)
+
+    def test_zero_short_circuit(self, tiny_store):
+        indep = IndependenceEstimator(tiny_store)
+        query = star_pattern(v("x"), [(1, v("y")), (3, 9)])
+        assert indep.estimate(query) == 0.0
+
+    def test_underestimates_correlated_stars(self, lubm_store):
+        """The motivating failure: correlated predicates make the
+        independence estimate far too small on average."""
+        indep = IndependenceEstimator(lubm_store)
+        workload = generate_workload(lubm_store, "star", 2, 50, seed=53)
+        under = sum(
+            1
+            for r in workload
+            if indep.estimate(r.query) < r.cardinality
+        )
+        assert under > len(workload) / 2
+
+
+class TestMSCN:
+    def test_variant_names(self, lubm_store):
+        assert MSCN(lubm_store, 2, MSCNConfig(num_samples=0)).name == "mscn-0"
+        assert (
+            MSCN(lubm_store, 2, MSCNConfig(num_samples=1000)).name
+            == "mscn-1k"
+        )
+
+    def test_trains_and_estimates(self, lubm_store, training_records):
+        model = MSCN(
+            lubm_store, 2, MSCNConfig(num_samples=0, epochs=25, seed=0)
+        )
+        history = model.fit(training_records)
+        assert history[-1] < history[0]
+        estimate = model.estimate(training_records[0].query)
+        assert estimate >= 1.0
+
+    def test_accuracy_on_training_distribution(
+        self, lubm_store, training_records
+    ):
+        model = MSCN(
+            lubm_store, 2, MSCNConfig(num_samples=0, epochs=40, seed=0)
+        )
+        model.fit(training_records)
+        held_out = generate_workload(lubm_store, "star", 2, 60, seed=54)
+        errors = q_errors(
+            [model.estimate(r.query) for r in held_out],
+            held_out.cardinalities(),
+        )
+        assert np.exp(np.log(errors).mean()) < 8.0
+
+    def test_sample_bitmap_dimensions(self, lubm_store):
+        model = MSCN(lubm_store, 2, MSCNConfig(num_samples=64))
+        assert len(model._samples) == 64
+        assert model.element_width > MSCN(
+            lubm_store, 2, MSCNConfig(num_samples=0)
+        ).element_width
+
+    def test_bitmap_matches_semantics(self, lubm_store):
+        model = MSCN(lubm_store, 2, MSCNConfig(num_samples=32, seed=1))
+        s, p, o = model._samples[0]
+        features = model._pattern_features(TriplePattern(v("x"), p, v("y")))
+        bitmap = features[-32:]
+        assert bitmap[0] == 1.0  # the sample's own predicate matches
+
+    def test_oversized_query_rejected(self, lubm_store, training_records):
+        model = MSCN(
+            lubm_store, 2, MSCNConfig(num_samples=0, epochs=1, seed=0)
+        )
+        model.fit(training_records[:50])
+        big = star_pattern(v("x"), [(1, v("a")), (2, v("b")), (3, v("c"))])
+        with pytest.raises(ValueError):
+            model.estimate(big)
+
+    def test_estimate_before_fit_rejected(self, lubm_store):
+        model = MSCN(lubm_store, 2)
+        with pytest.raises(RuntimeError):
+            model.estimate(star_pattern(v("x"), [(1, v("y")), (2, v("z"))]))
+
+    def test_memory_includes_samples(self, lubm_store, training_records):
+        no_samples = MSCN(
+            lubm_store, 2, MSCNConfig(num_samples=0, epochs=1)
+        )
+        no_samples.fit(training_records[:50])
+        with_samples = MSCN(
+            lubm_store, 2, MSCNConfig(num_samples=128, epochs=1)
+        )
+        with_samples.fit(training_records[:50])
+        assert with_samples.memory_bytes() > no_samples.memory_bytes()

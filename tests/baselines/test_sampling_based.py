@@ -1,0 +1,127 @@
+"""Tests for the sampling baselines: WanderJoin, JSUB, Impr."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Impr, JSUB, WanderJoin
+from repro.baselines.wanderjoin import order_patterns
+from repro.core.metrics import q_errors
+from repro.rdf.pattern import chain_pattern, star_pattern
+from repro.rdf.terms import Variable
+from repro.sampling import generate_workload
+
+
+def v(name):
+    return Variable(name)
+
+
+@pytest.fixture(scope="module")
+def lubm_store():
+    from repro.datasets import load_dataset
+
+    return load_dataset("lubm", scale=0.5, seed=1)
+
+
+class TestOrderPatterns:
+    def test_most_selective_first(self, tiny_store):
+        query = star_pattern(v("x"), [(1, v("y")), (3, v("z"))])
+        ordered = order_patterns(tiny_store, query)
+        # p3 has 2 triples, p1 has 3 -> p3 first.
+        assert ordered[0].p == 3
+
+    def test_connectivity_maintained(self, tiny_store):
+        query = chain_pattern([v("a"), 1, v("b"), 2, v("c")])
+        ordered = order_patterns(tiny_store, query)
+        seen = set(ordered[0].variables)
+        for tp in ordered[1:]:
+            assert set(tp.variables) & seen
+            seen |= set(tp.variables)
+
+    def test_all_patterns_kept(self, tiny_store):
+        query = star_pattern(
+            v("x"), [(1, v("y")), (2, v("z")), (3, v("w"))]
+        )
+        assert len(order_patterns(tiny_store, query)) == 3
+
+
+class TestWanderJoin:
+    def test_unbiased_on_small_graph(self, tiny_store):
+        """With generous walk budget WJ converges to the true count."""
+        wj = WanderJoin(tiny_store, walks_per_run=400, runs=10, seed=0)
+        query = star_pattern(v("x"), [(1, v("y")), (2, 4)])
+        assert wj.estimate(query) == pytest.approx(3.0, rel=0.25)
+
+    def test_chain_estimate(self, tiny_store):
+        wj = WanderJoin(tiny_store, walks_per_run=400, runs=10, seed=1)
+        query = chain_pattern([v("a"), 2, v("b"), 3, v("c")])
+        assert wj.estimate(query) == pytest.approx(6.0, rel=0.25)
+
+    def test_zero_for_empty_result(self, tiny_store):
+        wj = WanderJoin(tiny_store, walks_per_run=50, runs=3, seed=2)
+        query = chain_pattern([v("a"), 3, v("b"), 1, v("c")])
+        assert wj.estimate(query) == 0.0
+
+    def test_accuracy_on_workload(self, lubm_store):
+        wj = WanderJoin(lubm_store, walks_per_run=60, runs=5, seed=3)
+        workload = generate_workload(lubm_store, "star", 2, 30, seed=41)
+        errors = q_errors(
+            [wj.estimate(r.query) for r in workload],
+            workload.cardinalities(),
+        )
+        assert np.exp(np.log(errors).mean()) < 4.0
+
+    def test_no_synopsis_memory(self, tiny_store):
+        assert WanderJoin(tiny_store).memory_bytes() == 0
+
+
+class TestJSUB:
+    def test_upper_bound_tendency(self, lubm_store):
+        """JSUB estimates sit at or above WJ estimates on average —
+        dead-ends contribute bounds instead of zeros."""
+        jsub = JSUB(lubm_store, walks_per_run=60, runs=5, seed=4)
+        wj = WanderJoin(lubm_store, walks_per_run=60, runs=5, seed=4)
+        workload = generate_workload(lubm_store, "chain", 3, 25, seed=42)
+        jsub_total = sum(jsub.estimate(r.query) for r in workload)
+        wj_total = sum(wj.estimate(r.query) for r in workload)
+        assert jsub_total >= wj_total
+
+    def test_exact_graph_unaffected(self, tiny_store):
+        jsub = JSUB(tiny_store, walks_per_run=400, runs=10, seed=5)
+        query = star_pattern(v("x"), [(1, v("y")), (2, 4)])
+        # All walks complete on this query, so JSUB == WJ behaviour.
+        assert jsub.estimate(query) == pytest.approx(3.0, rel=0.3)
+
+    def test_finite_on_workload(self, lubm_store):
+        jsub = JSUB(lubm_store, walks_per_run=30, runs=3, seed=6)
+        workload = generate_workload(lubm_store, "star", 3, 15, seed=43)
+        for record in workload:
+            assert np.isfinite(jsub.estimate(record.query))
+
+
+class TestImpr:
+    def test_unbiased_for_unlabelled_stars(self, tiny_store):
+        """With no bound terms, Impr's HT estimator targets the universe
+        of shape embeddings — compare against the exact star count."""
+        from repro.sampling import count_star_instances
+
+        impr = Impr(tiny_store, walks_per_run=500, runs=10, seed=7)
+        query = star_pattern(v("x"), [(v("p1"), v("y")), (v("p2"), v("z"))])
+        expected = count_star_instances(tiny_store, 2)
+        assert impr.estimate(query) == pytest.approx(expected, rel=0.3)
+
+    def test_selective_queries_degrade(self, lubm_store):
+        """Impr's known failure mode: bound terms rarely hit, estimates
+        collapse toward zero -> large q-errors (as in the paper)."""
+        impr = Impr(lubm_store, walks_per_run=30, runs=3, seed=8)
+        workload = generate_workload(lubm_store, "star", 2, 20, seed=44)
+        errors = q_errors(
+            [impr.estimate(r.query) for r in workload],
+            workload.cardinalities(),
+        )
+        assert np.exp(np.log(errors).mean()) > 1.5
+
+    def test_nonnegative(self, lubm_store):
+        impr = Impr(lubm_store, walks_per_run=20, runs=2, seed=9)
+        workload = generate_workload(lubm_store, "chain", 2, 10, seed=45)
+        for record in workload:
+            assert impr.estimate(record.query) >= 0.0

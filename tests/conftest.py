@@ -1,0 +1,65 @@
+"""Shared fixtures: small deterministic graphs and cached datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.rdf import TripleStore
+
+
+@pytest.fixture
+def tiny_store() -> TripleStore:
+    """A hand-built 8-triple graph with known counts.
+
+    Nodes 1..6, predicates 1..3::
+
+        1 -p1-> 2    1 -p1-> 3    1 -p2-> 4
+        2 -p1-> 3    2 -p2-> 4    3 -p2-> 4
+        4 -p3-> 5    4 -p3-> 6
+    """
+    store = TripleStore()
+    store.add_all(
+        [
+            (1, 1, 2),
+            (1, 1, 3),
+            (1, 2, 4),
+            (2, 1, 3),
+            (2, 2, 4),
+            (3, 2, 4),
+            (4, 3, 5),
+            (4, 3, 6),
+        ]
+    )
+    return store
+
+
+@pytest.fixture
+def books_store() -> TripleStore:
+    """The paper's running example (Fig. 2): books, authors, genres."""
+    return TripleStore.from_lexical(
+        [
+            ("TheShining", "hasAuthor", "StephenKing"),
+            ("TheShining", "genre", "Horror"),
+            ("IT", "hasAuthor", "StephenKing"),
+            ("IT", "genre", "Horror"),
+            ("StephenKing", "bornIn", "USA"),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def lubm_store() -> TripleStore:
+    """Shared small LUBM-like graph (memoised per session)."""
+    return load_dataset("lubm", scale=0.5, seed=1)
+
+
+@pytest.fixture(scope="session")
+def swdf_store() -> TripleStore:
+    return load_dataset("swdf", scale=0.5, seed=1)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

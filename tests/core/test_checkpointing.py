@@ -1,0 +1,96 @@
+"""Round-trip tests for LMKG-S and LMKG-U checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.core.lmkg_s import LMKGS, LMKGSConfig
+from repro.core.lmkg_u import LMKGU, LMKGUConfig
+from repro.sampling import generate_workload
+
+
+@pytest.fixture(scope="module")
+def lubm_store():
+    from repro.datasets import load_dataset
+
+    return load_dataset("lubm", scale=0.5, seed=1)
+
+
+@pytest.fixture(scope="module")
+def star_workload(lubm_store):
+    return generate_workload(lubm_store, "star", 2, 200, seed=70)
+
+
+class TestLMKGSCheckpoint:
+    def test_roundtrip_identical_estimates(
+        self, lubm_store, star_workload, tmp_path
+    ):
+        model = LMKGS(
+            lubm_store,
+            ["star"],
+            2,
+            LMKGSConfig(hidden_sizes=(32, 32), epochs=8),
+        )
+        model.fit(star_workload.records)
+        path = tmp_path / "lmkgs.npz"
+        model.save(path)
+        restored = LMKGS.load(path, lubm_store)
+        queries = [r.query for r in star_workload.records[:25]]
+        assert np.allclose(
+            model.estimate_batch(queries),
+            restored.estimate_batch(queries),
+        )
+
+    def test_metadata_restored(self, lubm_store, star_workload, tmp_path):
+        config = LMKGSConfig(
+            encoding="pattern",
+            term_encoding="binary",
+            hidden_sizes=(16,),
+            epochs=3,
+        )
+        model = LMKGS(lubm_store, ["star"], 2, config)
+        model.fit(star_workload.records[:100])
+        path = tmp_path / "p.npz"
+        model.save(path)
+        restored = LMKGS.load(path, lubm_store)
+        assert restored.config.encoding == "pattern"
+        assert restored.topologies == ("star",)
+        assert restored.max_size == 2
+        assert restored.scaler.span == pytest.approx(model.scaler.span)
+
+    def test_save_before_fit_rejected(self, lubm_store, tmp_path):
+        model = LMKGS(lubm_store, ["star"], 2)
+        with pytest.raises(RuntimeError):
+            model.save(tmp_path / "x.npz")
+
+
+class TestLMKGUCheckpoint:
+    def test_roundtrip_identical_estimates(
+        self, lubm_store, star_workload, tmp_path
+    ):
+        model = LMKGU(
+            lubm_store,
+            "star",
+            2,
+            LMKGUConfig(
+                hidden_sizes=(32, 32),
+                epochs=1,
+                training_samples=1_500,
+                particles=64,
+            ),
+        )
+        model.fit()
+        path = tmp_path / "lmkgu.npz"
+        model.save(path)
+        restored = LMKGU.load(path, lubm_store)
+        assert restored.universe == model.universe
+        assert restored.topology == "star"
+        assert restored.size == 2
+        for record in star_workload.records[:10]:
+            assert restored.estimate(record.query) == pytest.approx(
+                model.estimate(record.query)
+            )
+
+    def test_save_before_fit_rejected(self, lubm_store, tmp_path):
+        model = LMKGU(lubm_store, "star", 2)
+        with pytest.raises(RuntimeError):
+            model.save(tmp_path / "x.npz")

@@ -1,0 +1,174 @@
+"""Tests for the pattern-bound and SG query encodings."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoders import make_encoders
+from repro.core.pattern_bound import PatternBoundEncoder
+from repro.core.sg_encoding import SGEncoding
+from repro.rdf.pattern import chain_pattern, star_pattern
+from repro.rdf.terms import Variable
+
+
+def v(name):
+    return Variable(name)
+
+
+@pytest.fixture
+def encoders():
+    return make_encoders(31, 7, "binary")  # 5-bit nodes, 3-bit predicates
+
+
+class TestPatternBound:
+    def test_width_formula(self, encoders):
+        nodes, preds = encoders
+        enc = PatternBoundEncoder("star", 3, nodes, preds)
+        assert enc.width == 5 + 3 * (3 + 5)
+
+    def test_star_roundtrip_structure(self, encoders):
+        nodes, preds = encoders
+        enc = PatternBoundEncoder("star", 2, nodes, preds)
+        query = star_pattern(v("x"), [(1, 9), (2, v("y"))])
+        vec = enc.encode(query)
+        assert vec.shape == (enc.width,)
+        # Subject unbound -> first 5 bits zero.
+        assert np.all(vec[:5] == 0)
+
+    def test_triple_order_canonicalised(self, encoders):
+        nodes, preds = encoders
+        enc = PatternBoundEncoder("star", 2, nodes, preds)
+        q1 = star_pattern(v("x"), [(1, 9), (2, 11)])
+        q2 = star_pattern(v("x"), [(2, 11), (1, 9)])
+        assert np.array_equal(enc.encode(q1), enc.encode(q2))
+
+    def test_chain_preserves_walk_order(self, encoders):
+        nodes, preds = encoders
+        enc = PatternBoundEncoder("chain", 2, nodes, preds)
+        q1 = chain_pattern([v("a"), 1, v("b"), 2, v("c")])
+        q2 = chain_pattern([v("a"), 2, v("b"), 1, v("c")])
+        assert not np.array_equal(enc.encode(q1), enc.encode(q2))
+
+    def test_smaller_query_padded(self, encoders):
+        nodes, preds = encoders
+        enc = PatternBoundEncoder("star", 4, nodes, preds)
+        query = star_pattern(v("x"), [(1, 9), (2, 11)])
+        vec = enc.encode(query)
+        pad = 2 * (3 + 5)
+        assert np.all(vec[-pad:] == 0)
+
+    def test_oversized_query_rejected(self, encoders):
+        nodes, preds = encoders
+        enc = PatternBoundEncoder("star", 2, nodes, preds)
+        query = star_pattern(
+            v("x"), [(1, v("a")), (2, v("b")), (3, v("c"))]
+        )
+        with pytest.raises(ValueError):
+            enc.encode(query)
+
+    def test_wrong_topology_rejected(self, encoders):
+        nodes, preds = encoders
+        enc = PatternBoundEncoder("star", 3, nodes, preds)
+        with pytest.raises(ValueError):
+            enc.encode(chain_pattern([v("a"), 1, v("b"), 2, v("c")]))
+
+    def test_distinct_queries_distinct_vectors(self, encoders):
+        nodes, preds = encoders
+        enc = PatternBoundEncoder("star", 2, nodes, preds)
+        q1 = star_pattern(v("x"), [(1, 9), (2, 11)])
+        q2 = star_pattern(v("x"), [(1, 9), (2, 12)])
+        q3 = star_pattern(v("x"), [(1, 9), (2, v("y"))])
+        vecs = [enc.encode(q) for q in (q1, q2, q3)]
+        assert not np.array_equal(vecs[0], vecs[1])
+        assert not np.array_equal(vecs[0], vecs[2])
+
+    def test_batch_shape(self, encoders):
+        nodes, preds = encoders
+        enc = PatternBoundEncoder("star", 2, nodes, preds)
+        queries = [
+            star_pattern(v("x"), [(1, 9), (2, 11)]),
+            star_pattern(v("x"), [(1, v("y")), (2, 11)]),
+        ]
+        assert enc.encode_batch(queries).shape == (2, enc.width)
+
+
+class TestSGEncoding:
+    def test_width_components(self, encoders):
+        nodes, preds = encoders
+        enc = SGEncoding(3, 2, nodes, preds)
+        assert enc.a_width == 3 * 3 * 2
+        assert enc.x_width == 3 * 5
+        assert enc.e_width == 2 * 3
+        assert enc.width == enc.a_width + enc.x_width + enc.e_width
+
+    def test_for_query_size(self, encoders):
+        nodes, preds = encoders
+        enc = SGEncoding.for_query_size(3, nodes, preds)
+        assert enc.max_nodes == 4
+        assert enc.max_edges == 3
+
+    def test_paper_figure2_star(self, encoders):
+        """The Fig. 2 example: ?Book :hasAuthor :StephenKing ;
+        :genre :Horror — A has edges node0->node1 (edge 0) and
+        node0->node2 (edge 1)."""
+        nodes, preds = encoders
+        enc = SGEncoding(3, 2, nodes, preds)
+        query = star_pattern(v("book"), [(3, 1), (2, 4)])
+        a, x, e = enc.components(query)
+        assert a[0, 1, 0] == 1.0  # first edge: centre -> first object
+        assert a[0, 2, 1] == 1.0  # second edge: centre -> second object
+        assert a.sum() == 2.0
+        # Node 0 is the unbound book -> zero row in X.
+        assert np.all(x[0] == 0)
+
+    def test_star_and_chain_distinguished_by_a(self, encoders):
+        """The adjacency tensor separates topologies even when terms
+        coincide — the core claim of the SG-Encoding."""
+        nodes, preds = encoders
+        enc = SGEncoding(3, 2, nodes, preds)
+        star = star_pattern(v("x"), [(1, v("y")), (2, v("z"))])
+        chain = chain_pattern([v("x"), 1, v("y"), 2, v("z")])
+        a_star, _, e_star = enc.components(star)
+        a_chain, _, e_chain = enc.components(chain)
+        assert np.array_equal(e_star, e_chain)
+        assert not np.array_equal(a_star, a_chain)
+
+    def test_chain_adjacency_path(self, encoders):
+        nodes, preds = encoders
+        enc = SGEncoding(3, 2, nodes, preds)
+        chain = chain_pattern([v("a"), 1, v("b"), 2, v("c")])
+        a, _, _ = enc.components(chain)
+        assert a[0, 1, 0] == 1.0
+        assert a[1, 2, 1] == 1.0
+
+    def test_too_many_nodes_rejected(self, encoders):
+        nodes, preds = encoders
+        enc = SGEncoding(2, 2, nodes, preds)
+        with pytest.raises(ValueError):
+            enc.encode(star_pattern(v("x"), [(1, v("y")), (2, v("z"))]))
+
+    def test_too_many_edges_rejected(self, encoders):
+        nodes, preds = encoders
+        enc = SGEncoding(4, 1, nodes, preds)
+        with pytest.raises(ValueError):
+            enc.encode(star_pattern(v("x"), [(1, v("y")), (2, v("z"))]))
+
+    def test_flatten_consistent_with_components(self, encoders):
+        nodes, preds = encoders
+        enc = SGEncoding(3, 2, nodes, preds)
+        query = star_pattern(v("x"), [(1, 9), (2, v("y"))])
+        a, x, e = enc.components(query)
+        flat = enc.encode(query)
+        assert np.array_equal(
+            flat, np.concatenate([a.ravel(), x.ravel(), e.ravel()])
+        )
+
+    def test_self_loop_representable(self, encoders):
+        """(?x, p, ?x) — a self-join the one-hot-free encodings support."""
+        from repro.rdf.pattern import QueryPattern
+        from repro.rdf.terms import TriplePattern
+
+        nodes, preds = encoders
+        enc = SGEncoding(3, 2, nodes, preds)
+        query = QueryPattern([TriplePattern(v("x"), 1, v("x"))])
+        a, _, _ = enc.components(query)
+        assert a[0, 0, 0] == 1.0

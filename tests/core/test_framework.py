@@ -1,0 +1,132 @@
+"""Tests for the LMKG framework façade: grouping, routing, decomposition."""
+
+import pytest
+
+from repro.core.framework import LMKG, EstimationError
+from repro.core.lmkg_s import LMKGSConfig
+from repro.core.lmkg_u import LMKGUConfig
+from repro.rdf.pattern import QueryPattern, chain_pattern, star_pattern
+from repro.rdf.terms import TriplePattern, Variable
+from repro.sampling import generate_workload
+
+FAST_S = LMKGSConfig(hidden_sizes=(32, 32), epochs=15, seed=0)
+FAST_U = LMKGUConfig(
+    embed_dim=8,
+    hidden_sizes=(32, 32),
+    epochs=2,
+    training_samples=2_000,
+    particles=64,
+    seed=0,
+)
+
+
+def v(name):
+    return Variable(name)
+
+
+@pytest.fixture(scope="module")
+def lubm_store():
+    from repro.datasets import load_dataset
+
+    return load_dataset("lubm", scale=0.5, seed=1)
+
+
+@pytest.fixture(scope="module")
+def supervised(lubm_store):
+    framework = LMKG(
+        lubm_store,
+        model_type="supervised",
+        grouping="size",
+        lmkgs_config=FAST_S,
+    )
+    framework.fit(
+        shapes=[("star", 2), ("chain", 2)], queries_per_shape=250
+    )
+    return framework
+
+
+class TestConstruction:
+    def test_unknown_model_type(self, lubm_store):
+        with pytest.raises(ValueError):
+            LMKG(lubm_store, model_type="semi-supervised")
+
+    def test_unsupervised_forces_specialized(self, lubm_store):
+        framework = LMKG(
+            lubm_store, model_type="unsupervised", grouping="single"
+        )
+        assert framework.grouping.name == "specialized"
+
+    def test_grouping_by_name_or_instance(self, lubm_store):
+        from repro.core.grouping import TypeGrouping
+
+        by_name = LMKG(lubm_store, grouping="type")
+        by_instance = LMKG(lubm_store, grouping=TypeGrouping())
+        assert by_name.grouping.name == by_instance.grouping.name
+
+
+class TestCreationPhase:
+    def test_report_lists_models(self, supervised):
+        assert supervised.num_models() >= 1
+        assert supervised.memory_bytes() > 0
+
+    def test_workload_override(self, lubm_store):
+        workload = generate_workload(lubm_store, "star", 2, 150, seed=42)
+        framework = LMKG(
+            lubm_store, grouping="specialized", lmkgs_config=FAST_S
+        )
+        report = framework.fit(
+            shapes=[("star", 2)], workload=workload.records
+        )
+        assert report.training_records[("star", 2)] == len(workload)
+
+    def test_unsupervised_creation(self, lubm_store):
+        framework = LMKG(
+            lubm_store, model_type="unsupervised", lmkgu_config=FAST_U
+        )
+        report = framework.fit(shapes=[("star", 2)])
+        assert ("star", 2) in report.model_keys
+
+
+class TestExecutionPhase:
+    def test_star_and_chain_routed(self, supervised, lubm_store):
+        star = generate_workload(lubm_store, "star", 2, 5, seed=9)
+        chain = generate_workload(lubm_store, "chain", 2, 5, seed=9)
+        for record in list(star) + list(chain):
+            assert supervised.estimate(record.query) >= 0.0
+
+    def test_single_triple_exact(self, supervised, lubm_store):
+        tp = next(iter(lubm_store))
+        query = QueryPattern([TriplePattern(tp[0], tp[1], v("o"))])
+        expected = lubm_store.count_pattern(query.triples[0])
+        assert supervised.estimate(query) == float(expected)
+
+    def test_missing_model_raises(self, supervised):
+        big = star_pattern(
+            v("x"), [(1, v(f"y{i}")) for i in range(8)]
+        )
+        with pytest.raises(EstimationError):
+            supervised.estimate(big)
+
+    def test_composite_query_decomposed(self, supervised, lubm_store):
+        """star + tail composite routes through decomposition and the
+        single-triple exact path."""
+        star = generate_workload(lubm_store, "star", 2, 10, seed=30)
+        record = star.records[0]
+        tail_var = record.query.variables[-1]
+        composite = QueryPattern(
+            list(record.query.triples)
+            + [TriplePattern(tail_var, 1, v("tail"))]
+        )
+        estimate = supervised.estimate(composite)
+        assert estimate >= 0.0
+
+    def test_unsupervised_size_pinned(self, lubm_store):
+        framework = LMKG(
+            lubm_store, model_type="unsupervised", lmkgu_config=FAST_U
+        )
+        framework.fit(shapes=[("star", 2)])
+        query3 = star_pattern(
+            v("x"), [(1, v("a")), (2, v("b")), (3, v("c"))]
+        )
+        with pytest.raises(EstimationError):
+            framework.estimate(query3)

@@ -1,0 +1,88 @@
+"""Tests for model grouping strategies."""
+
+import pytest
+
+from repro.core.grouping import (
+    SingleGrouping,
+    SizeGrouping,
+    SpecializedGrouping,
+    TypeGrouping,
+    group_extent,
+    make_grouping,
+)
+from repro.rdf.pattern import star_pattern
+from repro.rdf.terms import Variable
+from repro.sampling.workload import QueryRecord
+
+
+def record(topology, size, card=10):
+    query = star_pattern(
+        Variable("x"), [(1, Variable(f"y{i}")) for i in range(size)]
+    )
+    return QueryRecord(query, topology, size, card)
+
+
+class TestKeys:
+    def test_specialized(self):
+        g = SpecializedGrouping()
+        assert g.key("star", 2) == ("star", 2)
+        assert g.key("star", 2) != g.key("star", 3)
+        assert g.key("star", 2) != g.key("chain", 2)
+
+    def test_type(self):
+        g = TypeGrouping()
+        assert g.key("star", 2) == g.key("star", 8)
+        assert g.key("star", 2) != g.key("chain", 2)
+
+    def test_size(self):
+        g = SizeGrouping(boundaries=(4,))
+        assert g.key("star", 2) == g.key("chain", 4)
+        assert g.key("star", 5) == g.key("chain", 8)
+        assert g.key("star", 4) != g.key("star", 5)
+
+    def test_size_multiple_boundaries(self):
+        g = SizeGrouping(boundaries=(2, 5))
+        assert g.key("star", 2) == "size<=2"
+        assert g.key("star", 4) == "size<=5"
+        assert g.key("star", 9) == "size>5"
+
+    def test_single(self):
+        g = SingleGrouping()
+        assert g.key("star", 2) == g.key("chain", 8)
+
+    def test_empty_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            SizeGrouping(boundaries=())
+
+
+class TestPartition:
+    def test_specialized_partition(self):
+        records = [record("star", 2), record("star", 3), record("chain", 2)]
+        groups = SpecializedGrouping().partition(records)
+        assert len(groups) == 3
+
+    def test_single_partition(self):
+        records = [record("star", 2), record("chain", 5)]
+        groups = SingleGrouping().partition(records)
+        assert len(groups) == 1
+        assert len(groups["all"]) == 2
+
+    def test_size_partition(self):
+        records = [record("star", 2), record("chain", 3), record("star", 8)]
+        groups = SizeGrouping(boundaries=(4,)).partition(records)
+        assert len(groups["size<=4"]) == 2
+        assert len(groups["size>4"]) == 1
+
+
+class TestHelpers:
+    def test_factory(self):
+        assert isinstance(make_grouping("type"), TypeGrouping)
+        assert make_grouping("size", boundaries=(3,)).boundaries == (3,)
+        with pytest.raises(KeyError):
+            make_grouping("galactic")
+
+    def test_group_extent(self):
+        records = [record("star", 2), record("chain", 5)]
+        topologies, max_size = group_extent(records)
+        assert topologies == ["chain", "star"]
+        assert max_size == 5

@@ -1,0 +1,148 @@
+"""Tests for the supervised estimator LMKG-S."""
+
+import numpy as np
+import pytest
+
+from repro.core.lmkg_s import LMKGS, LMKGSConfig
+from repro.core.metrics import q_errors
+from repro.sampling import generate_workload
+
+FAST = LMKGSConfig(hidden_sizes=(64, 64), epochs=30, seed=0)
+
+
+@pytest.fixture(scope="module")
+def star_workload(lubm_store):
+    return generate_workload(lubm_store, "star", 2, 400, seed=10)
+
+
+@pytest.fixture(scope="module")
+def trained_model(lubm_store, star_workload):
+    model = LMKGS(lubm_store, ["star"], 2, FAST)
+    model.fit(star_workload.records)
+    return model
+
+
+# Module-scoped store fixture mirrors: redeclare as module fixtures.
+@pytest.fixture(scope="module")
+def lubm_store():
+    from repro.datasets import load_dataset
+
+    return load_dataset("lubm", scale=0.5, seed=1)
+
+
+class TestConfiguration:
+    def test_pattern_encoding_needs_single_topology(self, lubm_store):
+        with pytest.raises(ValueError):
+            LMKGS(
+                lubm_store,
+                ["star", "chain"],
+                2,
+                LMKGSConfig(encoding="pattern"),
+            )
+
+    def test_unknown_encoding_rejected(self, lubm_store):
+        with pytest.raises(ValueError):
+            LMKGS(lubm_store, ["star"], 2, LMKGSConfig(encoding="onehot2"))
+
+    def test_unknown_loss_rejected(self, lubm_store, star_workload):
+        model = LMKGS(
+            lubm_store, ["star"], 2, LMKGSConfig(loss="hinge", epochs=1)
+        )
+        with pytest.raises(ValueError):
+            model.fit(star_workload.records[:10])
+
+    def test_empty_workload_rejected(self, lubm_store):
+        model = LMKGS(lubm_store, ["star"], 2, FAST)
+        with pytest.raises(ValueError):
+            model.fit([])
+
+    def test_estimate_before_fit_rejected(self, lubm_store):
+        model = LMKGS(lubm_store, ["star"], 2, FAST)
+        with pytest.raises(RuntimeError):
+            model.estimate(None)
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained_model):
+        losses = trained_model.history.losses
+        assert losses[-1] < losses[0]
+
+    def test_training_accuracy_reasonable(
+        self, trained_model, star_workload
+    ):
+        queries = [r.query for r in star_workload.records]
+        cards = star_workload.cardinalities()
+        estimates = trained_model.estimate_batch(queries)
+        errors = q_errors(estimates, cards)
+        assert np.exp(np.log(errors).mean()) < 3.0
+
+    def test_generalisation(self, lubm_store, trained_model):
+        held_out = generate_workload(lubm_store, "star", 2, 100, seed=77)
+        estimates = trained_model.estimate_batch(
+            [r.query for r in held_out.records]
+        )
+        errors = q_errors(estimates, held_out.cardinalities())
+        # Held-out geometric-mean q-error must beat a factor-10 guesser.
+        assert np.exp(np.log(errors).mean()) < 10.0
+
+    def test_estimates_positive(self, trained_model, star_workload):
+        estimates = trained_model.estimate_batch(
+            [r.query for r in star_workload.records[:20]]
+        )
+        assert np.all(estimates >= 1.0)
+
+    def test_deterministic_given_seed(self, lubm_store, star_workload):
+        records = star_workload.records[:100]
+        a = LMKGS(lubm_store, ["star"], 2, FAST)
+        a.fit(records)
+        b = LMKGS(lubm_store, ["star"], 2, FAST)
+        b.fit(records)
+        q = records[0].query
+        assert a.estimate(q) == b.estimate(q)
+
+
+class TestEncodingVariants:
+    @pytest.mark.parametrize("encoding", ["sg", "pattern"])
+    def test_both_encodings_train(
+        self, lubm_store, star_workload, encoding
+    ):
+        config = LMKGSConfig(
+            encoding=encoding, hidden_sizes=(32,), epochs=10
+        )
+        model = LMKGS(lubm_store, ["star"], 2, config)
+        model.fit(star_workload.records[:150])
+        estimate = model.estimate(star_workload.records[0].query)
+        assert estimate >= 1.0
+
+    def test_mixed_topology_model_with_sg(self, lubm_store):
+        star = generate_workload(lubm_store, "star", 2, 150, seed=1)
+        chain = generate_workload(lubm_store, "chain", 2, 150, seed=2)
+        model = LMKGS(lubm_store, ["star", "chain"], 2, FAST)
+        model.fit(star.records + chain.records)
+        assert model.estimate(star.records[0].query) >= 1.0
+        assert model.estimate(chain.records[0].query) >= 1.0
+
+    def test_grouped_model_handles_smaller_sizes(self, lubm_store):
+        size2 = generate_workload(lubm_store, "star", 2, 120, seed=3)
+        size3 = generate_workload(lubm_store, "star", 3, 120, seed=4)
+        model = LMKGS(lubm_store, ["star"], 3, FAST)
+        model.fit(size2.records + size3.records)
+        assert model.estimate(size2.records[0].query) >= 1.0
+
+
+class TestIntrospection:
+    def test_memory_accounting(self, trained_model):
+        assert (
+            trained_model.memory_bytes()
+            == trained_model.num_parameters() * 4
+        )
+
+    def test_input_width_matches_encoder(self, trained_model):
+        features = trained_model.featurize(
+            [
+                generate_workload(
+                    trained_model.store, "star", 2, 1, seed=9
+                ).records[0].query
+            ]
+        )
+        assert features.shape[1] == trained_model.input_width

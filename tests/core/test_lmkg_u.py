@@ -1,0 +1,128 @@
+"""Tests for the unsupervised autoregressive estimator LMKG-U."""
+
+import numpy as np
+import pytest
+
+from repro.core.lmkg_u import LMKGU, LMKGUConfig
+from repro.core.metrics import q_errors
+from repro.rdf.pattern import QueryPattern, chain_pattern, star_pattern
+from repro.rdf.terms import TriplePattern, Variable
+from repro.sampling import generate_workload
+
+FAST = LMKGUConfig(
+    embed_dim=16,
+    hidden_sizes=(64, 64),
+    epochs=6,
+    training_samples=6_000,
+    particles=128,
+    seed=0,
+)
+
+
+def v(name):
+    return Variable(name)
+
+
+@pytest.fixture(scope="module")
+def lubm_store():
+    from repro.datasets import load_dataset
+
+    return load_dataset("lubm", scale=0.5, seed=1)
+
+
+@pytest.fixture(scope="module")
+def star_model(lubm_store):
+    model = LMKGU(lubm_store, "star", 2, FAST)
+    model.fit()
+    return model
+
+
+@pytest.fixture(scope="module")
+def chain_model(lubm_store):
+    model = LMKGU(lubm_store, "chain", 2, FAST)
+    model.fit()
+    return model
+
+
+class TestConfiguration:
+    def test_unknown_topology_rejected(self, lubm_store):
+        with pytest.raises(ValueError):
+            LMKGU(lubm_store, "clique", 2)
+
+    def test_estimate_before_fit_rejected(self, lubm_store):
+        model = LMKGU(lubm_store, "star", 2, FAST)
+        with pytest.raises(RuntimeError):
+            model.estimate(star_pattern(v("x"), [(1, v("a")), (2, v("b"))]))
+
+    def test_size_mismatch_rejected(self, star_model):
+        with pytest.raises(ValueError):
+            star_model.estimate(star_pattern(v("x"), [(1, v("a"))]))
+
+    def test_wrong_topology_rejected(self, star_model):
+        with pytest.raises(ValueError):
+            star_model.estimate(
+                chain_pattern([v("a"), 1, v("b"), 2, v("c")])
+            )
+
+    def test_extra_variable_sharing_rejected(self, star_model):
+        query = star_pattern(v("x"), [(1, v("y")), (2, v("y"))])
+        with pytest.raises(ValueError):
+            star_model.estimate(query)
+
+
+class TestTraining:
+    def test_nll_decreases(self, star_model):
+        assert star_model.history[-1] < star_model.history[0]
+
+    def test_universe_is_exact(self, star_model, lubm_store):
+        from repro.sampling import count_star_instances
+
+        assert star_model.universe == count_star_instances(lubm_store, 2)
+
+
+class TestEstimationAccuracy:
+    def test_star_accuracy(self, star_model, lubm_store):
+        workload = generate_workload(lubm_store, "star", 2, 80, seed=21)
+        estimates = [star_model.estimate(r.query) for r in workload]
+        errors = q_errors(estimates, workload.cardinalities())
+        assert np.exp(np.log(errors).mean()) < 6.0
+
+    def test_chain_accuracy(self, chain_model, lubm_store):
+        workload = generate_workload(lubm_store, "chain", 2, 80, seed=22)
+        estimates = [chain_model.estimate(r.query) for r in workload]
+        errors = q_errors(estimates, workload.cardinalities())
+        assert np.exp(np.log(errors).mean()) < 6.0
+
+    def test_fully_bound_probability_path(self, star_model, lubm_store):
+        """A fully bound query takes the deterministic (1-particle) path
+        and still lands near the true count."""
+        from repro.sampling import StarSampler
+
+        instance = StarSampler(lubm_store, 2, seed=3).sample()
+        s, p1, o1, p2, o2 = instance
+        query = QueryPattern(
+            [TriplePattern(s, p1, o1), TriplePattern(s, p2, o2)]
+        )
+        estimate = star_model.estimate(query)
+        assert estimate >= 0.0
+        assert np.isfinite(estimate)
+
+    def test_estimates_nonnegative_and_finite(self, star_model, lubm_store):
+        workload = generate_workload(lubm_store, "star", 2, 30, seed=23)
+        for record in workload:
+            estimate = star_model.estimate(record.query)
+            assert estimate >= 0.0
+            assert np.isfinite(estimate)
+
+
+class TestIntrospection:
+    def test_memory_accounting(self, star_model):
+        assert star_model.memory_bytes() == star_model.num_parameters() * 4
+
+    def test_log_likelihood_diagnostic(self, star_model, lubm_store):
+        from repro.sampling import sample_instances
+
+        instances, _ = sample_instances(lubm_store, "star", 2, 50, seed=5)
+        ll = star_model.log_likelihood(np.array(instances))
+        assert np.isfinite(ll)
+        assert ll < 0.0

@@ -1,0 +1,61 @@
+"""Tests for the q-error metric and summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import q_error, q_errors, summarize
+
+
+class TestQError:
+    def test_perfect_estimate(self):
+        assert q_error(100, 100) == 1.0
+
+    def test_symmetric(self):
+        assert q_error(10, 100) == q_error(100, 10) == 10.0
+
+    def test_clamps_below_one(self):
+        # An estimator answering 0 is scored as answering 1.
+        assert q_error(0, 50) == 50.0
+        assert q_error(0.2, 50) == 50.0
+
+    def test_minimum_is_one(self):
+        assert q_error(3, 3) >= 1.0
+
+    @given(
+        st.floats(1, 1e9),
+        st.floats(1, 1e9),
+    )
+    @settings(max_examples=60)
+    def test_always_at_least_one(self, est, tru):
+        assert q_error(est, tru) >= 1.0
+
+
+class TestQErrors:
+    def test_vectorised(self):
+        errors = q_errors([1, 10, 100], [1, 100, 10])
+        assert np.allclose(errors, [1, 10, 10])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            q_errors([1, 2], [1])
+
+
+class TestSummarize:
+    def test_known_aggregates(self):
+        summary = summarize([1, 1, 1, 1], [1, 2, 4, 8])
+        assert summary.count == 4
+        assert summary.max == 8.0
+        assert np.isclose(summary.mean, (1 + 2 + 4 + 8) / 4)
+        assert np.isclose(summary.geometric_mean, (1 * 2 * 4 * 8) ** 0.25)
+        assert np.isclose(summary.median, 3.0)
+
+    def test_empty_summary_is_nan(self):
+        summary = summarize([], [])
+        assert summary.count == 0
+        assert np.isnan(summary.mean)
+
+    def test_row_renders(self):
+        row = summarize([2], [4]).row()
+        assert "mean" in row and "max" in row

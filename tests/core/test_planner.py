@@ -1,0 +1,121 @@
+"""Tests for the workload-driven model planner (§IV)."""
+
+import pytest
+
+from repro.core.planner import (
+    ModelPlanner,
+    WorkloadProfile,
+    project_lmkgs_bytes,
+)
+from repro.rdf.pattern import star_pattern
+from repro.rdf.terms import Variable
+from repro.sampling.workload import QueryRecord
+
+
+def v(name):
+    return Variable(name)
+
+
+def record(topology, size):
+    query = star_pattern(
+        v("x"), [(1, v(f"y{i}")) for i in range(size)]
+    )
+    return QueryRecord(query, topology, size, 10)
+
+
+def skewed_workload():
+    """70% star:2, 20% chain:2, 10% star:5."""
+    return (
+        [record("star", 2)] * 70
+        + [record("chain", 2)] * 20
+        + [record("star", 5)] * 10
+    )
+
+
+class TestWorkloadProfile:
+    def test_shares_sum_to_one(self):
+        profile = WorkloadProfile.from_records(skewed_workload())
+        assert sum(profile.shares.values()) == pytest.approx(1.0)
+        assert profile.shares[("star", 2)] == pytest.approx(0.7)
+
+    def test_hot_shapes_ordered(self):
+        profile = WorkloadProfile.from_records(skewed_workload())
+        hot = profile.hot_shapes(threshold=0.15)
+        assert hot == [("star", 2), ("chain", 2)]
+
+
+class TestProjection:
+    def test_grows_with_size(self, tiny_store):
+        small = project_lmkgs_bytes(tiny_store, 2)
+        large = project_lmkgs_bytes(tiny_store, 8)
+        assert large > small
+
+    def test_matches_real_model(self, lubm_store):
+        """The projection must equal the built model's footprint."""
+        from repro.core.lmkg_s import LMKGS, LMKGSConfig
+        from repro.sampling import generate_workload
+
+        workload = generate_workload(lubm_store, "star", 2, 60, seed=8)
+        model = LMKGS(
+            lubm_store,
+            ["star"],
+            2,
+            LMKGSConfig(hidden_sizes=(64, 64), epochs=1),
+        )
+        model.fit(workload.records)
+        projected = project_lmkgs_bytes(
+            lubm_store, 2, hidden_sizes=(64, 64)
+        )
+        assert projected == model.memory_bytes()
+
+
+class TestPlanner:
+    def test_unlimited_budget_specialises_hot_shapes(self, lubm_store):
+        planner = ModelPlanner(lubm_store, hot_threshold=0.15)
+        plan = planner.plan(skewed_workload())
+        groupings = [m.grouping for m in plan.models]
+        # star:2 and chain:2 clear the 15% bar; star:5 lands in the
+        # grouped fallback model.
+        assert groupings.count("specialized") == 2
+        assert groupings.count("size") == 1
+        assert plan.uncovered == pytest.approx(0.0)
+        assert plan.coverage == pytest.approx(1.0)
+
+    def test_tiny_budget_falls_back_to_grouped(self, lubm_store):
+        planner = ModelPlanner(lubm_store, hidden_sizes=(64, 64))
+        one_model = project_lmkgs_bytes(
+            lubm_store, 5, hidden_sizes=(64, 64)
+        )
+        plan = planner.plan(skewed_workload(), budget_bytes=one_model)
+        # Not enough budget for specialised models plus the grouped one;
+        # everything must fit within the cap.
+        assert plan.total_bytes <= one_model
+
+    def test_zero_budget_covers_nothing(self, lubm_store):
+        planner = ModelPlanner(lubm_store)
+        plan = planner.plan(skewed_workload(), budget_bytes=0)
+        assert not plan.models
+        assert plan.uncovered == pytest.approx(1.0)
+
+    def test_empty_workload_rejected(self, lubm_store):
+        with pytest.raises(ValueError):
+            ModelPlanner(lubm_store).plan([])
+
+    def test_plan_shapes_feed_framework(self, lubm_store):
+        """End-to-end: plan -> fit the planned shapes -> estimate."""
+        from repro.core.framework import LMKG
+        from repro.core.lmkg_s import LMKGSConfig
+        from repro.sampling import generate_workload
+
+        workload = (
+            generate_workload(lubm_store, "star", 2, 80, seed=9).records
+            + generate_workload(lubm_store, "chain", 2, 20, seed=10).records
+        )
+        plan = ModelPlanner(lubm_store).plan(workload)
+        framework = LMKG(
+            lubm_store,
+            grouping="specialized",
+            lmkgs_config=LMKGSConfig(hidden_sizes=(32,), epochs=5),
+        )
+        framework.fit(shapes=plan.shapes(), workload=workload)
+        assert framework.estimate(workload[0].query) >= 0.0

@@ -1,0 +1,185 @@
+"""End-to-end integration: the full pipeline on a real dataset, plus
+shape-level checks of the paper's headline claims at test scale."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    LMKG,
+    LMKGSConfig,
+    LMKGUConfig,
+    load_dataset,
+    summarize,
+)
+from repro.baselines import (
+    CharacteristicSets,
+    IndependenceEstimator,
+    WanderJoin,
+)
+from repro.core.metrics import q_errors
+from repro.rdf import count_bgp, format_sparql, parse_sparql
+from repro.sampling import generate_test_queries, generate_workload
+
+
+@pytest.fixture(scope="module")
+def store():
+    return load_dataset("lubm", scale=0.5, seed=1)
+
+
+@pytest.fixture(scope="module")
+def supervised(store):
+    framework = LMKG(
+        store,
+        model_type="supervised",
+        grouping="size",
+        lmkgs_config=LMKGSConfig(hidden_sizes=(128, 128), epochs=40, seed=0),
+    )
+    framework.fit(
+        shapes=[("star", 2), ("star", 3), ("chain", 2), ("chain", 3)],
+        queries_per_shape=400,
+    )
+    return framework
+
+
+@pytest.fixture(scope="module")
+def test_queries(store):
+    return {
+        ("star", 2): generate_test_queries(store, "star", 2, 8, seed=91),
+        ("chain", 2): generate_test_queries(store, "chain", 2, 8, seed=92),
+        ("star", 3): generate_test_queries(store, "star", 3, 8, seed=93),
+    }
+
+
+class TestFullPipeline:
+    def test_estimates_entire_test_set(self, supervised, test_queries):
+        for workload in test_queries.values():
+            for record in workload:
+                estimate = supervised.estimate(record.query)
+                assert np.isfinite(estimate)
+                assert estimate >= 0.0
+
+    def test_accuracy_across_shapes(self, supervised, test_queries):
+        for (topology, size), workload in test_queries.items():
+            estimates = [supervised.estimate(r.query) for r in workload]
+            summary = summarize(estimates, workload.cardinalities())
+            assert summary.geometric_mean < 12.0, (topology, size)
+
+    def test_sparql_text_to_estimate(self, store, supervised):
+        """Text query -> parse -> estimate -> compare to exact count."""
+        d = store.dictionary
+        advisor = "ub:advisor"
+        takes = "ub:takesCourse"
+        text = (
+            f"SELECT ?x WHERE {{ ?x <{advisor}> ?y . "
+            f"?x <{takes}> ?z . }}"
+        )
+        query = parse_sparql(text, d)
+        truth = count_bgp(store, query)
+        estimate = supervised.estimate(query)
+        assert truth > 0
+        assert max(estimate, 1) / truth < 60
+        assert truth / max(estimate, 1) < 60
+        # And back to text.
+        assert "SELECT" in format_sparql(query, d)
+
+
+class TestPaperClaims:
+    """Shape-level versions of the paper's headline comparisons."""
+
+    def test_lmkgs_beats_independence(self, store, supervised):
+        """Claim (§I): correlation-aware learned estimates beat the
+        independence assumption on star queries."""
+        indep = IndependenceEstimator(store)
+        workload = generate_workload(store, "star", 2, 80, seed=95)
+        cards = workload.cardinalities()
+        lmkg_err = q_errors(
+            [supervised.estimate(r.query) for r in workload], cards
+        )
+        indep_err = q_errors(
+            [indep.estimate(r.query) for r in workload], cards
+        )
+        assert np.exp(np.log(lmkg_err).mean()) < np.exp(
+            np.log(indep_err).mean()
+        )
+
+    def test_lmkgs_stable_across_sizes(self, store, supervised):
+        """Claim (Fig. 8): LMKG-S accuracy does not collapse as the join
+        count grows (unlike the sampling competitors)."""
+        g2 = summarize(
+            *self._est(supervised, store, "star", 2)
+        ).geometric_mean
+        g3 = summarize(
+            *self._est(supervised, store, "star", 3)
+        ).geometric_mean
+        assert g3 < 10 * max(g2, 1.0)
+
+    @staticmethod
+    def _est(framework, store, topology, size):
+        workload = generate_workload(store, topology, size, 50, seed=97)
+        estimates = [framework.estimate(r.query) for r in workload]
+        return estimates, workload.cardinalities()
+
+    def test_wj_degrades_with_query_size_lmkgs_does_not(
+        self, store, supervised
+    ):
+        """Claim (Fig. 8): WJ's walks dead-end more often on longer
+        chains, while LMKG-S stays flat.  Compare failure rates."""
+        wj = WanderJoin(store, walks_per_run=30, runs=3, seed=0)
+        small = generate_workload(store, "chain", 2, 25, seed=98)
+        large = generate_workload(store, "chain", 3, 25, seed=99)
+        zero_small = sum(
+            1 for r in small if wj.estimate(r.query) == 0.0
+        )
+        zero_large = sum(
+            1 for r in large if wj.estimate(r.query) == 0.0
+        )
+        assert zero_large >= zero_small
+        # LMKG-S never returns a hard zero.
+        assert all(
+            supervised.estimate(r.query) > 0.0 for r in large
+        )
+
+    def test_cset_strong_on_stars_weak_on_chains(self, store):
+        """Claim (Fig. 10): CSET is tailored to stars; its chain
+        extension is cruder."""
+        cset = CharacteristicSets(store)
+        star = generate_workload(store, "star", 2, 50, seed=100)
+        chain = generate_workload(store, "chain", 2, 50, seed=101)
+        star_g = np.exp(
+            np.log(
+                q_errors(
+                    [cset.estimate(r.query) for r in star],
+                    star.cardinalities(),
+                )
+            ).mean()
+        )
+        chain_g = np.exp(
+            np.log(
+                q_errors(
+                    [cset.estimate(r.query) for r in chain],
+                    chain.cardinalities(),
+                )
+            ).mean()
+        )
+        assert star_g < chain_g
+
+
+class TestUnsupervisedIntegration:
+    def test_lmkgu_full_pipeline(self, store):
+        framework = LMKG(
+            store,
+            model_type="unsupervised",
+            lmkgu_config=LMKGUConfig(
+                embed_dim=16,
+                hidden_sizes=(64, 64),
+                epochs=4,
+                training_samples=5_000,
+                particles=128,
+                seed=0,
+            ),
+        )
+        framework.fit(shapes=[("chain", 2)])
+        workload = generate_workload(store, "chain", 2, 40, seed=102)
+        estimates = [framework.estimate(r.query) for r in workload]
+        summary = summarize(estimates, workload.cardinalities())
+        assert summary.geometric_mean < 8.0

@@ -1,0 +1,165 @@
+"""Tests for optimisers, the regressor loop, and target scaling."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    LogMinMaxScaler,
+    MSELoss,
+    QErrorLoss,
+    Regressor,
+    SGD,
+    build_mlp,
+)
+from repro.nn.layers import Parameter
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestOptimizers:
+    def _quadratic_param(self):
+        return Parameter("w", np.array([5.0, -3.0]))
+
+    def test_sgd_descends_quadratic(self):
+        param = self._quadratic_param()
+        opt = SGD([param], lr=0.1)
+        for _ in range(100):
+            param.grad[...] = 2 * param.value
+            opt.step()
+        assert np.allclose(param.value, 0.0, atol=1e-4)
+
+    def test_sgd_momentum_descends(self):
+        param = self._quadratic_param()
+        opt = SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(100):
+            param.grad[...] = 2 * param.value
+            opt.step()
+        assert np.linalg.norm(param.value) < 0.1
+
+    def test_adam_descends_quadratic(self):
+        param = self._quadratic_param()
+        opt = Adam([param], lr=0.2)
+        for _ in range(200):
+            param.grad[...] = 2 * param.value
+            opt.step()
+        assert np.allclose(param.value, 0.0, atol=1e-3)
+
+    def test_step_clears_gradients(self):
+        param = self._quadratic_param()
+        opt = Adam([param], lr=0.1)
+        param.grad[...] = 1.0
+        opt.step()
+        assert np.allclose(param.grad, 0.0)
+
+    def test_gradient_clipping_bounds_norm(self):
+        param = Parameter("w", np.zeros(4))
+        opt = Adam([param], lr=0.1, clip_norm=1.0)
+        param.grad[...] = 100.0
+        opt._clip_gradients()
+        assert np.linalg.norm(param.grad) <= 1.0 + 1e-9
+
+
+class TestScaler:
+    def test_transform_range(self):
+        scaler = LogMinMaxScaler()
+        cards = np.array([1, 10, 100, 1000])
+        z = scaler.fit_transform(cards)
+        assert z.min() == 0.0 and z.max() == 1.0
+
+    def test_inverse_roundtrip(self):
+        scaler = LogMinMaxScaler()
+        cards = np.array([1.0, 7.0, 50.0, 9000.0])
+        assert np.allclose(scaler.inverse(scaler.fit_transform(cards)), cards)
+
+    def test_zero_cardinalities_clamped(self):
+        scaler = LogMinMaxScaler()
+        z = scaler.fit_transform(np.array([0, 5, 25]))
+        assert z[0] == 0.0
+
+    def test_degenerate_targets(self):
+        scaler = LogMinMaxScaler()
+        z = scaler.fit_transform(np.array([8, 8, 8]))
+        assert np.allclose(z, 0.0)
+        assert np.allclose(scaler.inverse(z), 8.0)
+
+    def test_span_positive(self):
+        scaler = LogMinMaxScaler().fit(np.array([1, 100]))
+        assert scaler.span > 0
+
+    def test_use_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            LogMinMaxScaler().transform(np.array([1.0]))
+
+    def test_state_roundtrip(self):
+        scaler = LogMinMaxScaler().fit(np.array([2, 2000]))
+        restored = LogMinMaxScaler.from_state(scaler.state())
+        x = np.array([0.0, 0.5, 1.0])
+        assert np.allclose(restored.inverse(x), scaler.inverse(x))
+
+
+class TestRegressor:
+    def test_learns_monotone_function(self, rng):
+        x = rng.random((300, 6))
+        y = x.sum(axis=1) * 20 + 1
+        scaler = LogMinMaxScaler()
+        z = scaler.fit_transform(y)
+        reg = Regressor(
+            build_mlp(6, [32, 32], rng), QErrorLoss(scaler.span), lr=2e-3
+        )
+        history = reg.fit(x, z, epochs=60, batch_size=64, seed=0)
+        assert history.losses[-1] < history.losses[0]
+        pred = scaler.inverse(reg.predict(x))
+        q = np.maximum(pred / y, y / pred)
+        assert np.mean(q) < 1.5
+
+    def test_validation_tracked(self, rng):
+        x = rng.random((100, 4))
+        z = x.mean(axis=1)
+        reg = Regressor(build_mlp(4, [16], rng), MSELoss())
+        history = reg.fit(
+            x, z, epochs=5, validation=(x, z), seed=0
+        )
+        assert len(history.val_losses) == 5
+
+    def test_mismatched_shapes_rejected(self, rng):
+        reg = Regressor(build_mlp(4, [8], rng), MSELoss())
+        with pytest.raises(ValueError):
+            reg.fit(np.ones((5, 4)), np.ones(4))
+
+    def test_predict_single_vector(self, rng):
+        reg = Regressor(build_mlp(4, [8], rng), MSELoss())
+        reg.fit(np.ones((10, 4)), np.full(10, 0.5), epochs=1)
+        out = reg.predict(np.ones(4))
+        assert out.shape == (1,)
+
+    def test_memory_accounting(self, rng):
+        reg = Regressor(build_mlp(4, [8], rng), MSELoss())
+        assert reg.memory_bytes() == reg.num_parameters() * 4
+
+
+class TestSequentialSerialization:
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        from repro.nn import load_sequential, save_sequential
+
+        net = build_mlp(5, [8, 8], rng)
+        x = rng.random((3, 5))
+        expected = net.forward(x)
+        path = tmp_path / "mlp.npz"
+        save_sequential(path, net)
+        net2 = build_mlp(5, [8, 8], np.random.default_rng(99))
+        load_sequential(path, net2)
+        assert np.allclose(net2.forward(x), expected)
+
+    def test_shape_mismatch_detected(self, rng, tmp_path):
+        from repro.nn import load_sequential, save_sequential
+
+        net = build_mlp(5, [8], rng)
+        path = tmp_path / "mlp.npz"
+        save_sequential(path, net)
+        other = build_mlp(5, [16], rng)
+        with pytest.raises((ValueError, KeyError)):
+            load_sequential(path, other)

@@ -1,0 +1,79 @@
+"""Unit tests for dictionary encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rdf.dictionary import UNBOUND_ID, GraphDictionary, TermDictionary
+
+
+class TestTermDictionary:
+    def test_ids_start_at_one(self):
+        d = TermDictionary()
+        assert d.encode("a") == 1
+        assert d.encode("b") == 2
+
+    def test_encode_is_idempotent(self):
+        d = TermDictionary()
+        assert d.encode("a") == d.encode("a")
+        assert len(d) == 1
+
+    def test_decode_roundtrip(self):
+        d = TermDictionary()
+        for term in ("x", "y", "z"):
+            assert d.decode(d.encode(term)) == term
+
+    def test_lookup_missing_returns_none(self):
+        d = TermDictionary()
+        assert d.lookup("ghost") is None
+
+    def test_decode_unbound_id_rejected(self):
+        d = TermDictionary()
+        d.encode("a")
+        with pytest.raises(KeyError):
+            d.decode(UNBOUND_ID)
+
+    def test_decode_unknown_id_rejected(self):
+        d = TermDictionary()
+        with pytest.raises(KeyError):
+            d.decode(1)
+
+    def test_contains(self):
+        d = TermDictionary()
+        d.encode("a")
+        assert "a" in d
+        assert "b" not in d
+
+    def test_items_in_id_order(self):
+        d = TermDictionary()
+        d.encode("c")
+        d.encode("a")
+        assert list(d.items()) == [("c", 1), ("a", 2)]
+
+    @given(st.lists(st.text(min_size=1), min_size=1, unique=True))
+    def test_ids_dense_and_bijective(self, terms):
+        d = TermDictionary()
+        ids = [d.encode(t) for t in terms]
+        assert sorted(ids) == list(range(1, len(terms) + 1))
+        assert [d.decode(i) for i in ids] == terms
+
+
+class TestGraphDictionary:
+    def test_nodes_and_predicates_separate(self):
+        g = GraphDictionary()
+        s, p, o = g.encode_triple("alice", "knows", "bob")
+        assert (s, p, o) == (1, 1, 2)
+        assert g.num_nodes == 2
+        assert g.num_predicates == 1
+
+    def test_subject_object_share_id_space(self):
+        g = GraphDictionary()
+        g.encode_triple("a", "p", "b")
+        s2, _, o2 = g.encode_triple("b", "p", "a")
+        # "b" as subject reuses its object id and vice versa.
+        assert (s2, o2) == (2, 1)
+
+    def test_decode_triple_roundtrip(self):
+        g = GraphDictionary()
+        encoded = g.encode_triple("a", "p", "b")
+        assert g.decode_triple(encoded) == ("a", "p", "b")

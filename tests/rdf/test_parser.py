@@ -1,0 +1,128 @@
+"""Tests for N-Triples IO and the SPARQL-subset parser."""
+
+import pytest
+
+from repro.rdf import (
+    ParseError,
+    TripleStore,
+    count_bgp,
+    format_sparql,
+    load_ntriples,
+    parse_sparql,
+    write_ntriples,
+)
+from repro.rdf.parser import parse_ntriples_line
+from repro.rdf.terms import Variable
+
+
+class TestNTriplesLine:
+    def test_uris(self):
+        got = parse_ntriples_line("<a> <p> <b> .")
+        assert got == ("a", "p", "b")
+
+    def test_literal_object(self):
+        got = parse_ntriples_line('<a> <p> "hello" .')
+        assert got == ("a", "p", '"hello"')
+
+    def test_typed_literal(self):
+        got = parse_ntriples_line(
+            '<a> <p> "42"^^<http://www.w3.org/2001/XMLSchema#int> .'
+        )
+        assert got == ("a", "p", '"42"')
+
+    def test_language_tag(self):
+        assert parse_ntriples_line('<a> <p> "hi"@en .') == ("a", "p", '"hi"')
+
+    def test_blank_node(self):
+        assert parse_ntriples_line("_:b1 <p> <c> .") == ("_:b1", "p", "c")
+
+    def test_comment_and_blank_skipped(self):
+        assert parse_ntriples_line("# comment") is None
+        assert parse_ntriples_line("   ") is None
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("<a> <p> <b>")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("a p b .")
+
+
+class TestNTriplesRoundtrip:
+    def test_write_then_load(self, tmp_path):
+        triples = [
+            ("s1", "p1", "o1"),
+            ("s1", "p2", '"lit"'),
+            ("s2", "p1", "o1"),
+        ]
+        path = tmp_path / "data.nt"
+        assert write_ntriples(path, triples) == 3
+        store = load_ntriples(path)
+        assert len(store) == 3
+        back = {
+            store.dictionary.decode_triple(t) for t in store
+        }
+        assert back == set(triples)
+
+
+class TestSparqlParser:
+    def test_star_query(self, books_store):
+        query = parse_sparql(
+            "SELECT ?x WHERE { ?x <hasAuthor> <StephenKing> . "
+            "?x <genre> <Horror> . }",
+            books_store.dictionary,
+        )
+        assert query.size == 2
+        assert query.is_star()
+        assert count_bgp(books_store, query) == 2
+
+    def test_semicolon_shorthand(self, books_store):
+        query = parse_sparql(
+            "SELECT ?x WHERE { ?x <hasAuthor> <StephenKing> ; "
+            "<genre> <Horror> . }",
+            books_store.dictionary,
+        )
+        assert query.size == 2
+        assert query.is_star()
+
+    def test_chain_query(self, books_store):
+        query = parse_sparql(
+            "SELECT ?x ?y WHERE { ?x <hasAuthor> ?y . ?y <bornIn> <USA> . }",
+            books_store.dictionary,
+        )
+        assert query.is_chain()
+        assert count_bgp(books_store, query) == 2
+
+    def test_unknown_term_rejected(self, books_store):
+        with pytest.raises(ParseError):
+            parse_sparql(
+                "SELECT ?x WHERE { ?x <hasAuthor> <NoSuchAuthor> . }",
+                books_store.dictionary,
+            )
+
+    def test_missing_braces_rejected(self, books_store):
+        with pytest.raises(ParseError):
+            parse_sparql("SELECT ?x WHERE ?x <p> <o> .", books_store.dictionary)
+
+    def test_empty_where_rejected(self, books_store):
+        with pytest.raises(ParseError):
+            parse_sparql("SELECT ?x WHERE { }", books_store.dictionary)
+
+    def test_variables_normalised(self, books_store):
+        query = parse_sparql(
+            "SELECT ?x WHERE { ?x <genre> <Horror> . }",
+            books_store.dictionary,
+        )
+        assert query.variables == (Variable("x"),)
+
+
+class TestFormatter:
+    def test_roundtrip_through_text(self, books_store):
+        original = parse_sparql(
+            "SELECT ?x ?y WHERE { ?x <hasAuthor> ?y . ?y <bornIn> <USA> . }",
+            books_store.dictionary,
+        )
+        text = format_sparql(original, books_store.dictionary)
+        reparsed = parse_sparql(text, books_store.dictionary)
+        assert reparsed.canonical_key() == original.canonical_key()

@@ -1,0 +1,181 @@
+"""Unit and property tests for the indexed triple store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import TripleStore
+from repro.rdf.terms import TriplePattern, Variable, pattern
+
+triples_strategy = st.lists(
+    st.tuples(
+        st.integers(1, 12), st.integers(1, 4), st.integers(1, 12)
+    ),
+    max_size=60,
+)
+
+
+class TestMutation:
+    def test_add_and_len(self, tiny_store):
+        assert len(tiny_store) == 8
+
+    def test_duplicate_add_ignored(self, tiny_store):
+        assert tiny_store.add(1, 1, 2) is False
+        assert len(tiny_store) == 8
+
+    def test_add_all_returns_new_count(self):
+        store = TripleStore()
+        added = store.add_all([(1, 1, 2), (1, 1, 2), (2, 1, 3)])
+        assert added == 2
+
+    def test_contains(self, tiny_store):
+        assert (1, 1, 2) in tiny_store
+        assert (9, 9, 9) not in tiny_store
+
+
+class TestAccessors:
+    def test_objects_of(self, tiny_store):
+        assert tiny_store.objects_of(1, 1) == {2, 3}
+        assert tiny_store.objects_of(1, 3) == set()
+
+    def test_subjects_of(self, tiny_store):
+        assert tiny_store.subjects_of(2, 4) == {1, 2, 3}
+
+    def test_predicates_between(self, tiny_store):
+        assert tiny_store.predicates_between(1, 2) == {1}
+
+    def test_out_predicates(self, tiny_store):
+        assert tiny_store.out_predicates(1) == {1, 2}
+
+    def test_degrees(self, tiny_store):
+        assert tiny_store.out_degree(1) == 3
+        assert tiny_store.in_degree(4) == 3
+        assert tiny_store.predicate_count(2) == 3
+
+    def test_nodes_sorted_and_complete(self, tiny_store):
+        assert tiny_store.nodes() == [1, 2, 3, 4, 5, 6]
+
+    def test_out_edges_flat(self, tiny_store):
+        assert sorted(tiny_store.out_edges(1)) == [(1, 2), (1, 3), (2, 4)]
+
+    def test_in_edges_flat(self, tiny_store):
+        assert sorted(tiny_store.in_edges(4)) == [(1, 2), (2, 2), (3, 2)]
+
+    def test_adjacency_cache_invalidated_on_add(self, tiny_store):
+        assert tiny_store.out_edges(5) == []
+        tiny_store.add(5, 1, 6)
+        assert tiny_store.out_edges(5) == [(1, 6)]
+
+
+class TestPatternMatching:
+    def test_fully_bound_hit_and_miss(self, tiny_store):
+        assert list(tiny_store.match_pattern(pattern(1, 1, 2))) == [
+            (1, 1, 2)
+        ]
+        assert list(tiny_store.match_pattern(pattern(1, 1, 9))) == []
+
+    def test_sp_bound(self, tiny_store):
+        got = set(tiny_store.match_pattern(pattern(1, 1, "o")))
+        assert got == {(1, 1, 2), (1, 1, 3)}
+
+    def test_po_bound(self, tiny_store):
+        got = set(tiny_store.match_pattern(pattern("s", 2, 4)))
+        assert got == {(1, 2, 4), (2, 2, 4), (3, 2, 4)}
+
+    def test_so_bound(self, tiny_store):
+        got = set(tiny_store.match_pattern(pattern(1, "p", 3)))
+        assert got == {(1, 1, 3)}
+
+    def test_s_only(self, tiny_store):
+        got = set(tiny_store.match_pattern(pattern(4, "p", "o")))
+        assert got == {(4, 3, 5), (4, 3, 6)}
+
+    def test_p_only(self, tiny_store):
+        got = set(tiny_store.match_pattern(pattern("s", 3, "o")))
+        assert got == {(4, 3, 5), (4, 3, 6)}
+
+    def test_o_only(self, tiny_store):
+        got = set(tiny_store.match_pattern(pattern("s", "p", 3)))
+        assert got == {(1, 1, 3), (2, 1, 3)}
+
+    def test_all_unbound(self, tiny_store):
+        assert len(list(tiny_store.match_pattern(pattern("s", "p", "o")))) == 8
+
+    def test_repeated_variable_so(self):
+        store = TripleStore()
+        store.add_all([(1, 1, 1), (1, 1, 2)])
+        got = list(store.match_pattern(pattern("x", 1, "x")))
+        assert got == [(1, 1, 1)]
+
+    def test_count_matches_enumeration_for_each_shape(self, tiny_store):
+        shapes = [
+            pattern(1, 1, 2),
+            pattern(1, 1, "o"),
+            pattern("s", 2, 4),
+            pattern(1, "p", 3),
+            pattern(4, "p", "o"),
+            pattern("s", 3, "o"),
+            pattern("s", "p", 3),
+            pattern("s", "p", "o"),
+        ]
+        for tp in shapes:
+            assert tiny_store.count_pattern(tp) == len(
+                list(tiny_store.match_pattern(tp))
+            )
+
+
+class TestStoreProperties:
+    @given(triples_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_every_access_path_is_consistent(self, triples):
+        """All index permutations agree with a brute-force scan."""
+        store = TripleStore()
+        store.add_all(triples)
+        unique = set(triples)
+        assert len(store) == len(unique)
+        for s, p, o in unique:
+            assert o in store.objects_of(s, p)
+            assert s in store.subjects_of(p, o)
+            assert p in store.predicates_between(s, o)
+            assert (p, o) in store.out_edges(s)
+            assert (s, p) in store.in_edges(o)
+
+    @given(triples_strategy, st.integers(1, 12), st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_count_pattern_equals_scan(self, triples, s, p):
+        store = TripleStore()
+        store.add_all(triples)
+        tp = TriplePattern(s, p, Variable("o"))
+        brute = sum(
+            1 for (ts, tpred, _) in set(triples) if ts == s and tpred == p
+        )
+        assert store.count_pattern(tp) == brute
+
+    @given(triples_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_degree_sums_equal_triple_count(self, triples):
+        store = TripleStore()
+        store.add_all(triples)
+        out_total = sum(store.out_degree(n) for n in store.nodes())
+        in_total = sum(store.in_degree(n) for n in store.nodes())
+        assert out_total == len(store)
+        assert in_total == len(store)
+
+
+class TestFromLexical:
+    def test_dictionary_attached(self, books_store):
+        assert books_store.dictionary is not None
+        assert books_store.dictionary.num_predicates == 3
+
+    def test_counts(self, books_store):
+        assert len(books_store) == 5
+        king = books_store.dictionary.nodes.lookup("StephenKing")
+        author = books_store.dictionary.predicates.lookup("hasAuthor")
+        assert books_store.subjects_of(author, king) == {
+            books_store.dictionary.nodes.lookup("TheShining"),
+            books_store.dictionary.nodes.lookup("IT"),
+        }
+
+    def test_memory_accounting_positive(self, books_store):
+        assert books_store.memory_bytes() > 0

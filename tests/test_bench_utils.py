@@ -1,0 +1,77 @@
+"""Tests for the benchmark harness utilities (profiles, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.profiles import FULL, QUICK, STANDARD, active_profile
+from repro.bench.reporting import format_bytes, format_table
+
+
+class TestProfiles:
+    def test_default_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_PROFILE", raising=False)
+        assert active_profile().name == "quick"
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "quick")
+        assert active_profile().name == "quick"
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "FULL")
+        assert active_profile().name == "full"
+
+    def test_unknown_profile_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "hyperspeed")
+        with pytest.raises(KeyError):
+            active_profile()
+
+    def test_budgets_ordered(self):
+        assert (
+            QUICK.train_queries_per_shape
+            < STANDARD.train_queries_per_shape
+            <= FULL.train_queries_per_shape
+        )
+        assert QUICK.sampling_runs < FULL.sampling_runs
+        assert set(QUICK.query_sizes) <= set(FULL.query_sizes)
+
+    def test_paper_budgets_in_full(self):
+        assert FULL.lmkgs_epochs == 200
+        assert FULL.lmkgu_epochs == 5
+        assert FULL.sampling_runs == 30
+        assert FULL.mscn_big_samples == 1_000
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        text = format_table(
+            ("name", "value"),
+            [("a", 1.0), ("long-name", 123.456)],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        # All data lines have equal width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_float_formatting(self):
+        text = format_table(("x",), [(0.001234,), (123456.0,), (0,)])
+        assert "1.23e-03" in text
+        assert "1.23e+05" in text
+
+    def test_nan_cells_render(self):
+        text = format_table(("x",), [(float("nan"),)])
+        assert "nan" in text
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2_048) == "2.0KB"
+        assert format_bytes(3_500_000) == "3.5MB"
+
+
+class TestEstimatorOrder:
+    def test_matches_paper_legend(self):
+        from repro.bench import ESTIMATOR_ORDER
+
+        assert ESTIMATOR_ORDER[0] == "impr"
+        assert ESTIMATOR_ORDER[-1] == "lmkg-s"
+        assert "cset" in ESTIMATOR_ORDER
+        assert len(ESTIMATOR_ORDER) == 9

@@ -1,0 +1,285 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.dataset == "lubm"
+        assert args.scale == 1.0
+
+    def test_train_shapes(self):
+        args = build_parser().parse_args(
+            ["train", "--shapes", "star:2", "chain:3", "--out", "/tmp/x"]
+        )
+        assert args.shapes == ["star:2", "chain:3"]
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_shape_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "train",
+                    "--scale",
+                    "0.25",
+                    "--shapes",
+                    "star-two",
+                    "--out",
+                    str(tmp_path / "x.npz"),
+                ]
+            )
+
+
+class TestCommands:
+    def test_stats_runs(self, capsys):
+        assert main(["stats", "--dataset", "lubm", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "triples:" in out
+        assert "predicates:" in out
+
+    def test_workload_tsv(self, capsys):
+        code = main(
+            [
+                "workload",
+                "--dataset",
+                "lubm",
+                "--scale",
+                "0.25",
+                "--topology",
+                "chain",
+                "--size",
+                "2",
+                "--count",
+                "5",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("topology")
+        assert len(lines) == 6
+        assert all("chain\t2\t" in line for line in lines[1:])
+
+    def test_train_then_estimate(self, tmp_path, capsys):
+        checkpoint = tmp_path / "model.npz"
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "lubm",
+                "--scale",
+                "0.25",
+                "--shapes",
+                "star:2",
+                "--epochs",
+                "3",
+                "--queries",
+                "80",
+                "--hidden",
+                "16",
+                "--out",
+                str(checkpoint),
+            ]
+        )
+        assert code == 0
+        assert checkpoint.exists()
+        capsys.readouterr()
+        code = main(
+            [
+                "estimate",
+                "--dataset",
+                "lubm",
+                "--scale",
+                "0.25",
+                "--checkpoint",
+                str(checkpoint),
+                "--query",
+                "SELECT ?x WHERE { ?x <ub:advisor> ?y . "
+                "?x <ub:takesCourse> ?z . }",
+                "--exact",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimate:" in out
+        assert "q-error:" in out
+
+    def test_train_lmkg_u_single_shape_only(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "train",
+                    "--scale",
+                    "0.25",
+                    "--model",
+                    "lmkg-u",
+                    "--shapes",
+                    "star:2",
+                    "chain:2",
+                    "--out",
+                    str(tmp_path / "u.npz"),
+                ]
+            )
+
+    def test_ntriples_input(self, tmp_path, capsys):
+        nt = tmp_path / "g.nt"
+        nt.write_text(
+            "<a> <p> <b> .\n<b> <p> <c> .\n<a> <q> <c> .\n"
+        )
+        code = main(["stats", "--ntriples", str(nt)])
+        assert code == 0
+        assert "triples:         3" in capsys.readouterr().out
+
+
+class TestPlanCommand:
+    QUERY = (
+        "SELECT ?x WHERE { ?x <ub:advisor> ?y . "
+        "?x <ub:takesCourse> ?z . }"
+    )
+
+    def test_plan_with_each_estimator(self, capsys):
+        from repro.cli import main
+
+        for estimator in ("exact", "indep", "bayesnet"):
+            code = main(
+                [
+                    "plan",
+                    "--dataset",
+                    "lubm",
+                    "--scale",
+                    "0.25",
+                    "--query",
+                    self.QUERY,
+                    "--estimator",
+                    estimator,
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "chosen order:" in out
+            assert "optimal order:" in out
+
+    def test_plan_execute_reports_intermediates(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "plan",
+                "--dataset",
+                "lubm",
+                "--scale",
+                "0.25",
+                "--query",
+                self.QUERY,
+                "--estimator",
+                "exact",
+                "--execute",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executed:" in out
+        assert "index probes" in out
+
+    def test_plan_rejects_single_pattern(self):
+        import pytest
+
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="two triple patterns"):
+            main(
+                [
+                    "plan",
+                    "--dataset",
+                    "lubm",
+                    "--scale",
+                    "0.25",
+                    "--query",
+                    "SELECT ?x WHERE { ?x <ub:advisor> ?y . }",
+                ]
+            )
+
+
+class TestRangeModelCommands:
+    def test_train_then_estimate_range_model(self, tmp_path, capsys):
+        from repro.cli import main
+
+        checkpoint = tmp_path / "range.npz"
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "lubm",
+                "--scale",
+                "0.25",
+                "--model",
+                "lmkg-s-range",
+                "--shapes",
+                "star:2",
+                "--epochs",
+                "3",
+                "--queries",
+                "60",
+                "--hidden",
+                "16",
+                "--out",
+                str(checkpoint),
+            ]
+        )
+        assert code == 0
+        assert checkpoint.exists()
+        capsys.readouterr()
+        code = main(
+            [
+                "estimate",
+                "--dataset",
+                "lubm",
+                "--scale",
+                "0.25",
+                "--model",
+                "lmkg-s-range",
+                "--checkpoint",
+                str(checkpoint),
+                "--query",
+                "SELECT ?x WHERE { ?x <ub:advisor> ?y . "
+                "?x <ub:takesCourse> ?z . FILTER(?y >= 1 && ?y <= 500) }",
+                "--exact",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimate:" in out
+        assert "q-error:" in out
+
+
+class TestWorkloadOut:
+    def test_workload_out_round_trips(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.sampling.io import load_workload
+
+        path = tmp_path / "wl.tsv"
+        code = main(
+            [
+                "workload",
+                "--dataset",
+                "lubm",
+                "--scale",
+                "0.25",
+                "--topology",
+                "star",
+                "--size",
+                "2",
+                "--count",
+                "10",
+                "--out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert "written to" in capsys.readouterr().out
+        assert len(load_workload(path)) > 0
