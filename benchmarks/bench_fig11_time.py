@@ -5,7 +5,14 @@ protocol (``runs`` x ``walks_per_run`` walks per estimate), which is what
 the paper timed.  Expected shape: CSET fastest, LMKG-S close behind and
 roughly size-independent, LMKG-U and the sampling approaches slower and
 growing with query size.
+
+Learned estimators are timed through ``Framework.estimate_batch`` (the
+harness routes them there), and an extra table compares the batched
+LMKG-S path against the per-query loop — the serving-throughput story
+of `BENCH_store.json`.
 """
+
+import time
 
 import numpy as np
 
@@ -63,6 +70,25 @@ def _run_dataset(name):
     return ctx, estimators, by_size, type_rows
 
 
+def _batch_vs_loop(ctx):
+    """(loop QPS, batched QPS) of LMKG-S over one pooled workload."""
+    framework = ctx.lmkg_s()
+    queries = [
+        r.query
+        for topology in ("star", "chain")
+        for size in ctx.sizes_for(topology)
+        for r in ctx.test_workload(topology, size)
+    ]
+    start = time.perf_counter()
+    for query in queries:
+        framework.estimate(query)
+    loop_qps = len(queries) / max(time.perf_counter() - start, 1e-9)
+    start = time.perf_counter()
+    framework.estimate_batch(queries)
+    batch_qps = len(queries) / max(time.perf_counter() - start, 1e-9)
+    return loop_qps, batch_qps
+
+
 def _report_dataset(report, name, ctx, estimators, by_size, by_type):
     size_rows = [
         [size]
@@ -93,6 +119,20 @@ def _report_dataset(report, name, ctx, estimators, by_size, by_type):
             type_table,
             title=(
                 f"Fig. 11 — avg estimation time in ms by query type "
+                f"({name.upper()})"
+            ),
+        )
+    )
+    loop_qps, batch_qps = _batch_vs_loop(ctx)
+    report(
+        format_table(
+            ("Path", "queries/sec"),
+            [
+                ["estimate() loop", round(loop_qps, 1)],
+                ["estimate_batch()", round(batch_qps, 1)],
+            ],
+            title=(
+                f"Fig. 11 extra — LMKG-S serving throughput "
                 f"({name.upper()})"
             ),
         )

@@ -1,0 +1,235 @@
+"""Store microbenchmark: the perf trajectory baseline (`BENCH_store.json`).
+
+Measures, on a synthetic ~100k-triple hub-heavy graph:
+
+- **ingest**: triples/sec into the store plus the columnar index build,
+- **pattern matching**: single-triple-pattern ``count_pattern`` and
+  ``match_pattern`` throughput over the columnar permutations,
+- **labeling**: exact star/chain counting throughput of the vectorized
+  counters over a 10k-query workload, against the seed's dict-backed
+  Python counters (the acceptance gate asserts >= 5x),
+- **batch estimation**: LMKG-S queries/sec through
+  ``Framework.estimate_batch`` vs the per-query ``estimate`` loop.
+
+Results print as a table and persist to
+``benchmarks/results/BENCH_store.json`` so successive PRs can track the
+numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.harness import build_throughput_store
+from repro.bench.reporting import format_table, write_json
+from repro.core.framework import LMKG
+from repro.core.lmkg_s import LMKGSConfig
+from repro.rdf import fastcount
+from repro.rdf.terms import Variable, pattern
+from repro.sampling.random_walk import sample_instances
+from repro.sampling.unbinding import query_from_instance, random_unbound_mask
+from repro.sampling.workload import QueryRecord, Workload
+
+RESULT_PATH = Path(__file__).parent / "results" / "BENCH_store.json"
+
+NUM_TRIPLES = 100_000
+NUM_QUERIES = 10_000
+#: queries given to the Python reference counters (full 10k would take
+#: minutes — which is the point being demonstrated).
+REFERENCE_QUERIES = 150
+QUERY_SHAPES = (("star", 2), ("star", 3), ("chain", 2), ("chain", 3))
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _make_queries(store, rng):
+    """~NUM_QUERIES unlabeled star/chain queries over the bench graph."""
+    queries = []
+    per_shape = NUM_QUERIES // len(QUERY_SHAPES)
+    for i, (topology, size) in enumerate(QUERY_SHAPES):
+        instances, _ = sample_instances(
+            store, topology, size, per_shape, seed=11 + i
+        )
+        for instance in instances:
+            mask = random_unbound_mask(size + 1, rng, min_unbound=1)
+            queries.append(
+                (topology, size,
+                 query_from_instance(topology, instance, mask))
+            )
+    return queries
+
+
+def _pattern_workload(store, rng, count=20_000):
+    """A mix of bound/unbound single patterns drawn from stored triples."""
+    col = store.columnar
+    idx = rng.integers(0, col.size, size=count)
+    subjects = col.spo_s[idx].tolist()
+    predicates = col.spo_p[idx].tolist()
+    objects = col.spo_o[idx].tolist()
+    kinds = rng.integers(0, 4, size=count).tolist()
+    patterns = []
+    for s, p, o, kind in zip(subjects, predicates, objects, kinds):
+        if kind == 0:
+            patterns.append(pattern(s, p, Variable("o")))
+        elif kind == 1:
+            patterns.append(pattern(Variable("s"), p, o))
+        elif kind == 2:
+            patterns.append(pattern(s, Variable("p"), Variable("o")))
+        else:
+            patterns.append(pattern(Variable("s"), p, Variable("o")))
+    return patterns
+
+
+def test_store_throughput(report):
+    rng = np.random.default_rng(5)
+    source = build_throughput_store(NUM_TRIPLES, seed=0)
+    triples = list(source)
+
+    # Ingest into a fresh store, then force the columnar build.
+    fresh = type(source)()
+    _, ingest_s = _timed(lambda: fresh.add_all(triples))
+    _, build_s = _timed(lambda: fresh.columnar)
+    store = fresh
+
+    # Single-pattern lookups.
+    patterns = _pattern_workload(store, rng)
+    _, count_s = _timed(
+        lambda: [store.count_pattern(tp) for tp in patterns]
+    )
+    probe = patterns[: len(patterns) // 4]
+    matched, match_s = _timed(
+        lambda: sum(
+            sum(1 for _ in store.match_pattern(tp)) for tp in probe
+        )
+    )
+
+    # Labeling throughput: vectorized vs the seed's dict/Python path.
+    queries = _make_queries(store, rng)
+    fast_counts, fast_s = _timed(
+        lambda: [
+            fastcount.count_query(store, q) for _, _, q in queries
+        ]
+    )
+    reference = queries[:: max(len(queries) // REFERENCE_QUERIES, 1)][
+        :REFERENCE_QUERIES
+    ]
+    store._legacy_indexes()  # build the dict indexes outside the timer
+    slow_counts, slow_s = _timed(
+        lambda: [
+            (
+                fastcount._count_star_python(store, q)
+                if topology == "star"
+                else fastcount._count_chain_python(store, q)
+            )
+            for topology, _, q in reference
+        ]
+    )
+    fast_qps = len(queries) / fast_s
+    slow_qps = len(reference) / slow_s
+    speedup = fast_qps / slow_qps
+    # Exactness spot-check against the reference implementation.
+    for (topology, _, _), fast_value, slow_value in zip(
+        reference,
+        fast_counts[:: max(len(queries) // REFERENCE_QUERIES, 1)],
+        slow_counts,
+    ):
+        assert fast_value == slow_value
+
+    # Batch estimation QPS through the framework router.
+    labelled = [
+        QueryRecord(q, topology, size, count)
+        for (topology, size, q), count in zip(queries, fast_counts)
+        if count >= 1
+    ][:4_000]
+    framework = LMKG(
+        store,
+        model_type="supervised",
+        grouping="size",
+        lmkgs_config=LMKGSConfig(hidden_sizes=(64, 64), epochs=10),
+    )
+    framework.fit(shapes=list(QUERY_SHAPES), workload=labelled)
+    serve = [r.query for r in labelled[:2_000]]
+    _, loop_s = _timed(lambda: [framework.estimate(q) for q in serve])
+    _, batch_s = _timed(lambda: framework.estimate_batch(serve))
+
+    results = {
+        "graph": {
+            "num_triples": len(store),
+            "num_nodes": store.num_nodes,
+            "num_predicates": store.num_predicates,
+        },
+        "ingest": {
+            "triples_per_sec": round(len(triples) / ingest_s, 1),
+            "columnar_build_triples_per_sec": round(
+                len(triples) / build_s, 1
+            ),
+        },
+        "pattern_match": {
+            "count_pattern_per_sec": round(len(patterns) / count_s, 1),
+            "match_enumeration_triples_per_sec": round(
+                matched / match_s, 1
+            ),
+        },
+        "labeling": {
+            "num_queries": len(queries),
+            "vectorized_queries_per_sec": round(fast_qps, 1),
+            "python_reference_queries_per_sec": round(slow_qps, 1),
+            "speedup": round(speedup, 1),
+        },
+        "batch_estimation": {
+            "estimate_loop_qps": round(len(serve) / loop_s, 1),
+            "estimate_batch_qps": round(len(serve) / batch_s, 1),
+            "batch_speedup": round(loop_s / batch_s, 2),
+        },
+    }
+    write_json(RESULT_PATH, results)
+
+    report(
+        format_table(
+            ("Metric", "Value"),
+            [
+                ["triples", len(store)],
+                ["ingest triples/s", results["ingest"]["triples_per_sec"]],
+                [
+                    "columnar build triples/s",
+                    results["ingest"]["columnar_build_triples_per_sec"],
+                ],
+                [
+                    "count_pattern/s",
+                    results["pattern_match"]["count_pattern_per_sec"],
+                ],
+                [
+                    "match triples/s",
+                    results["pattern_match"][
+                        "match_enumeration_triples_per_sec"
+                    ],
+                ],
+                ["labeling q/s (vectorized)", round(fast_qps, 1)],
+                ["labeling q/s (seed dict path)", round(slow_qps, 1)],
+                ["labeling speedup", round(speedup, 1)],
+                [
+                    "estimate loop q/s",
+                    results["batch_estimation"]["estimate_loop_qps"],
+                ],
+                [
+                    "estimate_batch q/s",
+                    results["batch_estimation"]["estimate_batch_qps"],
+                ],
+            ],
+            title=(
+                f"Store throughput — {len(store)} triples, "
+                f"{len(queries)} labelled queries -> {RESULT_PATH.name}"
+            ),
+        )
+    )
+
+    # The acceptance gate of the columnar refactor.
+    assert speedup >= 5.0, f"labeling speedup {speedup:.1f}x < 5x"
+    assert RESULT_PATH.exists()

@@ -1,13 +1,22 @@
 """Common estimator interface shared by LMKG models and all baselines.
 
-Every estimator answers ``estimate(query) -> float``.  Sampling-based
-estimators additionally expose ``runs`` — the number of repetitions
-G-CARE averages over (30 in the paper); their ``estimate`` already
-performs the averaging internally so benches measure the same work the
-paper timed.
+Every estimator answers ``estimate(query) -> float`` and
+``estimate_batch(queries) -> ndarray``; the base class supplies the
+batch form as a loop so callers can rely on one API regardless of
+whether a concrete estimator has a vectorized path (the learned models
+do — one featurize plus one network forward per batch).
+
+Sampling-based estimators additionally expose ``runs`` — the number of
+repetitions G-CARE averages over (30 in the paper); their ``estimate``
+already performs the averaging internally so benches measure the same
+work the paper timed.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
 
 from repro.rdf.pattern import QueryPattern
 
@@ -21,6 +30,18 @@ class CardinalityEstimator:
     def estimate(self, query: QueryPattern) -> float:
         """Estimated cardinality of *query* (non-negative)."""
         raise NotImplementedError
+
+    def estimate_batch(
+        self, queries: Sequence[QueryPattern]
+    ) -> np.ndarray:
+        """Estimates for a batch of queries.
+
+        The default loops over :meth:`estimate`; vectorized estimators
+        override it.
+        """
+        return np.array(
+            [self.estimate(q) for q in queries], dtype=np.float64
+        )
 
     def memory_bytes(self) -> int:
         """Size of the synopsis/model; 0 when the estimator reads the

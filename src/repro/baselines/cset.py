@@ -49,19 +49,19 @@ class CharacteristicSets(CardinalityEstimator):
         self._build()
 
     def _build(self) -> None:
-        for s in self.store.subjects():
-            cset = frozenset(self.store.out_predicates(s))
-            if not cset:
-                continue
+        # One pass over the SPO permutation: each subject's distinct
+        # predicates with their fan-outs give every characteristic set
+        # and its occurrence counts without per-subject lookups.
+        col = self.store.columnar
+        for preds, fanouts in col.subject_predicate_groups():
+            cset = frozenset(preds)
             self._count[cset] += 1
-            for p in cset:
-                self._occurrences[(cset, p)] += len(
-                    self.store.objects_of(s, p)
-                )
+            for p, fanout in zip(preds, fanouts):
+                self._occurrences[(cset, p)] += fanout
         for p in self.store.predicates():
             self._pred_triples[p] = self.store.predicate_count(p)
-            self._pred_subjects[p] = len(self.store._pso.get(p, {}))
-            self._pred_objects[p] = len(self.store._pos.get(p, {}))
+            self._pred_subjects[p] = col.predicate_subject_stats(p)[0].size
+            self._pred_objects[p] = col.predicate_object_stats(p)[0].size
 
     # ------------------------------------------------------------------
 

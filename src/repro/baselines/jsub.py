@@ -40,16 +40,12 @@ class JSUB(CardinalityEstimator):
         self._rng = np.random.default_rng(seed)
         self._max_out: Dict[int, int] = {}
         self._max_in: Dict[int, int] = {}
+        col = store.columnar
         for p in store.predicates():
-            by_subject = store._pso.get(p, {})
-            by_object = store._pos.get(p, {})
-            self._max_out[p] = max(
-                (len(objs) for objs in by_subject.values()), default=0
-            )
-            self._max_in[p] = max(
-                (len(subjects) for subjects in by_object.values()),
-                default=0,
-            )
+            _, out_fanouts = col.predicate_subject_stats(p)
+            _, in_fanouts = col.predicate_object_stats(p)
+            self._max_out[p] = int(out_fanouts.max(initial=0))
+            self._max_in[p] = int(in_fanouts.max(initial=0))
 
     def estimate(self, query: QueryPattern) -> float:
         ordered = order_patterns(self.store, query)

@@ -235,11 +235,15 @@ class MSCN(CardinalityEstimator):
         return history
 
     def estimate(self, query: QueryPattern) -> float:
+        return float(self.estimate_batch([query])[0])
+
+    def estimate_batch(self, queries) -> np.ndarray:
+        """Vectorized estimation: one featurize + one forward per batch."""
         if self._head is None:
             raise RuntimeError("estimate() before fit()")
-        elements, mask = self.featurize([query])
+        elements, mask = self.featurize(list(queries))
         pred, _ = self._forward(elements, mask, training=False)
-        return float(self.scaler.inverse(pred.ravel())[0])
+        return self.scaler.inverse(pred.ravel())
 
     def memory_bytes(self) -> int:
         """Model parameters plus the materialised sample triples."""

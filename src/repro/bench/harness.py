@@ -240,21 +240,25 @@ class BenchContext:
     def estimate_all(
         self, estimator: str, workload: Workload
     ) -> List[float]:
-        """Estimates of one named estimator over a workload."""
+        """Estimates of one named estimator over a workload.
+
+        Learned estimators run through their batched path (one featurize
+        + one forward per model); the sampling/synopsis baselines loop
+        via the shared ``estimate_batch`` fallback.
+        """
+        queries = [r.query for r in workload]
         if estimator == "lmkg-s":
-            framework = self.lmkg_s()
-            return [framework.estimate(r.query) for r in workload]
+            return self.lmkg_s().estimate_batch(queries)
         if estimator == "lmkg-u":
             model = self.lmkg_u(workload.topology, workload.size)
-            return [model.estimate(r.query) for r in workload]
+            return [float(v) for v in model.estimate_batch(queries)]
         if estimator == "mscn-0":
-            model = self.mscn(0)
-            return [model.estimate(r.query) for r in workload]
+            return [float(v) for v in self.mscn(0).estimate_batch(queries)]
         if estimator == "mscn-1k":
             model = self.mscn(self.profile.mscn_big_samples)
-            return [model.estimate(r.query) for r in workload]
+            return [float(v) for v in model.estimate_batch(queries)]
         baseline = self.baseline(estimator)
-        return [baseline.estimate(r.query) for r in workload]
+        return [float(v) for v in baseline.estimate_batch(queries)]
 
     def evaluate(
         self, estimator: str, workload: Workload
@@ -277,6 +281,28 @@ class BenchContext:
         if not self.lmkg_u_available():
             names.remove("lmkg-u")
         return names
+
+
+def build_throughput_store(
+    num_triples: int = 100_000, seed: int = 0
+) -> TripleStore:
+    """A synthetic hub-heavy graph of roughly *num_triples* triples.
+
+    Used by ``bench_store_throughput`` (the ``BENCH_store.json``
+    producer): the SWDF-like generator is scaled so star/chain workloads
+    at the bench sizes are dense enough to label.
+    """
+    from repro.datasets.swdf import generate_swdf
+
+    # The SWDF generator yields ~1.2k triples per conference at the
+    # default paper density.
+    scale = max(num_triples / 14_600.0, 0.2)
+    return generate_swdf(
+        conferences=max(2, int(12 * scale)),
+        papers_per_conference=110,
+        people_pool=max(50, int(900 * scale)),
+        seed=seed,
+    )
 
 
 _contexts: Dict[Tuple[str, str], BenchContext] = {}

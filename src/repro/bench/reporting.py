@@ -50,6 +50,23 @@ def print_table(
     print()
 
 
+def write_json(path, payload: dict) -> None:
+    """Persist a benchmark result dict as pretty-printed JSON.
+
+    Used by the throughput benches (``BENCH_store.json``) so successive
+    runs leave a machine-readable perf trajectory next to the text
+    tables.
+    """
+    import json
+    from pathlib import Path
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def format_bytes(num_bytes: int) -> str:
     """Human-readable size like the paper's Table II (KB/MB)."""
     if num_bytes >= 1_000_000:

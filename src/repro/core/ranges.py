@@ -595,9 +595,7 @@ def _random_constraints(
     constraints: List[RangeConstraint] = []
     for idx in candidates[:max_constraints]:
         tp = base.triples[idx]
-        objects = sorted(
-            {o for _, o in self_objects(store, tp.p)}
-        )
+        objects = store.objects_with_predicate(tp.p)
         if len(objects) < 2:
             continue
         lo_pos = int(rng.integers(0, len(objects)))
@@ -613,10 +611,9 @@ def _random_constraints(
 
 
 def self_objects(store: TripleStore, predicate: int):
-    """(subject, object) pairs of one predicate."""
-    for s, objs in store._pso.get(predicate, {}).items():
-        for o in objs:
-            yield s, o
+    """(subject, object) pairs of one predicate (columnar slice)."""
+    s_arr, o_arr = store.columnar.pred_slice(predicate)
+    yield from zip(s_arr.tolist(), o_arr.tolist())
 
 
 def generate_range_workload(

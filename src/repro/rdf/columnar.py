@@ -1,0 +1,380 @@
+"""Columnar permutation indexes: the numpy backend of the triple store.
+
+A :class:`ColumnarIndex` holds one immutable snapshot of a dictionary-
+encoded graph as four sorted ``int64`` column triples — the SPO, POS,
+OSP, and PSO permutations of RDF-3X-style engines.  Every single-pattern
+access path (any subset of {s, p, o} bound) is a pair of
+``np.searchsorted`` calls producing a contiguous range over one
+permutation, so lookups are ``O(log N)`` with no per-triple Python work,
+and whole-range consumers (degree counts, adjacency slices, frontier
+expansion) read contiguous array slices.
+
+The index is deliberately free of dense id-space arrays: all lookups are
+binary searches over the sorted primary columns, so sparse or very large
+term ids cost nothing beyond the triples themselves.
+
+:class:`~repro.rdf.store.TripleStore` owns mutation and rebuilds its
+index lazily (guarded by a generation counter); the vectorized counters
+(:mod:`repro.rdf.fastcount`), samplers (:mod:`repro.sampling.random_walk`)
+and statistics (:mod:`repro.rdf.stats`) all run directly against this
+class.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.rdf.terms import Triple
+
+#: (lo, hi) bounds of a contiguous range inside one permutation.
+Range = Tuple[int, int]
+
+
+def _eq_range(
+    column: np.ndarray, value: int, lo: int = 0, hi: Optional[int] = None
+) -> Range:
+    """Half-open index range where ``column[lo:hi] == value``.
+
+    ``column[lo:hi]`` must be sorted; the returned bounds are absolute
+    indices into *column*.
+    """
+    if hi is None:
+        hi = column.size
+    view = column[lo:hi]
+    left = lo + int(np.searchsorted(view, value, side="left"))
+    right = lo + int(np.searchsorted(view, value, side="right"))
+    return left, right
+
+
+def expand_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(start, start+length)`` for many ranges at once.
+
+    The standard CSR "ranges to indices" construction: one ``np.repeat``
+    plus one global ``arange``, no Python loop.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.concatenate(
+        ([0], np.cumsum(lengths)[:-1])
+    )
+    return np.repeat(starts - offsets, lengths) + np.arange(total)
+
+
+def run_starts(values: np.ndarray) -> np.ndarray:
+    """Start index of every equal-value run in a sorted array, plus the
+    end sentinel, so ``zip(starts, starts[1:])`` walks the groups."""
+    if values.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    starts = np.flatnonzero(
+        np.concatenate(([True], values[1:] != values[:-1]))
+    )
+    return np.append(starts, values.size)
+
+
+def in_sorted(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
+    """Boolean membership of *needles* in the sorted array *haystack*."""
+    if haystack.size == 0:
+        return np.zeros(len(needles), dtype=bool)
+    pos = np.searchsorted(haystack, needles)
+    pos = np.minimum(pos, haystack.size - 1)
+    return haystack[pos] == needles
+
+
+class ColumnarIndex:
+    """Immutable sorted-permutation snapshot of a set of triples."""
+
+    __slots__ = (
+        "size",
+        "spo_s", "spo_p", "spo_o",
+        "pos_p", "pos_o", "pos_s",
+        "osp_o", "osp_s", "osp_p",
+        "pso_p", "pso_s", "pso_o",
+        "_subjects", "_subject_degrees",
+        "_objects", "_object_degrees",
+        "_predicates", "_predicate_triples",
+        "_nodes",
+    )
+
+    def __init__(
+        self, s: np.ndarray, p: np.ndarray, o: np.ndarray
+    ) -> None:
+        s = np.ascontiguousarray(s, dtype=np.int64)
+        p = np.ascontiguousarray(p, dtype=np.int64)
+        o = np.ascontiguousarray(o, dtype=np.int64)
+        if not (s.shape == p.shape == o.shape) or s.ndim != 1:
+            raise ValueError("s, p, o must be equal-length 1-d arrays")
+        self.size = int(s.size)
+        order = np.lexsort((o, p, s))
+        self.spo_s, self.spo_p, self.spo_o = s[order], p[order], o[order]
+        order = np.lexsort((s, o, p))
+        self.pos_p, self.pos_o, self.pos_s = p[order], o[order], s[order]
+        order = np.lexsort((p, s, o))
+        self.osp_o, self.osp_s, self.osp_p = o[order], s[order], p[order]
+        order = np.lexsort((o, s, p))
+        self.pso_p, self.pso_s, self.pso_o = p[order], s[order], o[order]
+        self._subjects: Optional[np.ndarray] = None
+        self._subject_degrees: Optional[np.ndarray] = None
+        self._objects: Optional[np.ndarray] = None
+        self._object_degrees: Optional[np.ndarray] = None
+        self._predicates: Optional[np.ndarray] = None
+        self._predicate_triples: Optional[np.ndarray] = None
+        self._nodes: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple]) -> "ColumnarIndex":
+        """Build from any iterable of (s, p, o) int triples."""
+        data = np.array(list(triples), dtype=np.int64)
+        if data.size == 0:
+            data = data.reshape(0, 3)
+        return cls(data[:, 0], data[:, 1], data[:, 2])
+
+    # ------------------------------------------------------------------
+    # Domains
+    # ------------------------------------------------------------------
+
+    def subjects(self) -> np.ndarray:
+        """Sorted distinct subject ids."""
+        if self._subjects is None:
+            self._subjects, self._subject_degrees = np.unique(
+                self.spo_s, return_counts=True
+            )
+        return self._subjects
+
+    def subject_degrees(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(sorted distinct subjects, out-degree of each)."""
+        self.subjects()
+        return self._subjects, self._subject_degrees
+
+    def objects(self) -> np.ndarray:
+        """Sorted distinct object ids."""
+        if self._objects is None:
+            self._objects, self._object_degrees = np.unique(
+                self.osp_o, return_counts=True
+            )
+        return self._objects
+
+    def object_degrees(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(sorted distinct objects, in-degree of each)."""
+        self.objects()
+        return self._objects, self._object_degrees
+
+    def predicates(self) -> np.ndarray:
+        """Sorted distinct predicate ids."""
+        if self._predicates is None:
+            self._predicates, self._predicate_triples = np.unique(
+                self.pso_p, return_counts=True
+            )
+        return self._predicates
+
+    def predicate_triple_counts(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(sorted distinct predicates, triple count of each)."""
+        self.predicates()
+        return self._predicates, self._predicate_triples
+
+    def nodes(self) -> np.ndarray:
+        """Sorted distinct node ids (subject or object position)."""
+        if self._nodes is None:
+            self._nodes = np.union1d(self.subjects(), self.objects())
+        return self._nodes
+
+    # ------------------------------------------------------------------
+    # Range lookups (one bound position)
+    # ------------------------------------------------------------------
+
+    def s_range(self, s: int) -> Range:
+        return _eq_range(self.spo_s, s)
+
+    def p_range_pso(self, p: int) -> Range:
+        return _eq_range(self.pso_p, p)
+
+    def p_range_pos(self, p: int) -> Range:
+        return _eq_range(self.pos_p, p)
+
+    def o_range(self, o: int) -> Range:
+        return _eq_range(self.osp_o, o)
+
+    # ------------------------------------------------------------------
+    # Slices (contiguous adjacency views)
+    # ------------------------------------------------------------------
+
+    def out_slice(self, s: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(p, o) columns of all triples with subject *s* (p-sorted)."""
+        lo, hi = self.s_range(s)
+        return self.spo_p[lo:hi], self.spo_o[lo:hi]
+
+    def in_slice(self, o: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(s, p) columns of all triples with object *o* (s-sorted)."""
+        lo, hi = self.o_range(o)
+        return self.osp_s[lo:hi], self.osp_p[lo:hi]
+
+    def pred_slice(self, p: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(s, o) columns of all triples with predicate *p* (s-sorted)."""
+        lo, hi = self.p_range_pso(p)
+        return self.pso_s[lo:hi], self.pso_o[lo:hi]
+
+    def pred_slice_by_object(
+        self, p: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(o, s) columns of all triples with predicate *p* (o-sorted)."""
+        lo, hi = self.p_range_pos(p)
+        return self.pos_o[lo:hi], self.pos_s[lo:hi]
+
+    # ------------------------------------------------------------------
+    # Two-bound lookups
+    # ------------------------------------------------------------------
+
+    def objects_of(self, s: int, p: int) -> np.ndarray:
+        """Sorted objects o with (s, p, o) stored."""
+        lo, hi = self.s_range(s)
+        lo, hi = _eq_range(self.spo_p, p, lo, hi)
+        return self.spo_o[lo:hi]
+
+    def subjects_of(self, p: int, o: int) -> np.ndarray:
+        """Sorted subjects s with (s, p, o) stored."""
+        lo, hi = self.p_range_pos(p)
+        lo, hi = _eq_range(self.pos_o, o, lo, hi)
+        return self.pos_s[lo:hi]
+
+    def predicates_between(self, s: int, o: int) -> np.ndarray:
+        """Sorted predicates p with (s, p, o) stored."""
+        lo, hi = self.o_range(o)
+        lo, hi = _eq_range(self.osp_s, s, lo, hi)
+        return self.osp_p[lo:hi]
+
+    # ------------------------------------------------------------------
+    # Counts
+    # ------------------------------------------------------------------
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        objs = self.objects_of(s, p)
+        if objs.size == 0:
+            return False
+        pos = int(np.searchsorted(objs, o))
+        return pos < objs.size and int(objs[pos]) == o
+
+    def out_degree(self, s: int) -> int:
+        lo, hi = self.s_range(s)
+        return hi - lo
+
+    def in_degree(self, o: int) -> int:
+        lo, hi = self.o_range(o)
+        return hi - lo
+
+    def predicate_count(self, p: int) -> int:
+        lo, hi = self.p_range_pso(p)
+        return hi - lo
+
+    def count_sp(self, s: int, p: int) -> int:
+        return self.objects_of(s, p).size
+
+    def count_po(self, p: int, o: int) -> int:
+        return self.subjects_of(p, o).size
+
+    def count_so(self, s: int, o: int) -> int:
+        return self.predicates_between(s, o).size
+
+    def out_predicates(self, s: int) -> np.ndarray:
+        """Sorted distinct predicates leaving subject *s*."""
+        preds, _ = self.out_slice(s)
+        return np.unique(preds)
+
+    def distinct_sp_pairs(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(subject, predicate, fan-out) per distinct (s, p) pair.
+
+        One boundary scan over the SPO columns; pairs come out in SPO
+        order, so runs of equal subject are contiguous (see
+        :func:`run_starts`).  Feeds the characteristic-set synopsis and
+        the co-occurrence statistics.
+        """
+        s_col, p_col = self.spo_s, self.spo_p
+        if s_col.size == 0:
+            return s_col, p_col, s_col
+        boundary = np.ones(s_col.size, dtype=bool)
+        boundary[1:] = (s_col[1:] != s_col[:-1]) | (
+            p_col[1:] != p_col[:-1]
+        )
+        idx = np.flatnonzero(boundary)
+        fanouts = np.diff(np.append(idx, s_col.size))
+        return s_col[idx], p_col[idx], fanouts
+
+    def subject_predicate_groups(self):
+        """Yield (predicates, fanouts) lists per distinct subject.
+
+        Groups :meth:`distinct_sp_pairs` by subject (SPO order), giving
+        each subject's characteristic set and per-predicate fan-outs in
+        one pass — shared by the CSET synopsis and the co-occurrence
+        statistics.
+        """
+        pair_s, pair_p, fanouts = self.distinct_sp_pairs()
+        if pair_s.size == 0:
+            return
+        starts = run_starts(pair_s).tolist()
+        preds = pair_p.tolist()
+        fans = fanouts.tolist()
+        for lo, hi in zip(starts, starts[1:]):
+            yield preds[lo:hi], fans[lo:hi]
+
+    # ------------------------------------------------------------------
+    # Per-predicate distinct-term statistics
+    # ------------------------------------------------------------------
+
+    def predicate_subject_stats(
+        self, p: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(distinct subjects of predicate p, triple count per subject)."""
+        s_col, _ = self.pred_slice(p)
+        return np.unique(s_col, return_counts=True)
+
+    def predicate_object_stats(
+        self, p: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(distinct objects of predicate p, triple count per object)."""
+        o_col, _ = self.pred_slice_by_object(p)
+        return np.unique(o_col, return_counts=True)
+
+    # ------------------------------------------------------------------
+    # Vectorized frontier primitives
+    # ------------------------------------------------------------------
+
+    def sp_ranges(
+        self, subjects: np.ndarray, p: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-subject (lo, hi) ranges into the PSO arrays for one predicate.
+
+        The returned bounds are absolute indices into ``pso_s``/``pso_o``;
+        ``hi - lo`` is the (s, p) fan-out of each subject.
+        """
+        plo, phi = self.p_range_pso(p)
+        view = self.pso_s[plo:phi]
+        lo = plo + np.searchsorted(view, subjects, side="left")
+        hi = plo + np.searchsorted(view, subjects, side="right")
+        return lo, hi
+
+    def sp_counts(self, subjects: np.ndarray, p: int) -> np.ndarray:
+        """(s, p) fan-out for an array of subjects, as int64."""
+        lo, hi = self.sp_ranges(subjects, p)
+        return hi - lo
+
+    def sp_have_object(
+        self, subjects: np.ndarray, p: int, o: int
+    ) -> np.ndarray:
+        """Boolean mask: does (s, p, o) exist, for an array of subjects."""
+        return in_sorted(self.subjects_of(p, o), subjects)
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of the four permutations (12 int64 columns)."""
+        return self.size * 3 * 8 * 4

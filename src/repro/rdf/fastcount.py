@@ -1,34 +1,50 @@
-"""Specialised exact counters for star and chain queries.
+"""Vectorized exact counters for star and chain queries.
 
 Generating training data requires labelling tens of thousands of queries
 with their true cardinality.  The generic backtracking matcher
 (:mod:`repro.rdf.matcher`) enumerates solutions, so its cost grows with
 the answer size; for the two topologies LMKG supports there are
 closed-form/DP counters whose cost is independent of the result
-cardinality:
+cardinality, and both run as **array reductions over the columnar
+store** (:mod:`repro.rdf.columnar`) with no per-triple Python work:
 
 - **Star** (?s shared, objects distinct variables or bound): the count is
   ``sum over candidate subjects of the product over triples of the
-  per-triple match count`` — per-subject factors multiply because the
-  object variables are distinct.
+  per-triple match count``.  Candidate subjects are one sorted array;
+  each triple contributes a factor vector — an ``sp_counts`` fan-out for
+  unbound objects, a sorted-membership mask for bound ones — and the
+  answer is the sum of the running elementwise product.
 - **Chain** (n1 -p1-> n2 -p2-> ... with distinct node variables): a
-  forward dynamic program over "number of partial walks ending at node v"
-  gives the count in one pass per triple.
+  forward DP over "number of partial walks ending at node v".  The
+  frontier is a (nodes, ways) array pair; each step expands contiguous
+  PSO ranges (``sp_ranges`` + one ``np.repeat``) and re-aggregates with
+  ``np.unique``/``np.add.at`` — one segment-product pass per triple.
 
 Both are *exact* and are validated against the generic matcher in the
-test suite.  :func:`count_query` dispatches to the fast path when the
-query shape allows it and falls back to :func:`repro.rdf.matcher.count_bgp`
-otherwise.
+test suite (including hypothesis property tests on random graphs).
+Counts are accumulated in int64; when the float shadow of a partial
+result nears the int64 range, the counter falls back to the original
+arbitrary-precision Python implementations (``_count_star_python`` /
+``_count_chain_python``), which are also kept as the dict-era reference
+for `benchmarks/bench_store_throughput.py`.  :func:`count_query`
+dispatches to the fast path when the query shape allows it and falls
+back to :func:`repro.rdf.matcher.count_bgp` otherwise.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
+import numpy as np
+
 from repro.rdf import matcher
+from repro.rdf.columnar import expand_ranges
 from repro.rdf.pattern import QueryPattern, Topology
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import Variable, is_bound
+
+#: Above this magnitude int64 products may overflow; fall back to Python.
+_INT64_SAFE = float(2 ** 62)
 
 
 def _distinct_variables(query: QueryPattern) -> bool:
@@ -43,74 +59,91 @@ def _distinct_variables(query: QueryPattern) -> bool:
     return seen
 
 
+def _star_applicable(query: QueryPattern) -> bool:
+    """Shape check shared by the vectorized and Python star counters."""
+    centre = query.triples[0].s
+    for tp in query.triples:
+        if tp.s != centre or not is_bound(tp.p):
+            return False
+    occurrences = _distinct_variables(query)
+    for var, occ in occurrences.items():
+        if var == centre:
+            if any(pos != "s" for _, pos in occ):
+                return False
+        elif len(occ) != 1 or occ[0][1] != "o":
+            return False
+    return True
+
+
 def count_star(store: TripleStore, query: QueryPattern) -> Optional[int]:
     """Exact count for a subject-star query; None when not applicable.
 
     Applicable when all triples share the subject term, predicates are
     bound, and every object is either bound or a variable that occurs
-    exactly once in the query.
+    exactly once in the query.  One factor vector per triple, one sum.
     """
+    if not _star_applicable(query):
+        return None
     centre = query.triples[0].s
-    for tp in query.triples:
-        if tp.s != centre or not is_bound(tp.p):
-            return None
-    occurrences = _distinct_variables(query)
-    for var, occ in occurrences.items():
-        if var == centre:
-            if any(pos != "s" for _, pos in occ):
-                return None
-        elif len(occ) != 1 or occ[0][1] != "o":
-            return None
+    col = store.columnar
 
+    best = None
+    best_counts = None
     if is_bound(centre):
-        candidates: Iterable[int] = (centre,)
+        candidates = np.array([centre], dtype=np.int64)
     else:
         # Seed candidates from the most selective triple.
         best = min(
             query.triples,
             key=lambda tp: (
-                len(store.subjects_of(tp.p, tp.o))
+                col.count_po(tp.p, tp.o)
                 if is_bound(tp.o)
-                else store.predicate_count(tp.p)
+                else col.predicate_count(tp.p)
             ),
         )
         if is_bound(best.o):
-            candidates = store.subjects_of(best.p, best.o)
+            candidates = col.subjects_of(best.p, best.o)
         else:
-            candidates = store._pso.get(best.p, {}).keys()
+            # The grouped predicate slice gives the seed triple's
+            # fan-out per candidate along with the candidates.
+            candidates, best_counts = col.predicate_subject_stats(best.p)
+    if candidates.size == 0:
+        return 0
 
-    total = 0
-    for s in candidates:
-        product = 1
-        for tp in query.triples:
-            if is_bound(tp.o):
-                if tp.o not in store.objects_of(s, tp.p):
-                    product = 0
-                    break
-            else:
-                factor = len(store.objects_of(s, tp.p))
-                if factor == 0:
-                    product = 0
-                    break
-                product *= factor
-        total += product
-    return total
+    products = np.ones(candidates.size, dtype=np.int64)
+    shadow = np.ones(candidates.size, dtype=np.float64)
+    seeded = False
+    for tp in query.triples:
+        if tp is best and best_counts is not None and not seeded:
+            # Fan-outs already known from candidate construction.
+            seeded = True
+            products *= best_counts
+            shadow *= best_counts
+        elif is_bound(tp.o):
+            member = col.sp_have_object(candidates, tp.p, tp.o)
+            products *= member
+            shadow *= member
+        else:
+            counts = col.sp_counts(candidates, tp.p)
+            products *= counts
+            shadow *= counts
+        if float(shadow.max(initial=0.0)) > _INT64_SAFE:
+            return _count_star_python(store, query)
+    total = float(shadow.sum())
+    if total > _INT64_SAFE:
+        return _count_star_python(store, query)
+    return int(products.sum())
 
 
-def count_chain(store: TripleStore, query: QueryPattern) -> Optional[int]:
-    """Exact count for a chain query via a forward DP; None if not
-    applicable.
-
-    Applicable when object i is subject i+1, predicates are bound, and
-    every node variable occurs only in its chain positions.
-    """
+def _chain_applicable(query: QueryPattern) -> bool:
+    """Shape check shared by the vectorized and Python chain counters."""
     triples = query.triples
     for prev, nxt in zip(triples, triples[1:]):
         if prev.o != nxt.s:
-            return None
+            return False
     for tp in triples:
         if not is_bound(tp.p):
-            return None
+            return False
     # Build the occurrence map the chain structure *implies* and require
     # the actual variable occurrences to match it exactly.  A variable
     # appearing anywhere else (a cycle back to an earlier node) breaks the
@@ -118,7 +151,7 @@ def count_chain(store: TripleStore, query: QueryPattern) -> Optional[int]:
     chain_nodes = [triples[0].s] + [tp.o for tp in triples]
     var_nodes = [t for t in chain_nodes if isinstance(t, Variable)]
     if len(var_nodes) != len(set(var_nodes)):
-        return None
+        return False
     expected: Dict[Variable, list] = {}
     last = len(chain_nodes) - 1
     for i, node in enumerate(chain_nodes):
@@ -133,21 +166,171 @@ def count_chain(store: TripleStore, query: QueryPattern) -> Optional[int]:
     occurrences = _distinct_variables(query)
     for var, occ in occurrences.items():
         if sorted(occ) != expected.get(var):
-            return None
+            return False
+    return True
 
-    # frontier: node id -> number of partial walks ending at that node.
+
+def count_chain(store: TripleStore, query: QueryPattern) -> Optional[int]:
+    """Exact count for a chain query via a vectorized forward DP; None if
+    not applicable.
+
+    Applicable when object i is subject i+1, predicates are bound, and
+    every node variable occurs only in its chain positions.  The
+    frontier (nodes, walk counts) advances one predicate slice at a
+    time: contiguous PSO ranges per frontier node, expanded with one
+    ``np.repeat``, re-aggregated with ``np.unique`` + ``np.add.at``.
+    """
+    if not _chain_applicable(query):
+        return None
+    col = store.columnar
+    triples = query.triples
+
+    first = triples[0]
+    if is_bound(first.s):
+        nodes = np.array([first.s], dtype=np.int64)
+        ways = np.ones(nodes.size, dtype=np.int64)
+    else:
+        # Unbound start: every subject contributes weight 1, so the
+        # first step is just the whole predicate slice grouped by
+        # object — no per-subject range search needed.
+        if is_bound(first.o):
+            total = col.count_po(first.p, first.o)
+            if total == 0:
+                return 0
+            nodes = np.array([first.o], dtype=np.int64)
+            ways = np.array([total], dtype=np.int64)
+        else:
+            _, o_col = col.pred_slice(first.p)
+            if o_col.size == 0:
+                return 0
+            nodes, ways = np.unique(o_col, return_counts=True)
+        triples = triples[1:]
+
+    # Float shadow of the frontier: int64 additions wrap silently, so
+    # overflow is detected on the (monotone, non-wrapping) float copy
+    # *before* trusting any int64 aggregate.
+    shadow = ways.astype(np.float64)
+    for tp in triples:
+        if nodes.size == 0:
+            return 0
+        lo, hi = col.sp_ranges(nodes, tp.p)
+        lengths = hi - lo
+        keep = lengths > 0
+        if not keep.all():
+            lo, lengths = lo[keep], lengths[keep]
+            ways, shadow = ways[keep], shadow[keep]
+        if ways.size == 0:
+            return 0
+        idx = expand_ranges(lo, lengths)
+        objs = col.pso_o[idx]
+        if is_bound(tp.o):
+            # Only walks stepping exactly onto the bound object survive;
+            # membership per frontier node is one searchsorted pass.
+            hit = objs == tp.o
+            total_shadow = float(
+                np.repeat(shadow, lengths)[hit].sum()
+            )
+            if total_shadow > _INT64_SAFE:
+                return _count_chain_python(store, query)
+            total = int(np.repeat(ways, lengths)[hit].sum())
+            if total == 0:
+                return 0
+            nodes = np.array([tp.o], dtype=np.int64)
+            ways = np.array([total], dtype=np.int64)
+            shadow = np.array([total_shadow])
+        else:
+            nodes, inverse = np.unique(objs, return_inverse=True)
+            shadow = np.bincount(
+                inverse,
+                weights=np.repeat(shadow, lengths),
+                minlength=nodes.size,
+            )
+            if float(shadow.max(initial=0.0)) > _INT64_SAFE:
+                return _count_chain_python(store, query)
+            acc = np.zeros(nodes.size, dtype=np.int64)
+            np.add.at(acc, inverse, np.repeat(ways, lengths))
+            ways = acc
+    if float(shadow.sum()) > _INT64_SAFE:
+        return _count_chain_python(store, query)
+    return int(ways.sum())
+
+
+# ----------------------------------------------------------------------
+# Reference implementations (dict-era, arbitrary-precision)
+# ----------------------------------------------------------------------
+
+
+def _count_star_python(
+    store: TripleStore, query: QueryPattern
+) -> Optional[int]:
+    """The original per-subject Python star counter.
+
+    Exact with arbitrary-precision ints; serves as the overflow fallback
+    of :func:`count_star` and as the dict-era reference that
+    ``bench_store_throughput`` measures the vectorized path against.
+    """
+    if not _star_applicable(query):
+        return None
+    # Read through the legacy dict-of-dict-of-set indexes so this is a
+    # faithful replica of the seed implementation's work profile.
+    spo, pos = store._spo, store._pos
+    centre = query.triples[0].s
+    if is_bound(centre):
+        candidates: Iterable[int] = (centre,)
+    else:
+        best = min(
+            query.triples,
+            key=lambda tp: (
+                len(pos.get(tp.p, {}).get(tp.o, ()))
+                if is_bound(tp.o)
+                else store.predicate_count(tp.p)
+            ),
+        )
+        if is_bound(best.o):
+            candidates = pos.get(best.p, {}).get(best.o, set())
+        else:
+            candidates = store._pso.get(best.p, {}).keys()
+
+    total = 0
+    for s in candidates:
+        product = 1
+        by_pred = spo.get(s, {})
+        for tp in query.triples:
+            objs = by_pred.get(tp.p, set())
+            if is_bound(tp.o):
+                if tp.o not in objs:
+                    product = 0
+                    break
+            else:
+                if not objs:
+                    product = 0
+                    break
+                product *= len(objs)
+        total += product
+    return total
+
+
+def _count_chain_python(
+    store: TripleStore, query: QueryPattern
+) -> Optional[int]:
+    """The original dict-frontier Python chain DP (see
+    :func:`_count_star_python` for why it is kept)."""
+    if not _chain_applicable(query):
+        return None
+    spo = store._spo
+    triples = query.triples
     first = triples[0]
     frontier: Dict[int, int] = {}
     if is_bound(first.s):
         frontier[first.s] = 1
     else:
-        for s in store._spo.keys():
+        for s in spo.keys():
             frontier[s] = 1
 
     for tp in triples:
         new_frontier: Dict[int, int] = {}
         for node, ways in frontier.items():
-            objs = store.objects_of(node, tp.p)
+            objs = spo.get(node, {}).get(tp.p, ())
             if not objs:
                 continue
             if is_bound(tp.o):

@@ -6,17 +6,115 @@ triple patterns of the query match the graph.  This module computes that
 number exactly with a backtracking join whose next pattern is always the
 one with the fewest candidate triples under the current bindings (a greedy
 selectivity-first join order, the standard approach in RDF engines).
+
+The backtracking join is pure pointer chasing — hundreds of thousands of
+tiny single-pattern probes per query — so it reads the store's
+generation-cached **dict indexes** (`TripleStore._legacy_indexes`), which
+answer a probe by reference; the columnar permutations that serve the
+vectorized counters would pay a binary search per probe here.  Both views
+are snapshots of the same generation, so the results are identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.rdf.pattern import QueryPattern
 from repro.rdf.store import TripleStore
-from repro.rdf.terms import TriplePattern, Variable, is_bound
+from repro.rdf.terms import Triple, TriplePattern, Variable, is_bound
 
 Bindings = Dict[Variable, int]
+
+_EMPTY: dict = {}
+
+
+def _match_single(
+    store: TripleStore, tp: TriplePattern
+) -> Iterator[Triple]:
+    """Triples matching one pattern, via the dict indexes.
+
+    Equivalent to ``store.match_pattern`` (including repeated-variable
+    filtering) but tuned for the join's inner loop.
+    """
+    same_so = isinstance(tp.s, Variable) and tp.s == tp.o
+    same_sp = isinstance(tp.s, Variable) and tp.s == tp.p
+    same_po = isinstance(tp.p, Variable) and tp.p == tp.o
+    for triple in _candidates(store, tp):
+        s, p, o = triple
+        if same_so and s != o:
+            continue
+        if same_sp and s != p:
+            continue
+        if same_po and p != o:
+            continue
+        yield triple
+
+
+def _candidates(
+    store: TripleStore, tp: TriplePattern
+) -> Iterator[Triple]:
+    """Best dict index for the bound positions of one pattern."""
+    spo, pos, osp, _ = store._legacy_indexes()
+    s_b, p_b, o_b = is_bound(tp.s), is_bound(tp.p), is_bound(tp.o)
+    if s_b and p_b and o_b:
+        triple = tp.as_triple()
+        if triple in store:
+            yield triple
+        return
+    if s_b and p_b:
+        for o in spo.get(tp.s, _EMPTY).get(tp.p, ()):
+            yield (tp.s, tp.p, o)
+        return
+    if p_b and o_b:
+        for s in pos.get(tp.p, _EMPTY).get(tp.o, ()):
+            yield (s, tp.p, tp.o)
+        return
+    if s_b and o_b:
+        for p in osp.get(tp.o, _EMPTY).get(tp.s, ()):
+            yield (tp.s, p, tp.o)
+        return
+    if s_b:
+        for p, objs in spo.get(tp.s, _EMPTY).items():
+            for o in objs:
+                yield (tp.s, p, o)
+        return
+    if p_b:
+        for o, subjects in pos.get(tp.p, _EMPTY).items():
+            for s in subjects:
+                yield (s, tp.p, o)
+        return
+    if o_b:
+        for s, preds in osp.get(tp.o, _EMPTY).items():
+            for p in preds:
+                yield (s, p, tp.o)
+        return
+    yield from store
+
+
+def _count_single(store: TripleStore, tp: TriplePattern) -> int:
+    """Exact single-pattern count via the dict indexes."""
+    variables = tp.variables
+    if len(variables) != len(set(variables)):
+        return sum(1 for _ in _match_single(store, tp))
+    spo, pos, osp, pso = store._legacy_indexes()
+    s_b, p_b, o_b = is_bound(tp.s), is_bound(tp.p), is_bound(tp.o)
+    if s_b and p_b and o_b:
+        return 1 if tp.as_triple() in store else 0
+    if s_b and p_b:
+        return len(spo.get(tp.s, _EMPTY).get(tp.p, ()))
+    if p_b and o_b:
+        return len(pos.get(tp.p, _EMPTY).get(tp.o, ()))
+    if s_b and o_b:
+        return len(osp.get(tp.o, _EMPTY).get(tp.s, ()))
+    if s_b:
+        return sum(len(objs) for objs in spo.get(tp.s, _EMPTY).values())
+    if p_b:
+        return sum(len(objs) for objs in pso.get(tp.p, _EMPTY).values())
+    if o_b:
+        return sum(
+            len(preds) for preds in osp.get(tp.o, _EMPTY).values()
+        )
+    return len(store)
 
 
 def _extend(
@@ -48,7 +146,7 @@ def _pick_next(
     best_count = None
     for idx, tp in enumerate(remaining):
         bound_tp = tp.bind(bindings)
-        count = store.count_pattern(bound_tp)
+        count = _count_single(store, bound_tp)
         if best_count is None or count < best_count:
             best_idx, best_count = idx, count
             if best_count == 0:
@@ -77,7 +175,7 @@ def _search(
     tp = remaining[idx]
     rest = remaining[:idx] + remaining[idx + 1:]
     bound_tp = tp.bind(bindings)
-    for triple in store.match_pattern(bound_tp):
+    for triple in _match_single(store, bound_tp):
         extended = _extend(bindings, bound_tp, triple)
         if extended is not None:
             yield from _search(store, rest, extended)
@@ -98,11 +196,11 @@ def _count(
     rest = remaining[:idx] + remaining[idx + 1:]
     bound_tp = tp.bind(bindings)
     # Fast path: when this was the last pattern and it has no repeated
-    # variables, the store can count matches without enumerating them.
+    # variables, the indexes count matches without enumerating them.
     if not rest and len(bound_tp.variables) == len(set(bound_tp.variables)):
-        return store.count_pattern(bound_tp)
+        return _count_single(store, bound_tp)
     total = 0
-    for triple in store.match_pattern(bound_tp):
+    for triple in _match_single(store, bound_tp):
         extended = _extend(bindings, bound_tp, triple)
         if extended is not None:
             total += _count(store, rest, extended)

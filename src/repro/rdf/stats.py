@@ -3,7 +3,10 @@
 Provides per-graph summary statistics (triples, entities, predicates,
 degree distributions) plus skew diagnostics used to verify that the
 synthetic datasets reproduce the statistical character the paper relies
-on (heavy-tailed degrees, correlated predicates).
+on (heavy-tailed degrees, correlated predicates).  Everything reads the
+columnar store snapshot: degree vectors, predicate histograms, and
+characteristic-set scans are array reductions rather than per-node dict
+walks.
 """
 
 from __future__ import annotations
@@ -64,12 +67,9 @@ def gini(values: np.ndarray) -> float:
 
 def compute_stats(store: TripleStore, name: str = "graph") -> GraphStats:
     """Compute the Table I statistics for *store*."""
-    out_degrees = np.array(
-        [store.out_degree(n) for n in store.subjects()], dtype=np.int64
-    )
-    in_degrees = np.array(
-        [store.in_degree(n) for n in store._osp.keys()], dtype=np.int64
-    )
+    col = store.columnar
+    _, out_degrees = col.subject_degrees()
+    _, in_degrees = col.object_degrees()
     return GraphStats(
         name=name,
         num_triples=store.num_triples,
@@ -86,7 +86,8 @@ def compute_stats(store: TripleStore, name: str = "graph") -> GraphStats:
 
 def predicate_histogram(store: TripleStore) -> Dict[int, int]:
     """Triple count per predicate — the base synopsis of naive estimators."""
-    return {p: store.predicate_count(p) for p in store.predicates()}
+    preds, counts = store.columnar.predicate_triple_counts()
+    return dict(zip(preds.tolist(), counts.tolist()))
 
 
 def predicate_cooccurrence(store: TripleStore) -> Counter:
@@ -94,13 +95,15 @@ def predicate_cooccurrence(store: TripleStore) -> Counter:
 
     High co-occurrence relative to independent expectation is exactly the
     predicate correlation that breaks histogram estimators (Section I of
-    the paper); the SWDF-like generator is validated against this.
+    the paper); the SWDF-like generator is validated against this.  The
+    per-subject predicate sets come from one pass over the distinct
+    (s, p) pairs of the SPO permutation.
     """
     cooc: Counter = Counter()
-    for s in store.subjects():
-        preds = sorted(store.out_predicates(s))
-        for i, p1 in enumerate(preds):
-            for p2 in preds[i + 1:]:
+    for group, _ in store.columnar.subject_predicate_groups():
+        # Predicates are already sorted within the subject.
+        for i, p1 in enumerate(group):
+            for p2 in group[i + 1:]:
                 cooc[(p1, p2)] += 1
     return cooc
 
@@ -111,17 +114,17 @@ def correlation_factor(store: TripleStore, p1: int, p2: int) -> float:
     Values ≫ 1 mean the predicates are positively correlated, i.e. the
     independence assumption underestimates their conjunction.
     """
-    subjects = list(store.subjects())
-    n = len(subjects)
+    col = store.columnar
+    n = col.subjects().size
     if n == 0:
         return 1.0
-    with_p1 = sum(1 for s in subjects if p1 in store.out_predicates(s))
-    with_p2 = sum(1 for s in subjects if p2 in store.out_predicates(s))
-    both = sum(
-        1
-        for s in subjects
-        if p1 in store.out_predicates(s) and p2 in store.out_predicates(s)
-    )
+    subjects_p1 = col.predicate_subject_stats(p1)[0]
+    subjects_p2 = col.predicate_subject_stats(p2)[0]
+    with_p1 = subjects_p1.size
+    with_p2 = subjects_p2.size
+    both = np.intersect1d(
+        subjects_p1, subjects_p2, assume_unique=True
+    ).size
     expected = (with_p1 / n) * (with_p2 / n) * n
     if expected == 0:
         return 0.0 if both == 0 else float("inf")
@@ -130,5 +133,6 @@ def correlation_factor(store: TripleStore, p1: int, p2: int) -> float:
 
 def degree_distribution(store: TripleStore) -> List[Tuple[int, int]]:
     """(degree, node count) pairs of the out-degree distribution, sorted."""
-    counts = Counter(store.out_degree(n) for n in store.subjects())
-    return sorted(counts.items())
+    _, out_degrees = store.columnar.subject_degrees()
+    degrees, counts = np.unique(out_degrees, return_counts=True)
+    return list(zip(degrees.tolist(), counts.tolist()))

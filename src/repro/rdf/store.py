@@ -1,14 +1,28 @@
-"""An indexed, in-memory RDF triple store.
+"""An indexed, in-memory RDF triple store over a columnar numpy backend.
 
-The store keeps dictionary-encoded triples in four permutation indexes
-(SPO, POS, OSP, PSO) so that every single-triple-pattern access path —
-any subset of {s, p, o} bound — is answered without a scan.  This mirrors
-the index layouts of RDF-3X-style engines at the scale this reproduction
-needs (up to a few hundred thousand triples).
+Triples are dictionary-encoded and, on first read, snapshotted into a
+:class:`~repro.rdf.columnar.ColumnarIndex`: four sorted ``int64``
+permutations (SPO, POS, OSP, PSO) answering every single-triple-pattern
+access path — any subset of {s, p, o} bound — with two binary searches
+over a contiguous column instead of dict/set traversal.  This mirrors
+the sorted-permutation layouts of RDF-3X-style engines while keeping
+the whole graph in a dozen flat arrays that the vectorized counters
+(:mod:`repro.rdf.fastcount`), samplers
+(:mod:`repro.sampling.random_walk`) and statistics
+(:mod:`repro.rdf.stats`) consume without per-triple Python overhead.
 
-The store is the substrate under everything else: ground-truth cardinality
-computation (:mod:`repro.rdf.matcher`), random-walk training-data sampling
-(:mod:`repro.sampling`), and every baseline estimator.
+:class:`TripleStore` is a *facade*: its mutation and accessor API is
+unchanged from the original dict-of-dict-of-set implementation, so the
+matcher, the baselines, and all existing callers keep working.  Every
+derived structure — the columnar snapshot, the legacy dict indexes, the
+flattened adjacency lists — is cached lazily and stamped with the
+store's **generation counter**, which ``add`` bumps; a cache built
+before a mutation can therefore never be served afterwards.
+
+The store is the substrate under everything else: ground-truth
+cardinality computation (:mod:`repro.rdf.matcher`), random-walk
+training-data sampling (:mod:`repro.sampling`), and every baseline
+estimator.
 """
 
 from __future__ import annotations
@@ -16,6 +30,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro.rdf.columnar import ColumnarIndex
 from repro.rdf.dictionary import GraphDictionary
 from repro.rdf.terms import Triple, TriplePattern, Variable, is_bound
 
@@ -26,20 +41,20 @@ class TripleStore:
     Attributes:
         dictionary: the node/predicate dictionaries when the store was built
             from lexical data; None for purely synthetic id-level stores.
+        generation: mutation counter; bumped by every successful ``add``.
+            Lazily derived structures remember the generation they were
+            built at and rebuild when it moved on.
     """
 
     def __init__(self, dictionary: Optional[GraphDictionary] = None) -> None:
         self.dictionary = dictionary
         self._triples: Set[Triple] = set()
-        self._spo: Dict[int, Dict[int, Set[int]]] = defaultdict(dict)
-        self._pos: Dict[int, Dict[int, Set[int]]] = defaultdict(dict)
-        self._osp: Dict[int, Dict[int, Set[int]]] = defaultdict(dict)
-        self._pso: Dict[int, Dict[int, Set[int]]] = defaultdict(dict)
-        # Flattened adjacency caches for O(1) random-walk sampling;
-        # rebuilt lazily after mutation.
-        self._out_edges: Optional[Dict[int, List[Tuple[int, int]]]] = None
-        self._in_edges: Optional[Dict[int, List[Tuple[int, int]]]] = None
-        self._nodes_cache: Optional[List[int]] = None
+        self.generation: int = 0
+        # Generation-stamped caches: (generation, payload).
+        self._columnar_cache: Optional[Tuple[int, ColumnarIndex]] = None
+        self._legacy_cache: Optional[Tuple[int, tuple]] = None
+        self._adjacency_cache: Optional[Tuple[int, dict, dict]] = None
+        self._nodes_cache: Optional[Tuple[int, List[int]]] = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -47,17 +62,11 @@ class TripleStore:
 
     def add(self, s: int, p: int, o: int) -> bool:
         """Insert a triple; returns False when it was already present."""
-        triple = (s, p, o)
+        triple = (int(s), int(p), int(o))
         if triple in self._triples:
             return False
         self._triples.add(triple)
-        self._spo[s].setdefault(p, set()).add(o)
-        self._pos[p].setdefault(o, set()).add(s)
-        self._osp[o].setdefault(s, set()).add(p)
-        self._pso[p].setdefault(s, set()).add(o)
-        self._out_edges = None
-        self._in_edges = None
-        self._nodes_cache = None
+        self.generation += 1
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -69,6 +78,24 @@ class TripleStore:
         return added
 
     # ------------------------------------------------------------------
+    # Columnar snapshot
+    # ------------------------------------------------------------------
+
+    @property
+    def columnar(self) -> ColumnarIndex:
+        """The sorted-permutation snapshot of the current generation.
+
+        Built lazily on first access after a mutation; all vectorized
+        paths (fast counters, samplers, stats) read through this.
+        """
+        cache = self._columnar_cache
+        if cache is None or cache[0] != self.generation:
+            index = ColumnarIndex.from_triples(self._triples)
+            self._columnar_cache = (self.generation, index)
+            return index
+        return cache[1]
+
+    # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
 
@@ -76,7 +103,7 @@ class TripleStore:
         return len(self._triples)
 
     def __contains__(self, triple: Triple) -> bool:
-        return triple in self._triples
+        return tuple(int(t) for t in triple) in self._triples
 
     def __iter__(self) -> Iterator[Triple]:
         return iter(self._triples)
@@ -87,14 +114,16 @@ class TripleStore:
 
     def nodes(self) -> List[int]:
         """All node ids appearing as subject or object (sorted, cached)."""
-        if self._nodes_cache is None:
-            ids = set(self._spo.keys()) | set(self._osp.keys())
-            self._nodes_cache = sorted(ids)
-        return self._nodes_cache
+        cache = self._nodes_cache
+        if cache is None or cache[0] != self.generation:
+            nodes = self.columnar.nodes().tolist()
+            self._nodes_cache = (self.generation, nodes)
+            return nodes
+        return cache[1]
 
     def predicates(self) -> List[int]:
         """All predicate ids in use (sorted)."""
-        return sorted(self._pso.keys())
+        return self.columnar.predicates().tolist()
 
     @property
     def num_nodes(self) -> int:
@@ -102,57 +131,127 @@ class TripleStore:
 
     @property
     def num_predicates(self) -> int:
-        return len(self._pso)
+        return int(self.columnar.predicates().size)
 
-    def subjects(self) -> Iterable[int]:
-        return self._spo.keys()
+    def subjects(self) -> List[int]:
+        """All distinct subject ids (sorted)."""
+        return self.columnar.subjects().tolist()
+
+    def objects(self) -> List[int]:
+        """All distinct object ids (sorted)."""
+        return self.columnar.objects().tolist()
 
     def objects_of(self, s: int, p: int) -> Set[int]:
         """Objects o with (s, p, o) in the store."""
-        return self._spo.get(s, {}).get(p, set())
+        return set(self.columnar.objects_of(s, p).tolist())
 
     def subjects_of(self, p: int, o: int) -> Set[int]:
         """Subjects s with (s, p, o) in the store."""
-        return self._pos.get(p, {}).get(o, set())
+        return set(self.columnar.subjects_of(p, o).tolist())
 
     def predicates_between(self, s: int, o: int) -> Set[int]:
         """Predicates p with (s, p, o) in the store."""
-        return self._osp.get(o, {}).get(s, set())
+        return set(self.columnar.predicates_between(s, o).tolist())
 
     def out_predicates(self, s: int) -> Set[int]:
         """The emitting predicate set of *s* (its characteristic set)."""
-        return set(self._spo.get(s, {}).keys())
+        return set(self.columnar.out_predicates(s).tolist())
+
+    def subjects_with_predicate(self, p: int) -> List[int]:
+        """Distinct subjects appearing with predicate *p* (sorted)."""
+        return self.columnar.predicate_subject_stats(p)[0].tolist()
+
+    def objects_with_predicate(self, p: int) -> List[int]:
+        """Distinct objects appearing with predicate *p* (sorted)."""
+        return self.columnar.predicate_object_stats(p)[0].tolist()
 
     def out_edges(self, s: int) -> List[Tuple[int, int]]:
         """All (p, o) pairs leaving node *s*, as a flat list (cached)."""
-        if self._out_edges is None:
-            self._build_adjacency()
-        return self._out_edges.get(s, [])  # type: ignore[union-attr]
+        return self._adjacency()[0].get(s, [])
 
     def in_edges(self, o: int) -> List[Tuple[int, int]]:
         """All (s, p) pairs entering node *o*, as a flat list (cached)."""
-        if self._in_edges is None:
-            self._build_adjacency()
-        return self._in_edges.get(o, [])  # type: ignore[union-attr]
+        return self._adjacency()[1].get(o, [])
 
     def out_degree(self, s: int) -> int:
-        return sum(len(objs) for objs in self._spo.get(s, {}).values())
+        return self.columnar.out_degree(s)
 
     def in_degree(self, o: int) -> int:
-        return sum(len(preds) for preds in self._osp.get(o, {}).values())
+        return self.columnar.in_degree(o)
 
     def predicate_count(self, p: int) -> int:
         """Number of triples with predicate *p*."""
-        return sum(len(objs) for objs in self._pso.get(p, {}).values())
+        return self.columnar.predicate_count(p)
 
-    def _build_adjacency(self) -> None:
-        out: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
-        inc: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+    def _adjacency(self) -> Tuple[dict, dict]:
+        """Flattened out-/in-adjacency dicts of the current generation.
+
+        The cache is keyed by :attr:`generation`, so a build that
+        happened before any mutation is discarded rather than served
+        stale (regression-tested).
+        """
+        cache = self._adjacency_cache
+        if cache is not None and cache[0] == self.generation:
+            return cache[1], cache[2]
+        col = self.columnar
+        out: Dict[int, List[Tuple[int, int]]] = {}
+        pairs_out = list(zip(col.spo_p.tolist(), col.spo_o.tolist()))
+        subs, degs = col.subject_degrees()
+        start = 0
+        for s, d in zip(subs.tolist(), degs.tolist()):
+            out[s] = pairs_out[start: start + d]
+            start += d
+        inc: Dict[int, List[Tuple[int, int]]] = {}
+        pairs_in = list(zip(col.osp_s.tolist(), col.osp_p.tolist()))
+        objs, indegs = col.object_degrees()
+        start = 0
+        for o, d in zip(objs.tolist(), indegs.tolist()):
+            inc[o] = pairs_in[start: start + d]
+            start += d
+        self._adjacency_cache = (self.generation, out, inc)
+        return out, inc
+
+    # ------------------------------------------------------------------
+    # Legacy dict indexes (compatibility views)
+    # ------------------------------------------------------------------
+
+    def _legacy_indexes(self) -> tuple:
+        """Dict-of-dict-of-set views of the four permutations.
+
+        Kept only for external code written against the original
+        implementation; everything internal reads :attr:`columnar`.
+        """
+        cache = self._legacy_cache
+        if cache is not None and cache[0] == self.generation:
+            return cache[1]
+        spo: Dict[int, Dict[int, Set[int]]] = defaultdict(dict)
+        pos: Dict[int, Dict[int, Set[int]]] = defaultdict(dict)
+        osp: Dict[int, Dict[int, Set[int]]] = defaultdict(dict)
+        pso: Dict[int, Dict[int, Set[int]]] = defaultdict(dict)
         for s, p, o in self._triples:
-            out[s].append((p, o))
-            inc[o].append((s, p))
-        self._out_edges = dict(out)
-        self._in_edges = dict(inc)
+            spo[s].setdefault(p, set()).add(o)
+            pos[p].setdefault(o, set()).add(s)
+            osp[o].setdefault(s, set()).add(p)
+            pso[p].setdefault(s, set()).add(o)
+        indexes = (spo, pos, osp, pso)
+        self._legacy_cache = (self.generation, indexes)
+        return indexes
+
+    @property
+    def _spo(self) -> Dict[int, Dict[int, Set[int]]]:
+        return self._legacy_indexes()[0]
+
+    @property
+    def _pos(self) -> Dict[int, Dict[int, Set[int]]]:
+        return self._legacy_indexes()[1]
+
+    @property
+    def _osp(self) -> Dict[int, Dict[int, Set[int]]]:
+        return self._legacy_indexes()[2]
+
+    @property
+    def _pso(self) -> Dict[int, Dict[int, Set[int]]]:
+        return self._legacy_indexes()[3]
 
     # ------------------------------------------------------------------
     # Single-pattern matching
@@ -182,65 +281,67 @@ class TripleStore:
     def _candidates(
         self, tp: TriplePattern, s_b: bool, p_b: bool, o_b: bool
     ) -> Iterator[Triple]:
-        """Pick the best index for the bound positions and iterate it."""
+        """Slice the best permutation for the bound positions."""
+        col = self.columnar
         if s_b and p_b and o_b:
             triple = tp.as_triple()
             if triple in self._triples:
                 yield triple
             return
         if s_b and p_b:
-            for o in self.objects_of(tp.s, tp.p):
+            for o in col.objects_of(tp.s, tp.p).tolist():
                 yield (tp.s, tp.p, o)
             return
         if p_b and o_b:
-            for s in self.subjects_of(tp.p, tp.o):
+            for s in col.subjects_of(tp.p, tp.o).tolist():
                 yield (s, tp.p, tp.o)
             return
         if s_b and o_b:
-            for p in self.predicates_between(tp.s, tp.o):
+            for p in col.predicates_between(tp.s, tp.o).tolist():
                 yield (tp.s, p, tp.o)
             return
         if s_b:
-            for p, objs in self._spo.get(tp.s, {}).items():
-                for o in objs:
-                    yield (tp.s, p, o)
+            preds, objs = col.out_slice(tp.s)
+            for p, o in zip(preds.tolist(), objs.tolist()):
+                yield (tp.s, p, o)
             return
         if p_b:
-            for s, objs in self._pso.get(tp.p, {}).items():
-                for o in objs:
-                    yield (s, tp.p, o)
+            subs, objs = col.pred_slice(tp.p)
+            for s, o in zip(subs.tolist(), objs.tolist()):
+                yield (s, tp.p, o)
             return
         if o_b:
-            for s, preds in self._osp.get(tp.o, {}).items():
-                for p in preds:
-                    yield (s, p, tp.o)
+            subs, preds = col.in_slice(tp.o)
+            for s, p in zip(subs.tolist(), preds.tolist()):
+                yield (s, p, tp.o)
             return
         yield from self._triples
 
     def count_pattern(self, tp: TriplePattern) -> int:
         """Exact result count of a single triple pattern.
 
-        Fast paths avoid materialising candidates whenever the pattern has
-        no repeated variables.
+        Every no-repeated-variable shape is a pure range width on one
+        permutation — no candidate materialisation.
         """
         has_repeat = len(tp.variables) != len(set(tp.variables))
         if has_repeat:
             return sum(1 for _ in self.match_pattern(tp))
+        col = self.columnar
         s_b, p_b, o_b = is_bound(tp.s), is_bound(tp.p), is_bound(tp.o)
         if s_b and p_b and o_b:
             return 1 if tp.as_triple() in self._triples else 0
         if s_b and p_b:
-            return len(self.objects_of(tp.s, tp.p))
+            return col.count_sp(tp.s, tp.p)
         if p_b and o_b:
-            return len(self.subjects_of(tp.p, tp.o))
+            return col.count_po(tp.p, tp.o)
         if s_b and o_b:
-            return len(self.predicates_between(tp.s, tp.o))
+            return col.count_so(tp.s, tp.o)
         if s_b:
-            return self.out_degree(tp.s)
+            return col.out_degree(tp.s)
         if p_b:
-            return self.predicate_count(tp.p)
+            return col.predicate_count(tp.p)
         if o_b:
-            return self.in_degree(tp.o)
+            return col.in_degree(tp.o)
         return len(self._triples)
 
     # ------------------------------------------------------------------
@@ -259,13 +360,9 @@ class TripleStore:
         return store
 
     def memory_bytes(self) -> int:
-        """Rough resident size of the index structures, in bytes.
+        """Resident size of the columnar permutations, in bytes.
 
-        Used by the Table II memory comparison; counts index entries at
-        pointer granularity rather than calling sys.getsizeof on every
-        container, which would dominate runtime.
+        Used by the Table II memory comparison: four permutations of
+        three int64 columns each, 96 bytes per triple.
         """
-        # Each triple appears in 4 indexes plus the base set; an entry in a
-        # Python set of ints costs ~32 bytes at these sizes.
-        per_triple = 32 * 5
-        return len(self._triples) * per_triple
+        return len(self._triples) * 3 * 8 * 4

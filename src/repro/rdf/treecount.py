@@ -104,6 +104,12 @@ def count_tree(store: TripleStore, query: QueryPattern) -> Optional[int]:
         return None
     root, children = _build_rooted_tree(query)
 
+    # The DP makes huge numbers of tiny (term, value) lookups; the
+    # generation-cached dict indexes answer those by reference, unlike
+    # the columnar ranges which pay a binary search per probe.
+    spo, pos = store._spo, store._pos
+    empty: Set[int] = set()
+
     memo: Dict[Tuple[PatternTerm, int], int] = {}
 
     def subtree_count(term: PatternTerm, value: int, depth: int) -> int:
@@ -114,9 +120,9 @@ def count_tree(store: TripleStore, query: QueryPattern) -> Optional[int]:
         product = 1
         for predicate, child, outgoing in children.get(term, []):
             neighbours = (
-                store.objects_of(value, predicate)
+                spo.get(value, {}).get(predicate, empty)
                 if outgoing
-                else store.subjects_of(predicate, value)
+                else pos.get(predicate, {}).get(value, empty)
             )
             if isinstance(child, Variable):
                 total = 0
@@ -141,9 +147,9 @@ def count_tree(store: TripleStore, query: QueryPattern) -> Optional[int]:
     total = 0
     first_p, first_child, outgoing = children[root][0]
     if outgoing:
-        candidates = list(store._pso.get(first_p, {}).keys())
+        candidates = store.subjects_with_predicate(first_p)
     else:
-        candidates = list(store._pos.get(first_p, {}).keys())
+        candidates = store.objects_with_predicate(first_p)
     for value in candidates:
         total += subtree_count(root, value, 0)
     return total

@@ -127,3 +127,25 @@ class TestMSCN:
         )
         with_samples.fit(training_records[:50])
         assert with_samples.memory_bytes() > no_samples.memory_bytes()
+
+
+class TestEstimateBatchAPI:
+    """Every estimator answers estimate_batch, vectorized or looped."""
+
+    def test_mscn_batch_matches_loop(self, lubm_store, training_records):
+        model = MSCN(
+            lubm_store, 2, MSCNConfig(num_samples=32, epochs=3, seed=2)
+        )
+        model.fit(training_records)
+        queries = [r.query for r in training_records[:10]]
+        loop = [model.estimate(q) for q in queries]
+        batch = model.estimate_batch(queries)
+        assert np.allclose(loop, batch, rtol=1e-6)
+
+    def test_base_fallback_loops(self, lubm_store, training_records):
+        from repro.baselines import CharacteristicSets
+
+        cset = CharacteristicSets(lubm_store)
+        queries = [r.query for r in training_records[:5]]
+        batch = cset.estimate_batch(queries)
+        assert batch.tolist() == [cset.estimate(q) for q in queries]

@@ -130,3 +130,73 @@ class TestExecutionPhase:
         )
         with pytest.raises(EstimationError):
             framework.estimate(query3)
+
+
+class TestEstimateBatch:
+    def test_matches_estimate_loop(self, supervised, lubm_store):
+        """The batched router must agree with the per-query path."""
+        import numpy as np
+
+        star = generate_workload(lubm_store, "star", 2, 20, seed=11)
+        chain = generate_workload(lubm_store, "chain", 2, 20, seed=12)
+        queries = [r.query for r in list(star) + list(chain)]
+        loop = [supervised.estimate(q) for q in queries]
+        batch = supervised.estimate_batch(queries)
+        assert len(batch) == len(queries)
+        assert np.allclose(loop, batch, rtol=1e-6)
+
+    def test_single_triples_exact_in_batch(self, supervised, lubm_store):
+        tp = next(iter(lubm_store))
+        query = QueryPattern([TriplePattern(tp[0], tp[1], v("o"))])
+        expected = float(lubm_store.count_pattern(query.triples[0]))
+        assert supervised.estimate_batch([query]) == [expected]
+
+    def test_empty_batch(self, supervised):
+        assert supervised.estimate_batch([]) == []
+
+    def test_missing_model_raises_in_batch(self, supervised):
+        big = star_pattern(
+            v("x"), [(1, v(f"y{i}")) for i in range(8)]
+        )
+        with pytest.raises(EstimationError):
+            supervised.estimate_batch([big])
+
+    def test_loop_fallback_for_models_without_batch(
+        self, supervised, lubm_store
+    ):
+        """A model exposing only estimate() is looped, so callers get
+        one API regardless of model support."""
+
+        class LoopOnly:
+            calls = 0
+
+            def estimate(self, query):
+                LoopOnly.calls += 1
+                return 7.0
+
+        framework = LMKG(
+            lubm_store, model_type="supervised", grouping="size"
+        )
+        key = framework.grouping.key("star", 2)
+        framework.models[key] = LoopOnly()
+        framework._group_max_size[key] = 2
+        framework._group_topologies[key] = {"star"}
+        queries = [
+            star_pattern(v("x"), [(1, v("a")), (2, v("b"))]),
+            star_pattern(v("x"), [(2, v("a")), (3, v("b"))]),
+        ]
+        estimates = framework.estimate_batch(queries)
+        assert estimates == [7.0, 7.0]
+        assert LoopOnly.calls == 2
+
+    def test_unsupervised_batch(self, lubm_store):
+        framework = LMKG(
+            lubm_store, model_type="unsupervised", lmkgu_config=FAST_U
+        )
+        framework.fit(shapes=[("star", 2)])
+        star = generate_workload(lubm_store, "star", 2, 8, seed=21)
+        estimates = framework.estimate_batch(
+            [r.query for r in star]
+        )
+        assert len(estimates) == len(star)
+        assert all(e >= 0.0 for e in estimates)

@@ -1,0 +1,200 @@
+"""Hypothesis property tests: vectorized counters == generic matcher.
+
+Random small graphs and random star/chain queries; the vectorized
+columnar counters, the dict-era Python reference counters, and the
+backtracking matcher must agree *exactly* on every case.  The ``slow``
+variants rerun the same properties with a much deeper example budget
+for the nightly CI job.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import TripleStore
+from repro.rdf.fastcount import (
+    _count_chain_python,
+    _count_star_python,
+    count_chain,
+    count_query,
+    count_star,
+)
+from repro.rdf.matcher import count_bgp
+from repro.rdf.pattern import chain_pattern, star_pattern
+from repro.rdf.terms import TriplePattern, Variable
+
+MAX_NODE = 10
+MAX_PRED = 3
+
+triples_strategy = st.lists(
+    st.tuples(
+        st.integers(1, MAX_NODE),
+        st.integers(1, MAX_PRED),
+        st.integers(1, MAX_NODE),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+#: object position: bound id, or None meaning "fresh distinct variable"
+object_strategy = st.one_of(
+    st.none(), st.integers(1, MAX_NODE)
+)
+
+star_strategy = st.tuples(
+    triples_strategy,
+    st.one_of(st.none(), st.integers(1, MAX_NODE)),  # centre
+    st.lists(
+        st.tuples(st.integers(1, MAX_PRED), object_strategy),
+        min_size=1,
+        max_size=4,
+    ),
+)
+
+chain_strategy = st.tuples(
+    triples_strategy,
+    st.lists(st.integers(1, MAX_PRED), min_size=1, max_size=4),
+    st.lists(st.booleans(), min_size=2, max_size=5),  # node bound?
+    st.lists(st.integers(1, MAX_NODE), min_size=2, max_size=5),
+)
+
+
+def _store(triples):
+    store = TripleStore()
+    store.add_all(triples)
+    return store
+
+
+def _star_query(centre, pairs):
+    centre_term = Variable("c") if centre is None else centre
+    built = []
+    for i, (p, o) in enumerate(pairs):
+        term = Variable(f"o{i}") if o is None else o
+        built.append((p, term))
+    return star_pattern(centre_term, built)
+
+
+def _chain_query(predicates, bound_flags, values):
+    terms = []
+    for i in range(len(predicates) + 1):
+        bound = bound_flags[i % len(bound_flags)]
+        value = values[i % len(values)]
+        terms.append(value if bound else Variable(f"n{i}"))
+        if i < len(predicates):
+            terms.append(predicates[i])
+    return chain_pattern(terms)
+
+
+def _check_star(triples, centre, pairs):
+    store = _store(triples)
+    query = _star_query(centre, pairs)
+    truth = count_bgp(store, query)
+    fast = count_star(store, query)
+    slow = _count_star_python(store, query)
+    assert fast is not None and slow is not None
+    assert fast == truth, (sorted(set(triples)), query)
+    assert slow == truth
+    assert count_query(store, query) == truth
+
+
+def _check_chain(triples, predicates, bound_flags, values):
+    store = _store(triples)
+    query = _chain_query(predicates, bound_flags, values)
+    truth = count_bgp(store, query)
+    fast = count_chain(store, query)
+    slow = _count_chain_python(store, query)
+    assert fast is not None and slow is not None
+    assert fast == truth, (sorted(set(triples)), query)
+    assert slow == truth
+    assert count_query(store, query) == truth
+
+
+def _check_single_patterns(triples, probes):
+    store = _store(triples)
+    for s, p, o, mask in probes:
+        tp = TriplePattern(
+            s if mask & 1 else Variable("s"),
+            p if mask & 2 else Variable("p"),
+            o if mask & 4 else Variable("o"),
+        )
+        matched = list(store.match_pattern(tp))
+        brute = [
+            t
+            for t in set(triples)
+            if (not mask & 1 or t[0] == s)
+            and (not mask & 2 or t[1] == p)
+            and (not mask & 4 or t[2] == o)
+        ]
+        assert sorted(matched) == sorted(brute)
+        assert store.count_pattern(tp) == len(brute)
+
+
+probes_strategy = st.lists(
+    st.tuples(
+        st.integers(1, MAX_NODE),
+        st.integers(1, MAX_PRED),
+        st.integers(1, MAX_NODE),
+        st.integers(0, 7),
+    ),
+    max_size=10,
+)
+
+
+class TestCountersAgreeWithMatcher:
+    @given(star_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_star(self, case):
+        _check_star(*case)
+
+    @given(chain_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_chain(self, case):
+        _check_chain(*case)
+
+    @given(triples_strategy, probes_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_single_patterns(self, triples, probes):
+        _check_single_patterns(triples, probes)
+
+
+@pytest.mark.slow
+class TestCountersAgreeDeep:
+    """Nightly-budget reruns of the same properties."""
+
+    @given(star_strategy)
+    @settings(max_examples=1_000, deadline=None)
+    def test_star_deep(self, case):
+        _check_star(*case)
+
+    @given(chain_strategy)
+    @settings(max_examples=1_000, deadline=None)
+    def test_chain_deep(self, case):
+        _check_chain(*case)
+
+    @given(triples_strategy, probes_strategy)
+    @settings(max_examples=500, deadline=None)
+    def test_single_patterns_deep(self, triples, probes):
+        _check_single_patterns(triples, probes)
+
+
+class TestOverflowFallback:
+    def test_star_overflow_falls_back_to_python(self, monkeypatch):
+        """Huge per-triple fan-outs must not silently wrap int64."""
+        import repro.rdf.fastcount as fc
+
+        monkeypatch.setattr(fc, "_INT64_SAFE", 4.0)
+        store = _store(
+            [(1, 1, o) for o in range(2, 6)]
+            + [(1, 2, o) for o in range(2, 6)]
+        )
+        query = _star_query(None, [(1, None), (2, None)])
+        assert fc.count_star(store, query) == count_bgp(store, query)
+
+    def test_chain_overflow_falls_back_to_python(self, monkeypatch):
+        import repro.rdf.fastcount as fc
+
+        monkeypatch.setattr(fc, "_INT64_SAFE", 1.0)
+        store = _store([(1, 1, 2), (2, 1, 3), (2, 1, 4)])
+        query = _chain_query([1, 1], [False, False, False], [1, 2, 3])
+        assert fc.count_chain(store, query) == count_bgp(store, query)

@@ -179,3 +179,46 @@ class TestFromLexical:
 
     def test_memory_accounting_positive(self, books_store):
         assert books_store.memory_bytes() > 0
+
+
+class TestGenerationCounter:
+    """Regression tests: no cached view may survive a mutation.
+
+    The store stamps every lazily built structure (columnar snapshot,
+    adjacency lists, legacy dict indexes, node cache) with the
+    generation at build time; ``add`` bumps the generation, so a cache
+    built before the mutation can never be served after it.
+    """
+
+    def test_generation_counts_new_triples_only(self):
+        store = TripleStore()
+        assert store.generation == 0
+        store.add(1, 1, 2)
+        store.add(1, 1, 2)  # duplicate: no state change, no bump
+        store.add(2, 1, 3)
+        assert store.generation == 2
+
+    def test_adjacency_not_stale_after_cached_build(self, tiny_store):
+        # Build and hold the caches, then mutate.
+        assert tiny_store.out_edges(1) == [(1, 2), (1, 3), (2, 4)]
+        assert (3, 2) in tiny_store.in_edges(4)
+        tiny_store.add(1, 3, 9)
+        assert (3, 9) in tiny_store.out_edges(1)
+        tiny_store.add(9, 1, 4)
+        assert (9, 1) in tiny_store.in_edges(4)
+
+    def test_nodes_cache_refreshes(self, tiny_store):
+        assert 42 not in tiny_store.nodes()
+        tiny_store.add(42, 1, 1)
+        assert 42 in tiny_store.nodes()
+
+    def test_legacy_dict_views_refresh(self, tiny_store):
+        assert 2 not in tiny_store._spo[4]
+        tiny_store.add(4, 2, 7)
+        assert 7 in tiny_store._spo[4][2]
+        assert 4 in tiny_store._pso[2]
+
+    def test_count_pattern_after_mutation(self, tiny_store):
+        before = tiny_store.count_pattern(pattern("s", 1, "o"))
+        tiny_store.add(7, 1, 8)
+        assert tiny_store.count_pattern(pattern("s", 1, "o")) == before + 1

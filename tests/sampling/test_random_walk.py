@@ -131,3 +131,28 @@ class TestSampleInstances:
     def test_returns_universe(self, tiny_store):
         _, universe = sample_instances(tiny_store, "chain", 2, 5)
         assert universe == 10
+
+
+class TestBiasedRWBatchValidity:
+    """Regression: the batched RW samplers must respect the topology."""
+
+    def test_rw_star_instances_share_the_subject(self, tiny_store):
+        instances, _ = sample_instances(
+            tiny_store, "star", 2, 200, seed=3, method="rw"
+        )
+        assert instances
+        for inst in instances:
+            s = inst[0]
+            for i in range(2):
+                p, o = inst[1 + 2 * i], inst[2 + 2 * i]
+                assert (s, p, o) in tiny_store
+
+    def test_rw_chain_instances_are_walks(self, tiny_store):
+        instances, _ = sample_instances(
+            tiny_store, "chain", 2, 200, seed=3, method="rw"
+        )
+        assert instances
+        for inst in instances:
+            for i in range(2):
+                s, p, o = inst[2 * i], inst[2 * i + 1], inst[2 * i + 2]
+                assert (s, p, o) in tiny_store
