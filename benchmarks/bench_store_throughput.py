@@ -3,6 +3,10 @@
 Measures, on a synthetic ~100k-triple hub-heavy graph:
 
 - **ingest**: triples/sec into the store plus the columnar index build,
+  and the array-native ``add_all`` bulk path against a per-triple
+  ``add`` loop on the same 100k batch (gate: >= 10x),
+- **persistence**: snapshot save time, plus cold-load time of the
+  saved index both memory-mapped (gate: O(1), < 50 ms) and eager,
 - **pattern matching**: single-triple-pattern ``count_pattern`` and
   ``match_pattern`` throughput over the columnar permutations,
 - **labeling**: exact star/chain counting throughput of the vectorized
@@ -28,6 +32,7 @@ from repro.bench.reporting import format_table, write_json
 from repro.core.framework import LMKG
 from repro.core.lmkg_s import LMKGSConfig
 from repro.rdf import fastcount
+from repro.rdf.store import TripleStore
 from repro.rdf.terms import Variable, pattern
 from repro.sampling.random_walk import sample_instances
 from repro.sampling.unbinding import query_from_instance, random_unbound_mask
@@ -87,7 +92,7 @@ def _pattern_workload(store, rng, count=20_000):
     return patterns
 
 
-def test_store_throughput(report):
+def test_store_throughput(report, tmp_path):
     rng = np.random.default_rng(5)
     source = build_throughput_store(NUM_TRIPLES, seed=0)
     triples = list(source)
@@ -97,6 +102,39 @@ def test_store_throughput(report):
     _, ingest_s = _timed(lambda: fresh.add_all(triples))
     _, build_s = _timed(lambda: fresh.columnar)
     store = fresh
+
+    # Bulk (array-native) ingest vs the per-triple add loop, same batch.
+    batch = np.array(triples, dtype=np.int64)
+    loop_store = type(source)()
+
+    def _per_triple_ingest():
+        add = loop_store.add
+        for s, p, o in triples:
+            add(s, p, o)
+
+    _, loop_ingest_s = _timed(_per_triple_ingest)
+    bulk_store = type(source)()
+    _, bulk_ingest_s = _timed(lambda: bulk_store.add_all(batch))
+    assert len(bulk_store) == len(loop_store) == len(store)
+    bulk_speedup = loop_ingest_s / bulk_ingest_s
+
+    # Persistence: snapshot save, then cold loads (memmap and eager).
+    snapshot_dir = tmp_path / "snapshot"
+    _, save_s = _timed(lambda: store.save_snapshot(snapshot_dir))
+    snapshot_bytes = sum(
+        f.stat().st_size for f in snapshot_dir.iterdir()
+    )
+    loaded, mmap_load_s = _timed(
+        lambda: TripleStore.load_snapshot(snapshot_dir)
+    )
+    _, eager_load_s = _timed(
+        lambda: TripleStore.load_snapshot(snapshot_dir, mmap_mode=None)
+    )
+    # The memmap-backed store must answer like the original.
+    probe_p = int(store.columnar.pso_p[len(store) // 2])
+    probe = pattern(Variable("s"), probe_p, Variable("o"))
+    assert loaded.count_pattern(probe) == store.count_pattern(probe)
+    assert len(loaded) == len(store)
 
     # Single-pattern lookups.
     patterns = _pattern_workload(store, rng)
@@ -170,6 +208,19 @@ def test_store_throughput(report):
             "columnar_build_triples_per_sec": round(
                 len(triples) / build_s, 1
             ),
+            "bulk_add_all_triples_per_sec": round(
+                len(triples) / bulk_ingest_s, 1
+            ),
+            "per_triple_add_triples_per_sec": round(
+                len(triples) / loop_ingest_s, 1
+            ),
+            "bulk_speedup": round(bulk_speedup, 1),
+        },
+        "persistence": {
+            "snapshot_save_ms": round(save_s * 1000, 2),
+            "snapshot_bytes": snapshot_bytes,
+            "cold_load_mmap_ms": round(mmap_load_s * 1000, 2),
+            "cold_load_eager_ms": round(eager_load_s * 1000, 2),
         },
         "pattern_match": {
             "count_pattern_per_sec": round(len(patterns) / count_s, 1),
@@ -202,6 +253,27 @@ def test_store_throughput(report):
                     results["ingest"]["columnar_build_triples_per_sec"],
                 ],
                 [
+                    "bulk add_all triples/s",
+                    results["ingest"]["bulk_add_all_triples_per_sec"],
+                ],
+                [
+                    "per-triple add triples/s",
+                    results["ingest"]["per_triple_add_triples_per_sec"],
+                ],
+                ["bulk ingest speedup", results["ingest"]["bulk_speedup"]],
+                [
+                    "snapshot save ms",
+                    results["persistence"]["snapshot_save_ms"],
+                ],
+                [
+                    "cold load (mmap) ms",
+                    results["persistence"]["cold_load_mmap_ms"],
+                ],
+                [
+                    "cold load (eager) ms",
+                    results["persistence"]["cold_load_eager_ms"],
+                ],
+                [
                     "count_pattern/s",
                     results["pattern_match"]["count_pattern_per_sec"],
                 ],
@@ -232,4 +304,11 @@ def test_store_throughput(report):
 
     # The acceptance gate of the columnar refactor.
     assert speedup >= 5.0, f"labeling speedup {speedup:.1f}x < 5x"
+    # The acceptance gates of the bulk-ingest + persistence subsystem.
+    assert bulk_speedup >= 10.0, (
+        f"bulk ingest speedup {bulk_speedup:.1f}x < 10x"
+    )
+    assert mmap_load_s < 0.050, (
+        f"memmap cold load took {mmap_load_s * 1000:.1f} ms (>= 50 ms)"
+    )
     assert RESULT_PATH.exists()

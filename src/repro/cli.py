@@ -7,7 +7,10 @@ Subcommands:
 - ``estimate``— estimate a SPARQL query with a trained checkpoint,
 - ``workload``— generate a labelled query workload as TSV,
 - ``plan``    — pick a join order for a SPARQL query and compare it
-  against the true-optimal order.
+  against the true-optimal order,
+- ``snapshot``— persist a graph as a memory-mapped columnar snapshot
+  (``snapshot save``) and load/inspect one without per-triple work
+  (``snapshot load``; ``--no-verify`` skips the checksum pass).
 
 Examples::
 
@@ -18,12 +21,15 @@ Examples::
         --query 'SELECT ?x WHERE { ?x <ub:advisor> ?y . ?x <ub:takesCourse> ?z . }'
     python -m repro workload --dataset swdf --topology star --size 3 \
         --count 100
+    python -m repro snapshot save --dataset lubm --out /tmp/lubm_snap
+    python -m repro snapshot load --dir /tmp/lubm_snap
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.lmkg_s import LMKGS, LMKGSConfig
@@ -262,6 +268,40 @@ def cmd_plan(args) -> int:
     return 0
 
 
+def cmd_snapshot_save(args) -> int:
+    store = _load_store(args)
+    start = time.perf_counter()
+    manifest = store.save_snapshot(args.out)
+    elapsed = time.perf_counter() - start
+    print(
+        f"{len(store)} triples snapshotted to {args.out} "
+        f"in {elapsed * 1000:.1f} ms"
+    )
+    print(f"manifest: {manifest}")
+    return 0
+
+
+def cmd_snapshot_load(args) -> int:
+    from repro.rdf.columnar import SnapshotError
+
+    mmap_mode = None if args.eager else "r"
+    start = time.perf_counter()
+    try:
+        store = TripleStore.load_snapshot(
+            args.dir, mmap_mode=mmap_mode, verify=not args.no_verify
+        )
+    except SnapshotError as exc:
+        raise SystemExit(f"snapshot load failed: {exc}")
+    elapsed = time.perf_counter() - start
+    mode = "eager" if args.eager else "memory-mapped"
+    print(f"loaded {args.dir} ({mode}) in {elapsed * 1000:.2f} ms")
+    print(f"triples:     {len(store)}")
+    print(f"nodes:       {store.num_nodes}")
+    print(f"predicates:  {store.num_predicates}")
+    print(f"dictionary:  {'yes' if store.dictionary is not None else 'no'}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -349,6 +389,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the chosen plan and report measured intermediates",
     )
     p_plan.set_defaults(func=cmd_plan)
+
+    p_snap = sub.add_parser(
+        "snapshot",
+        help="save/load memory-mapped columnar store snapshots",
+    )
+    snap_sub = p_snap.add_subparsers(dest="snapshot_command", required=True)
+    p_snap_save = snap_sub.add_parser(
+        "save", help="persist a graph as a columnar snapshot directory"
+    )
+    _add_store_options(p_snap_save)
+    p_snap_save.add_argument(
+        "--out", required=True, help="snapshot directory to write"
+    )
+    p_snap_save.set_defaults(func=cmd_snapshot_save)
+    p_snap_load = snap_sub.add_parser(
+        "load",
+        help="memory-map a snapshot back and print a summary",
+    )
+    p_snap_load.add_argument(
+        "--dir", required=True, help="snapshot directory to load"
+    )
+    p_snap_load.add_argument(
+        "--eager",
+        action="store_true",
+        help="read columns into memory instead of memory-mapping",
+    )
+    p_snap_load.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip checksum verification (still validates shapes)",
+    )
+    p_snap_load.set_defaults(func=cmd_snapshot_load)
     return parser
 
 

@@ -9,10 +9,12 @@ rationale.
 from repro.datasets.lubm import LubmProfile, generate_lubm
 from repro.datasets.registry import (
     DATASET_NAMES,
+    SNAPSHOT_DIR_ENV,
     clear_cache,
     dataset_builders,
     load_dataset,
 )
+from repro.datasets.snapshot_cache import cache_key, cached_store
 from repro.datasets.swdf import generate_swdf
 from repro.datasets.yago import generate_yago
 
@@ -20,6 +22,9 @@ __all__ = [
     "LubmProfile",
     "generate_lubm",
     "DATASET_NAMES",
+    "SNAPSHOT_DIR_ENV",
+    "cache_key",
+    "cached_store",
     "clear_cache",
     "dataset_builders",
     "load_dataset",

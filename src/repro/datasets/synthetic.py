@@ -73,8 +73,14 @@ class GraphBuilder:
         self.store.add(*self.dictionary.encode_triple(s, p, o))
 
     def add_batch(self, triples: Sequence[tuple]) -> None:
-        for s, p, o in triples:
-            self.add(s, p, o)
+        """Encode and ingest many lexical triples in one bulk batch.
+
+        Dictionary encoding is inherently per-term, but the encoded rows
+        go through the store's array-native ``add_all`` — one
+        deduplication pass and one generation bump for the whole batch.
+        """
+        encode = self.dictionary.encode_triple
+        self.store.add_all([encode(s, p, o) for s, p, o in triples])
 
     @property
     def num_triples(self) -> int:

@@ -15,6 +15,7 @@ builds on.  Public surface:
 - dataset statistics in :mod:`repro.rdf.stats`.
 """
 
+from repro.rdf.columnar import ColumnarIndex, SnapshotError
 from repro.rdf.dictionary import UNBOUND_ID, GraphDictionary, TermDictionary
 from repro.rdf.matcher import cardinalities, count_bgp, iter_bindings
 from repro.rdf.parser import (
@@ -37,6 +38,8 @@ from repro.rdf.treecount import count_tree, is_tree_query
 from repro.rdf.terms import Triple, TriplePattern, Variable, pattern
 
 __all__ = [
+    "ColumnarIndex",
+    "SnapshotError",
     "UNBOUND_ID",
     "GraphDictionary",
     "TermDictionary",

@@ -22,7 +22,10 @@ class.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+import json
+import zlib
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 import numpy as np
 
@@ -30,6 +33,80 @@ from repro.rdf.terms import Triple
 
 #: (lo, hi) bounds of a contiguous range inside one permutation.
 Range = Tuple[int, int]
+
+#: On-disk snapshot format identifier and version (bumped on layout change).
+SNAPSHOT_FORMAT = "repro-columnar"
+SNAPSHOT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+#: The twelve persisted columns, one ``.npy`` file each, in manifest order.
+PERMUTATION_COLUMNS = (
+    "spo_s", "spo_p", "spo_o",
+    "pos_p", "pos_o", "pos_s",
+    "osp_o", "osp_s", "osp_p",
+    "pso_p", "pso_s", "pso_o",
+)
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot directory is missing, corrupted, or incompatible."""
+
+
+def read_manifest(directory: Union[str, Path]) -> Dict:
+    """Parse and validate a snapshot manifest, raising :class:`SnapshotError`.
+
+    Checks the format marker and version so a newer (or foreign) layout
+    fails loudly instead of deserialising garbage.
+    """
+    path = Path(directory) / MANIFEST_NAME
+    if not path.is_file():
+        raise SnapshotError(f"no snapshot manifest at {path}")
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise SnapshotError(f"unreadable snapshot manifest {path}: {exc}")
+    if not isinstance(manifest, dict):
+        raise SnapshotError(f"snapshot manifest {path} is not a JSON object")
+    if manifest.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"{path} is not a {SNAPSHOT_FORMAT} snapshot "
+            f"(format={manifest.get('format')!r})"
+        )
+    if manifest.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {manifest.get('version')!r} unsupported "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+    return manifest
+
+
+def coerce_rows(rows: np.ndarray) -> np.ndarray:
+    """Normalise *rows* to a contiguous ``(N, 3)`` int64 array.
+
+    The single validation point shared by every consumer of triple-row
+    arrays (index construction, packing, bulk ingest); empty input of
+    any shape becomes ``(0, 3)``.
+    """
+    rows = np.ascontiguousarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        return rows.reshape(0, 3)
+    if rows.ndim != 2 or rows.shape[1] != 3:
+        raise ValueError(
+            f"expected an (N, 3) array of triples, got shape {rows.shape}"
+        )
+    return rows
+
+
+def pack_rows(rows: np.ndarray) -> np.ndarray:
+    """View ``(N, 3)`` int64 rows as one opaque record per row.
+
+    The void view compares rows bytewise, which is enough for equality-
+    based set operations (``np.unique``/``np.isin``) regardless of value
+    range — the general-purpose fallback when rows cannot be packed into
+    a single ordered int64 key.
+    """
+    rows = coerce_rows(rows)
+    return rows.view(np.dtype((np.void, rows.dtype.itemsize * 3))).ravel()
 
 
 def _eq_range(
@@ -135,6 +212,152 @@ class ColumnarIndex:
         if data.size == 0:
             data = data.reshape(0, 3)
         return cls(data[:, 0], data[:, 1], data[:, 2])
+
+    @classmethod
+    def from_array(cls, rows: np.ndarray) -> "ColumnarIndex":
+        """Build from an ``(N, 3)`` array without tuple round-trips."""
+        rows = coerce_rows(rows)
+        return cls(rows[:, 0], rows[:, 1], rows[:, 2])
+
+    @classmethod
+    def _from_sorted_columns(
+        cls, columns: Dict[str, np.ndarray]
+    ) -> "ColumnarIndex":
+        """Adopt already-sorted permutation columns (snapshot load path)."""
+        self = cls.__new__(cls)
+        self.size = int(columns["spo_s"].size)
+        for name in PERMUTATION_COLUMNS:
+            setattr(self, name, columns[name])
+        self._subjects = None
+        self._subject_degrees = None
+        self._objects = None
+        self._object_degrees = None
+        self._predicates = None
+        self._predicate_triples = None
+        self._nodes = None
+        return self
+
+    def rows(self) -> np.ndarray:
+        """The stored triples as an ``(N, 3)`` array, in SPO order."""
+        return np.column_stack((self.spo_s, self.spo_p, self.spo_o))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def content_checksum(self) -> str:
+        """CRC32 chained over all twelve columns, as 8 hex digits.
+
+        Every column is an independently stored file that can corrupt
+        independently, so all of them participate — a checksum over one
+        permutation alone would wave through corruption in the other
+        three (regression-tested).
+        """
+        crc = 0
+        for name in PERMUTATION_COLUMNS:
+            column = np.ascontiguousarray(getattr(self, name))
+            crc = zlib.crc32(column.tobytes(), crc)
+        return f"{crc & 0xFFFFFFFF:08x}"
+
+    def save(
+        self,
+        directory: Union[str, Path],
+        extra_manifest: Optional[Dict] = None,
+    ) -> Path:
+        """Persist the index: one ``.npy`` per column plus a manifest.
+
+        The manifest (written last, so its presence marks a complete
+        snapshot) records the format version, triple count and content
+        checksum; *extra_manifest* lets the store layer attach
+        dictionary metadata.  Returns the manifest path.
+        """
+        import os
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name in PERMUTATION_COLUMNS:
+            # Write-then-rename: saving straight onto <name>.npy would
+            # truncate the very file a memmap-backed column is reading
+            # from (silent corruption on an in-place re-save), and a
+            # crash mid-write would leave a torn column behind.
+            final = directory / f"{name}.npy"
+            tmp = directory / f"{name}.tmp.npy"
+            np.save(tmp, np.ascontiguousarray(getattr(self, name)))
+            os.replace(tmp, final)
+        manifest = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "num_triples": self.size,
+            "columns": list(PERMUTATION_COLUMNS),
+            "checksum": self.content_checksum(),
+        }
+        if extra_manifest:
+            manifest.update(extra_manifest)
+        manifest_path = directory / MANIFEST_NAME
+        manifest_path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return manifest_path
+
+    @classmethod
+    def load(
+        cls,
+        directory: Union[str, Path],
+        mmap_mode: Optional[str] = "r",
+        verify: bool = True,
+    ) -> "ColumnarIndex":
+        """Load a saved index, as read-only memmaps by default.
+
+        ``mmap_mode=None`` reads the columns eagerly into memory.  Every
+        column is validated against the manifest (dtype, shape, length);
+        ``verify=True`` additionally recomputes the content checksum.
+        Raises :class:`SnapshotError` on any mismatch or corruption.
+        """
+        directory = Path(directory)
+        manifest = read_manifest(directory)
+        if manifest.get("columns") != list(PERMUTATION_COLUMNS):
+            raise SnapshotError(
+                f"snapshot at {directory} lists unexpected columns "
+                f"{manifest.get('columns')!r}"
+            )
+        num_triples = manifest.get("num_triples")
+        if not isinstance(num_triples, int) or num_triples < 0:
+            raise SnapshotError(
+                f"snapshot at {directory} has invalid num_triples "
+                f"{num_triples!r}"
+            )
+        columns: Dict[str, np.ndarray] = {}
+        for name in PERMUTATION_COLUMNS:
+            path = directory / f"{name}.npy"
+            if not path.is_file():
+                raise SnapshotError(f"snapshot column missing: {path}")
+            try:
+                array = np.load(path, mmap_mode=mmap_mode)
+            except (OSError, ValueError) as exc:
+                raise SnapshotError(
+                    f"unreadable snapshot column {path}: {exc}"
+                )
+            if array.ndim != 1 or array.dtype != np.int64:
+                raise SnapshotError(
+                    f"snapshot column {path} has dtype {array.dtype}/"
+                    f"ndim {array.ndim}; expected 1-d int64"
+                )
+            if array.size != num_triples:
+                raise SnapshotError(
+                    f"snapshot column {path} holds {array.size} values; "
+                    f"manifest says {num_triples}"
+                )
+            columns[name] = array
+        index = cls._from_sorted_columns(columns)
+        if verify:
+            checksum = index.content_checksum()
+            if checksum != manifest.get("checksum"):
+                raise SnapshotError(
+                    f"snapshot at {directory} failed checksum verification "
+                    f"({checksum} != {manifest.get('checksum')!r})"
+                )
+        return index
 
     # ------------------------------------------------------------------
     # Domains

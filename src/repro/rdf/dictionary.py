@@ -13,7 +13,8 @@ next.  Predicates get their own id space.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+import zlib
+from typing import Dict, Iterable, List, Optional, Sequence
 
 #: Reserved id meaning "unbound"; never assigned to a real term.
 UNBOUND_ID = 0
@@ -63,6 +64,27 @@ class TermDictionary:
         for i, term in enumerate(self._to_term):
             yield term, i + 1
 
+    def to_list(self) -> List[str]:
+        """All terms in id order (id of ``result[i]`` is ``i + 1``)."""
+        return list(self._to_term)
+
+    @classmethod
+    def from_terms(cls, terms: Sequence[str]) -> "TermDictionary":
+        """Rebuild a dictionary from an id-ordered term list.
+
+        Raises:
+            ValueError: when the list carries a duplicate or non-string
+                term (a corrupted snapshot payload).
+        """
+        dictionary = cls()
+        for term in terms:
+            if not isinstance(term, str):
+                raise ValueError(f"non-string term {term!r}")
+            if term in dictionary._to_id:
+                raise ValueError(f"duplicate term {term!r}")
+            dictionary.encode(term)
+        return dictionary
+
 
 class GraphDictionary:
     """The two dictionaries of a knowledge graph: nodes and predicates."""
@@ -95,3 +117,43 @@ class GraphDictionary:
             self.predicates.decode(p),
             self.nodes.decode(o),
         )
+
+    # ------------------------------------------------------------------
+    # Persistence (store snapshots)
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-serialisable form: both term lists in id order."""
+        return {
+            "nodes": self.nodes.to_list(),
+            "predicates": self.predicates.to_list(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "GraphDictionary":
+        """Rebuild from :meth:`to_payload` output.
+
+        Raises:
+            KeyError/TypeError/ValueError: when the payload is not a
+                well-formed dictionary snapshot.
+        """
+        dictionary = cls()
+        dictionary.nodes = TermDictionary.from_terms(payload["nodes"])
+        dictionary.predicates = TermDictionary.from_terms(
+            payload["predicates"]
+        )
+        return dictionary
+
+    def checksum(self) -> str:
+        """CRC32 over both term lists, as 8 hex digits.
+
+        Recorded in store-snapshot manifests so a snapshot whose
+        dictionaries drifted from its columns is rejected at load time.
+        """
+        crc = 0
+        for domain in (self.nodes, self.predicates):
+            for term in domain.to_list():
+                crc = zlib.crc32(term.encode("utf-8"), crc)
+                crc = zlib.crc32(b"\x00", crc)
+            crc = zlib.crc32(b"\x01", crc)
+        return f"{crc & 0xFFFFFFFF:08x}"

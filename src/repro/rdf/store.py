@@ -1,23 +1,40 @@
-"""An indexed, in-memory RDF triple store over a columnar numpy backend.
+"""An indexed RDF triple store over a columnar numpy backend.
 
-Triples are dictionary-encoded and, on first read, snapshotted into a
-:class:`~repro.rdf.columnar.ColumnarIndex`: four sorted ``int64``
+Triples are dictionary-encoded and kept as a **committed**
+:class:`~repro.rdf.columnar.ColumnarIndex` — four sorted ``int64``
 permutations (SPO, POS, OSP, PSO) answering every single-triple-pattern
-access path — any subset of {s, p, o} bound — with two binary searches
-over a contiguous column instead of dict/set traversal.  This mirrors
-the sorted-permutation layouts of RDF-3X-style engines while keeping
-the whole graph in a dozen flat arrays that the vectorized counters
-(:mod:`repro.rdf.fastcount`), samplers
-(:mod:`repro.sampling.random_walk`) and statistics
-(:mod:`repro.rdf.stats`) consume without per-triple Python overhead.
+access path — plus two small write-side structures: a *delta set* of
+triples inserted one at a time and a list of *pending bulk batches*
+ingested through the array-native :meth:`TripleStore.add_all`.  Each
+arriving batch is deduplicated on the spot — against itself, the
+committed columns (packed-key binary search, no index rebuild), and
+the batches already pending — so the staged parts stay mutually
+disjoint and chunked ingest stays amortized: the four permutation
+sorts run once, at the next read, not once per batch.  Reads
+consolidate lazily: the first snapshot access after a mutation folds
+delta and pending rows into a fresh committed index, so steady-state
+queries always run against a dozen flat arrays with no per-triple
+Python overhead.
 
 :class:`TripleStore` is a *facade*: its mutation and accessor API is
 unchanged from the original dict-of-dict-of-set implementation, so the
 matcher, the baselines, and all existing callers keep working.  Every
 derived structure — the columnar snapshot, the legacy dict indexes, the
-flattened adjacency lists — is cached lazily and stamped with the
-store's **generation counter**, which ``add`` bumps; a cache built
-before a mutation can therefore never be served afterwards.
+flattened adjacency lists, the materialised triple set — is cached
+lazily and stamped with the store's **generation counter**, which every
+mutation bumps (``add`` per new triple, ``add_all`` exactly once per
+batch that added anything); a cache built before a mutation can
+therefore never be served afterwards.
+
+Stores round-trip to disk: :meth:`TripleStore.save_snapshot` writes the
+permutation columns as ``.npy`` files next to a versioned manifest (and
+the term dictionaries, when present), and
+:meth:`TripleStore.load_snapshot` maps them back as read-only memmaps —
+no per-triple deserialisation, pages shared across worker processes;
+the default checksum verification is one sequential CRC32 pass over the
+columns, skippable via ``verify=False`` for a truly O(1) load.  A
+memmap-backed store is demoted to in-memory arrays on its first
+mutation; the on-disk snapshot is never written through.
 
 The store is the substrate under everything else: ground-truth
 cardinality computation (:mod:`repro.rdf.matcher`), random-walk
@@ -27,31 +44,77 @@ estimator.
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
-from repro.rdf.columnar import ColumnarIndex
+import numpy as np
+
+from repro.rdf.columnar import (
+    ColumnarIndex,
+    SnapshotError,
+    coerce_rows,
+    in_sorted,
+    pack_rows,
+    read_manifest,
+)
 from repro.rdf.dictionary import GraphDictionary
 from repro.rdf.terms import Triple, TriplePattern, Variable, is_bound
 
+#: File holding the term dictionaries inside a store snapshot directory.
+DICTIONARY_NAME = "dictionary.json"
+
+
+def _coerce_batch(triples) -> np.ndarray:
+    """Normalise bulk-ingest input to a contiguous ``(N, 3)`` int64 array.
+
+    Accepts an ``(N, 3)`` array (any integer dtype) or any iterable of
+    ``(s, p, o)`` triples.
+    """
+    if not isinstance(triples, np.ndarray):
+        triples = np.array(list(triples), dtype=np.int64)
+    return coerce_rows(triples)
+
 
 class TripleStore:
-    """In-memory triple store with full permutation indexes.
+    """Triple store with full permutation indexes and bulk ingest.
 
     Attributes:
         dictionary: the node/predicate dictionaries when the store was built
             from lexical data; None for purely synthetic id-level stores.
-        generation: mutation counter; bumped by every successful ``add``.
+        generation: mutation counter; bumped by every successful ``add``
+            and once per ``add_all`` batch that added at least one triple.
             Lazily derived structures remember the generation they were
             built at and rebuild when it moved on.
     """
 
     def __init__(self, dictionary: Optional[GraphDictionary] = None) -> None:
         self.dictionary = dictionary
-        self._triples: Set[Triple] = set()
         self.generation: int = 0
+        # Committed snapshot + write-side staging (see module docstring).
+        self._committed: ColumnarIndex = ColumnarIndex.from_array(
+            np.empty((0, 3), dtype=np.int64)
+        )
+        self._delta: Set[Triple] = set()
+        self._pending: List[np.ndarray] = []
+        self._pending_rows: int = 0
+        # Lazily built set view of pending rows for O(1) membership
+        # probes; invalidated whenever pending changes.
+        self._pending_probe: Optional[Set[Triple]] = None
         # Generation-stamped caches: (generation, payload).
         self._columnar_cache: Optional[Tuple[int, ColumnarIndex]] = None
+        self._set_cache: Optional[Tuple[int, Set[Triple]]] = None
         self._legacy_cache: Optional[Tuple[int, tuple]] = None
         self._adjacency_cache: Optional[Tuple[int, dict, dict]] = None
         self._nodes_cache: Optional[Tuple[int, List[int]]] = None
@@ -63,19 +126,170 @@ class TripleStore:
     def add(self, s: int, p: int, o: int) -> bool:
         """Insert a triple; returns False when it was already present."""
         triple = (int(s), int(p), int(o))
-        if triple in self._triples:
+        if (
+            triple in self._delta
+            or self._in_pending(triple)
+            or (self._committed.size and self._committed.contains(*triple))
+        ):
             return False
-        self._triples.add(triple)
+        self._delta.add(triple)
+        set_cache = self._set_cache
         self.generation += 1
+        if set_cache is not None and set_cache[0] == self.generation - 1:
+            # Keep the materialised set coherent instead of rebuilding it
+            # from scratch on the next read.
+            set_cache[1].add(triple)
+            self._set_cache = (self.generation, set_cache[1])
         return True
 
-    def add_all(self, triples: Iterable[Triple]) -> int:
-        """Insert many triples; returns the number actually added."""
-        added = 0
-        for s, p, o in triples:
-            if self.add(s, p, o):
-                added += 1
-        return added
+    def add_all(self, triples) -> int:
+        """Bulk-insert triples; returns the number actually added.
+
+        Accepts an ``(N, 3)`` int array or any iterable of ``(s, p, o)``
+        triples.  The batch is deduplicated with vectorized packed-row
+        operations and merged against the existing snapshot — no
+        per-triple Python work — and the generation is bumped **once**
+        for the whole batch (not at all when every row was a duplicate).
+        A memmap-backed snapshot is never mutated in place: new rows
+        land in pending staging and the next consolidation builds fresh
+        in-memory arrays.
+        """
+        rows = _coerce_batch(triples)
+        if rows.shape[0] == 0:
+            return 0
+        if self._delta:
+            # Mixed per-triple + bulk usage: fold the delta so the batch
+            # dedupe below only has to look at arrays.  Bulk-only
+            # chunked ingest never takes this branch and never pays a
+            # rebuild here.
+            self._consolidate()
+        fresh = self._dedupe_batch(
+            rows,
+            self._committed if self._committed.size else None,
+            self._pending,
+        )
+        if fresh.shape[0] == 0:
+            return 0
+        self._pending.append(fresh)
+        self._pending_rows += int(fresh.shape[0])
+        self._pending_probe = None
+        self.generation += 1
+        return int(fresh.shape[0])
+
+    @staticmethod
+    def _dedupe_batch(
+        rows: np.ndarray,
+        existing: Optional[ColumnarIndex],
+        pending: Sequence[np.ndarray] = (),
+    ) -> np.ndarray:
+        """Unique rows of *rows* absent from *existing* and *pending*.
+
+        Fast path: when all ids are non-negative and the combined value
+        ranges fit, each row packs into one ordered int64 key
+        (``(s * Rp + p) * Ro + o``); the packing is monotone in SPO
+        order, so the existing index's lexsorted columns pack into an
+        already-sorted key array and membership is a single
+        ``searchsorted`` — no index rebuild, so chunked ingest stays
+        amortized.  Arbitrary ids fall back to bytewise void records
+        (correct for equality, slower to sort).
+        """
+        lo = [int(rows[:, i].min()) for i in range(3)]
+        hi = [int(rows[:, i].max()) for i in range(3)]
+        for batch in pending:
+            lo = [min(a, int(b)) for a, b in zip(lo, batch.min(axis=0))]
+            hi = [max(a, int(b)) for a, b in zip(hi, batch.max(axis=0))]
+        if existing is not None and existing.size:
+            # The permutations are sorted, so extrema are at the ends.
+            lo = [
+                min(lo[0], int(existing.spo_s[0])),
+                min(lo[1], int(existing.pso_p[0])),
+                min(lo[2], int(existing.osp_o[0])),
+            ]
+            hi = [
+                max(hi[0], int(existing.spo_s[-1])),
+                max(hi[1], int(existing.pso_p[-1])),
+                max(hi[2], int(existing.osp_o[-1])),
+            ]
+        radix_p = hi[1] + 1
+        radix_o = hi[2] + 1
+        packable = (
+            min(lo) >= 0
+            and (hi[0] + 1) * radix_p * radix_o < 2**63
+        )
+        if packable:
+            def pack(s, p, o):
+                return (
+                    np.asarray(s) * radix_p + np.asarray(p)
+                ) * radix_o + np.asarray(o)
+
+            keys = pack(rows[:, 0], rows[:, 1], rows[:, 2])
+            # Explicit sort + neighbour-diff instead of np.unique: np.sort
+            # takes the SIMD path for int64, np.unique does not (~20x).
+            keys.sort()
+            head = np.ones(1, dtype=bool)
+            unique_keys = keys[
+                np.concatenate((head, keys[1:] != keys[:-1]))
+            ]
+            if existing is not None and existing.size:
+                existing_keys = pack(
+                    existing.spo_s, existing.spo_p, existing.spo_o
+                )
+                unique_keys = unique_keys[
+                    ~in_sorted(existing_keys, unique_keys)
+                ]
+            if pending:
+                pending_keys = np.concatenate(
+                    [pack(b[:, 0], b[:, 1], b[:, 2]) for b in pending]
+                )
+                unique_keys = unique_keys[
+                    ~np.isin(unique_keys, pending_keys)
+                ]
+            subjects, rest = np.divmod(unique_keys, radix_p * radix_o)
+            predicates, objects = np.divmod(rest, radix_o)
+            return np.column_stack((subjects, predicates, objects))
+        packed = pack_rows(rows)
+        _, keep = np.unique(packed, return_index=True)
+        unique_rows = rows[keep]
+        if existing is not None and existing.size:
+            mask = ~np.isin(
+                pack_rows(unique_rows), pack_rows(existing.rows())
+            )
+            unique_rows = unique_rows[mask]
+        if pending:
+            mask = ~np.isin(
+                pack_rows(unique_rows),
+                pack_rows(np.concatenate(list(pending))),
+            )
+            unique_rows = unique_rows[mask]
+        return unique_rows
+
+    def _consolidate(self) -> None:
+        """Fold pending batches and the delta set into the committed index.
+
+        All parts are mutually disjoint and internally deduplicated by
+        construction, so consolidation is one concatenation plus the
+        index build — never a set round-trip.  A memmap-backed committed
+        index is replaced (its pages copied into fresh in-memory
+        arrays), never written through.
+        """
+        if not self._pending and not self._delta:
+            return
+        parts = []
+        if self._committed.size:
+            parts.append(self._committed.rows())
+        parts.extend(self._pending)
+        if self._delta:
+            parts.append(
+                np.array(sorted(self._delta), dtype=np.int64).reshape(-1, 3)
+            )
+        rows = np.concatenate(parts) if parts else np.empty(
+            (0, 3), dtype=np.int64
+        )
+        self._committed = ColumnarIndex.from_array(rows)
+        self._delta = set()
+        self._pending = []
+        self._pending_rows = 0
+        self._pending_probe = None
 
     # ------------------------------------------------------------------
     # Columnar snapshot
@@ -90,27 +304,65 @@ class TripleStore:
         """
         cache = self._columnar_cache
         if cache is None or cache[0] != self.generation:
-            index = ColumnarIndex.from_triples(self._triples)
-            self._columnar_cache = (self.generation, index)
-            return index
-        return cache[1]
+            self._consolidate()
+            self._columnar_cache = (self.generation, self._committed)
+        return self._columnar_cache[1]
+
+    @property
+    def _triples(self) -> Set[Triple]:
+        """Materialised set view of the current generation (cached).
+
+        Kept for the legacy dict indexes and external callers written
+        against the original set-backed implementation; internal hot
+        paths read :attr:`columnar` instead.
+        """
+        cache = self._set_cache
+        if cache is not None and cache[0] == self.generation:
+            return cache[1]
+        col = self.columnar
+        triples = set(
+            zip(col.spo_s.tolist(), col.spo_p.tolist(), col.spo_o.tolist())
+        )
+        self._set_cache = (self.generation, triples)
+        return triples
 
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._triples)
+        return self._committed.size + self._pending_rows + len(self._delta)
 
     def __contains__(self, triple: Triple) -> bool:
-        return tuple(int(t) for t in triple) in self._triples
+        s, p, o = (int(t) for t in triple)
+        if (s, p, o) in self._delta or self._in_pending((s, p, o)):
+            return True
+        return self._committed.contains(s, p, o)
+
+    def _in_pending(self, triple: Triple) -> bool:
+        """Membership probe over the pending bulk batches.
+
+        One O(pending rows) set build on the first probe after a batch,
+        O(1) per probe afterwards — never a consolidation: a membership
+        check between ingest batches must not force a full permutation
+        rebuild of the store.
+        """
+        if not self._pending:
+            return False
+        if self._pending_probe is None:
+            rows = np.concatenate(self._pending)
+            self._pending_probe = set(map(tuple, rows.tolist()))
+        return triple in self._pending_probe
 
     def __iter__(self) -> Iterator[Triple]:
-        return iter(self._triples)
+        col = self.columnar
+        return iter(
+            zip(col.spo_s.tolist(), col.spo_p.tolist(), col.spo_o.tolist())
+        )
 
     @property
     def num_triples(self) -> int:
-        return len(self._triples)
+        return len(self)
 
     def nodes(self) -> List[int]:
         """All node ids appearing as subject or object (sorted, cached)."""
@@ -285,7 +537,7 @@ class TripleStore:
         col = self.columnar
         if s_b and p_b and o_b:
             triple = tp.as_triple()
-            if triple in self._triples:
+            if col.contains(*triple):
                 yield triple
             return
         if s_b and p_b:
@@ -315,7 +567,7 @@ class TripleStore:
             for s, p in zip(subs.tolist(), preds.tolist()):
                 yield (s, p, tp.o)
             return
-        yield from self._triples
+        yield from iter(self)
 
     def count_pattern(self, tp: TriplePattern) -> int:
         """Exact result count of a single triple pattern.
@@ -329,7 +581,7 @@ class TripleStore:
         col = self.columnar
         s_b, p_b, o_b = is_bound(tp.s), is_bound(tp.p), is_bound(tp.o)
         if s_b and p_b and o_b:
-            return 1 if tp.as_triple() in self._triples else 0
+            return 1 if col.contains(*tp.as_triple()) else 0
         if s_b and p_b:
             return col.count_sp(tp.s, tp.p)
         if p_b and o_b:
@@ -342,7 +594,7 @@ class TripleStore:
             return col.predicate_count(tp.p)
         if o_b:
             return col.in_degree(tp.o)
-        return len(self._triples)
+        return len(self)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -359,10 +611,97 @@ class TripleStore:
             store.add(*dictionary.encode_triple(s, p, o))
         return store
 
+    @classmethod
+    def from_columnar(
+        cls,
+        index: ColumnarIndex,
+        dictionary: Optional[GraphDictionary] = None,
+    ) -> "TripleStore":
+        """Adopt an existing index (typically a loaded snapshot) as-is.
+
+        The index becomes the committed snapshot at generation 0 with no
+        per-triple work.  If it is memmap-backed, the first mutation
+        demotes the store to in-memory arrays; the underlying files are
+        never modified.
+        """
+        store = cls(dictionary)
+        store._committed = index
+        store._columnar_cache = (0, index)
+        return store
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save_snapshot(self, directory: Union[str, Path]) -> Path:
+        """Persist the store (index + dictionaries) to *directory*.
+
+        Writes one ``.npy`` per permutation column, the term
+        dictionaries as JSON when present, and a versioned manifest
+        carrying the triple count plus content and dictionary checksums.
+        Returns the manifest path.
+        """
+        directory = Path(directory)
+        extra = {"has_dictionary": self.dictionary is not None}
+        if self.dictionary is not None:
+            extra["dictionary_checksum"] = self.dictionary.checksum()
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / DICTIONARY_NAME).write_text(
+                json.dumps(self.dictionary.to_payload()) + "\n",
+                encoding="utf-8",
+            )
+        return self.columnar.save(directory, extra_manifest=extra)
+
+    @classmethod
+    def load_snapshot(
+        cls,
+        directory: Union[str, Path],
+        mmap_mode: Optional[str] = "r",
+        verify: bool = True,
+    ) -> "TripleStore":
+        """Load a saved store: columns come back as read-only memmaps.
+
+        There is no per-triple work; with the default ``verify=True``
+        the load still performs one O(N) sequential CRC32 pass over the
+        columns (pass ``verify=False`` for a truly O(1) load).
+        ``mmap_mode=None`` loads eagerly instead.  Raises
+        :class:`~repro.rdf.columnar.SnapshotError` on a missing,
+        corrupted, truncated, or version-mismatched snapshot.
+        """
+        directory = Path(directory)
+        index = ColumnarIndex.load(
+            directory, mmap_mode=mmap_mode, verify=verify
+        )
+        manifest = read_manifest(directory)
+        dictionary = None
+        if manifest.get("has_dictionary"):
+            path = directory / DICTIONARY_NAME
+            if not path.is_file():
+                raise SnapshotError(
+                    f"snapshot manifest promises dictionaries but "
+                    f"{path} is missing"
+                )
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                dictionary = GraphDictionary.from_payload(payload)
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                raise SnapshotError(
+                    f"unreadable snapshot dictionary {path}: {exc}"
+                )
+            expected = manifest.get("dictionary_checksum")
+            if verify and expected is not None:
+                checksum = dictionary.checksum()
+                if checksum != expected:
+                    raise SnapshotError(
+                        f"snapshot dictionary at {path} failed checksum "
+                        f"verification ({checksum} != {expected!r})"
+                    )
+        return cls.from_columnar(index, dictionary)
+
     def memory_bytes(self) -> int:
         """Resident size of the columnar permutations, in bytes.
 
         Used by the Table II memory comparison: four permutations of
         three int64 columns each, 96 bytes per triple.
         """
-        return len(self._triples) * 3 * 8 * 4
+        return len(self) * 3 * 8 * 4

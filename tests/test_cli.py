@@ -257,6 +257,69 @@ class TestRangeModelCommands:
         assert "q-error:" in out
 
 
+class TestSnapshotCommands:
+    def save(self, tmp_path, capsys):
+        directory = tmp_path / "snap"
+        code = main(
+            [
+                "snapshot",
+                "save",
+                "--dataset",
+                "lubm",
+                "--scale",
+                "0.25",
+                "--out",
+                str(directory),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "snapshotted to" in out
+        return directory
+
+    def test_save_then_load(self, tmp_path, capsys):
+        directory = self.save(tmp_path, capsys)
+        assert (directory / "manifest.json").is_file()
+        code = main(["snapshot", "load", "--dir", str(directory)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "memory-mapped" in out
+        assert "triples:" in out
+        assert "dictionary:  yes" in out
+
+    def test_load_eager(self, tmp_path, capsys):
+        directory = self.save(tmp_path, capsys)
+        code = main(
+            ["snapshot", "load", "--dir", str(directory), "--eager"]
+        )
+        assert code == 0
+        assert "(eager)" in capsys.readouterr().out
+
+    def test_load_missing_dir_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="snapshot load failed"):
+            main(["snapshot", "load", "--dir", str(tmp_path / "nope")])
+
+    def test_load_corrupted_fails_cleanly(self, tmp_path, capsys):
+        directory = self.save(tmp_path, capsys)
+        (directory / "spo_s.npy").write_bytes(b"garbage")
+        with pytest.raises(SystemExit, match="snapshot load failed"):
+            main(["snapshot", "load", "--dir", str(directory)])
+
+    def test_snapshot_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["snapshot"])
+
+    def test_saved_snapshot_reusable_from_api(self, tmp_path, capsys):
+        from repro.datasets import load_dataset
+        from repro.rdf import TripleStore
+
+        directory = self.save(tmp_path, capsys)
+        loaded = TripleStore.load_snapshot(directory)
+        direct = load_dataset("lubm", scale=0.25)
+        assert len(loaded) == len(direct)
+        assert set(loaded) == set(direct)
+
+
 class TestWorkloadOut:
     def test_workload_out_round_trips(self, tmp_path, capsys):
         from repro.cli import main
