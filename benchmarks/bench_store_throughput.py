@@ -12,6 +12,11 @@ Measures, on a synthetic ~100k-triple hub-heavy graph:
 - **labeling**: exact star/chain counting throughput of the vectorized
   counters over a 10k-query workload, against the seed's dict-backed
   Python counters (the acceptance gate asserts >= 5x),
+- **parallel labeling**: the same 10k-query batch sharded across a
+  4-process pool in which every worker memory-maps the saved snapshot
+  read-only (``repro.rdf.parallel``), against the serial vectorized
+  path; counts and ordering must match exactly, and on a >= 4-core
+  machine the gate asserts >= 2x,
 - **batch estimation**: LMKG-S queries/sec through
   ``Framework.estimate_batch`` vs the per-query ``estimate`` loop.
 
@@ -32,6 +37,7 @@ from repro.bench.reporting import format_table, write_json
 from repro.core.framework import LMKG
 from repro.core.lmkg_s import LMKGSConfig
 from repro.rdf import fastcount
+from repro.rdf.parallel import available_cpus, label_queries
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import Variable, pattern
 from repro.sampling.random_walk import sample_instances
@@ -46,6 +52,9 @@ NUM_QUERIES = 10_000
 #: minutes — which is the point being demonstrated).
 REFERENCE_QUERIES = 150
 QUERY_SHAPES = (("star", 2), ("star", 3), ("chain", 2), ("chain", 3))
+#: Pool size for the parallel-labeling comparison; the >= 2x gate only
+#: applies when the machine actually has that many cores.
+PARALLEL_WORKERS = 4
 
 
 def _timed(fn):
@@ -180,6 +189,24 @@ def test_store_throughput(report, tmp_path):
     ):
         assert fast_value == slow_value
 
+    # Parallel labeling: same batch, sharded across a worker pool that
+    # memory-maps the snapshot saved above (pool startup + read-only
+    # attach included in the timing — the honest end-to-end number).
+    just_queries = [q for _, _, q in queries]
+    parallel_counts, parallel_s = _timed(
+        lambda: label_queries(
+            just_queries,
+            store=store,
+            snapshot_dir=snapshot_dir,
+            workers=PARALLEL_WORKERS,
+        )
+    )
+    assert parallel_counts == fast_counts, (
+        "parallel labeling diverged from the serial counters"
+    )
+    parallel_qps = len(queries) / parallel_s
+    parallel_speedup = fast_s / parallel_s
+
     # Batch estimation QPS through the framework router.
     labelled = [
         QueryRecord(q, topology, size, count)
@@ -233,6 +260,10 @@ def test_store_throughput(report, tmp_path):
             "vectorized_queries_per_sec": round(fast_qps, 1),
             "python_reference_queries_per_sec": round(slow_qps, 1),
             "speedup": round(speedup, 1),
+            "parallel_workers": PARALLEL_WORKERS,
+            "parallel_queries_per_sec": round(parallel_qps, 1),
+            "parallel_speedup": round(parallel_speedup, 2),
+            "cpu_count": available_cpus(),
         },
         "batch_estimation": {
             "estimate_loop_qps": round(len(serve) / loop_s, 1),
@@ -287,6 +318,14 @@ def test_store_throughput(report, tmp_path):
                 ["labeling q/s (seed dict path)", round(slow_qps, 1)],
                 ["labeling speedup", round(speedup, 1)],
                 [
+                    f"labeling q/s ({PARALLEL_WORKERS} workers)",
+                    round(parallel_qps, 1),
+                ],
+                [
+                    "parallel labeling speedup",
+                    round(parallel_speedup, 2),
+                ],
+                [
                     "estimate loop q/s",
                     results["batch_estimation"]["estimate_loop_qps"],
                 ],
@@ -311,4 +350,16 @@ def test_store_throughput(report, tmp_path):
     assert mmap_load_s < 0.050, (
         f"memmap cold load took {mmap_load_s * 1000:.1f} ms (>= 50 ms)"
     )
+    # The acceptance gate of the parallel-labeling subsystem.  The
+    # speedup is physically bounded by the CPUs this process may
+    # actually use (affinity/cgroup-aware, not the host's logical
+    # count), so the >= 2x gate only binds where the pool can run
+    # 4-wide (CI runners have 4 vCPUs); the measured number is recorded
+    # above either way, alongside cpu_count, so regressions stay
+    # visible.
+    if available_cpus() >= PARALLEL_WORKERS:
+        assert parallel_speedup >= 2.0, (
+            f"parallel labeling speedup {parallel_speedup:.2f}x < 2x "
+            f"on {PARALLEL_WORKERS} workers"
+        )
     assert RESULT_PATH.exists()

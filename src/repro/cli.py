@@ -6,6 +6,10 @@ Subcommands:
 - ``train``   — train an LMKG model and write a checkpoint,
 - ``estimate``— estimate a SPARQL query with a trained checkpoint,
 - ``workload``— generate a labelled query workload as TSV,
+- ``label``   — generate a labelled training workload with the
+  cardinality labeling sharded across worker processes that share one
+  memory-mapped snapshot (``--workers N``; ``--workers 0`` uses every
+  core, ``--snapshot DIR`` attaches to an existing snapshot),
 - ``plan``    — pick a join order for a SPARQL query and compare it
   against the true-optimal order,
 - ``snapshot``— persist a graph as a memory-mapped columnar snapshot
@@ -21,6 +25,8 @@ Examples::
         --query 'SELECT ?x WHERE { ?x <ub:advisor> ?y . ?x <ub:takesCourse> ?z . }'
     python -m repro workload --dataset swdf --topology star --size 3 \
         --count 100
+    python -m repro label --dataset swdf --topology star --size 3 \
+        --count 1000 --workers 4 --out /tmp/train.tsv
     python -m repro snapshot save --dataset lubm --out /tmp/lubm_snap
     python -m repro snapshot load --dir /tmp/lubm_snap
 """
@@ -227,6 +233,53 @@ def cmd_workload(args) -> int:
     return 0
 
 
+def cmd_label(args) -> int:
+    from repro.rdf.columnar import SnapshotError
+
+    if args.workers < 0:
+        raise SystemExit(
+            f"--workers must be >= 0 (0 = one per core), "
+            f"got {args.workers}"
+        )
+    workers = args.workers if args.workers > 0 else None
+    if args.snapshot:
+        try:
+            store = TripleStore.load_snapshot(args.snapshot)
+        except SnapshotError as exc:
+            raise SystemExit(f"snapshot load failed: {exc}")
+        snapshot_dir = args.snapshot
+    else:
+        store = _load_store(args)
+        snapshot_dir = None
+    start = time.perf_counter()
+    workload = generate_workload(
+        store,
+        args.topology,
+        args.size,
+        args.count,
+        seed=args.seed,
+        workers=workers,
+        snapshot_dir=snapshot_dir,
+    )
+    elapsed = time.perf_counter() - start
+    qps = len(workload) / elapsed if elapsed > 0 else float("inf")
+    mode = (
+        "serial"
+        if (workers == 1)
+        else f"{workers or 'all-core'} workers, shared snapshot"
+    )
+    print(
+        f"labelled {len(workload)} {args.topology}:{args.size} queries "
+        f"in {elapsed:.2f} s ({qps:.1f} q/s, {mode})"
+    )
+    if args.out:
+        from repro.sampling.io import save_workload
+
+        written = save_workload(args.out, workload)
+        print(f"{written} queries written to {args.out}")
+    return 0
+
+
 def cmd_plan(args) -> int:
     from repro.baselines import BayesNetEstimator, IndependenceEstimator
     from repro.optimizer import (
@@ -371,6 +424,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the workload to this TSV file instead of stdout",
     )
     p_wl.set_defaults(func=cmd_workload)
+
+    p_label = sub.add_parser(
+        "label",
+        help="generate a labelled workload with multiprocess labeling",
+    )
+    _add_store_options(p_label)
+    p_label.add_argument(
+        "--snapshot",
+        help=(
+            "attach to this on-disk store snapshot (shared read-only "
+            "by all workers) instead of building a dataset"
+        ),
+    )
+    p_label.add_argument(
+        "--topology", choices=("star", "chain"), default="star"
+    )
+    p_label.add_argument("--size", type=int, default=2)
+    p_label.add_argument("--count", type=int, default=1000)
+    p_label.add_argument("--seed", type=int, default=0)
+    p_label.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="labeling worker processes (0 = one per core; default 1)",
+    )
+    p_label.add_argument(
+        "--out",
+        help="write the labelled workload to this TSV file",
+    )
+    p_label.set_defaults(func=cmd_label)
 
     p_plan = sub.add_parser(
         "plan", help="pick and score a join order for a query"

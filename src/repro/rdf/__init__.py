@@ -33,13 +33,17 @@ from repro.rdf.pattern import (
     star_pattern,
 )
 from repro.rdf.stats import GraphStats, compute_stats
-from repro.rdf.store import TripleStore
+from repro.rdf.parallel import ParallelLabelingError, label_queries
+from repro.rdf.store import ReadOnlyStoreError, TripleStore
 from repro.rdf.treecount import count_tree, is_tree_query
 from repro.rdf.terms import Triple, TriplePattern, Variable, pattern
 
 __all__ = [
     "ColumnarIndex",
+    "ParallelLabelingError",
+    "ReadOnlyStoreError",
     "SnapshotError",
+    "label_queries",
     "UNBOUND_ID",
     "GraphDictionary",
     "TermDictionary",

@@ -76,6 +76,17 @@ from repro.rdf.terms import Triple, TriplePattern, Variable, is_bound
 DICTIONARY_NAME = "dictionary.json"
 
 
+class ReadOnlyStoreError(RuntimeError):
+    """Mutation attempted on a store opened with ``read_only=True``.
+
+    Parallel-labeling workers attach to one shared on-disk snapshot
+    (:meth:`TripleStore.load_snapshot`); a worker that mutated its copy
+    would silently diverge from its siblings — every process would keep
+    answering, each against a different graph.  Opening the snapshot
+    read-only turns that silent divergence into this loud error.
+    """
+
+
 def _coerce_batch(triples) -> np.ndarray:
     """Normalise bulk-ingest input to a contiguous ``(N, 3)`` int64 array.
 
@@ -102,6 +113,14 @@ class TripleStore:
     def __init__(self, dictionary: Optional[GraphDictionary] = None) -> None:
         self.dictionary = dictionary
         self.generation: int = 0
+        # Set by load_snapshot(read_only=True): mutations raise instead
+        # of demoting, so snapshot-sharing workers cannot diverge.
+        self._read_only: bool = False
+        # Provenance: the snapshot directory this store was loaded from
+        # or last saved to, valid only while the generation is unchanged
+        # (see :attr:`snapshot_source`).
+        self._snapshot_path: Optional[Path] = None
+        self._snapshot_generation: int = -1
         # Committed snapshot + write-side staging (see module docstring).
         self._committed: ColumnarIndex = ColumnarIndex.from_array(
             np.empty((0, 3), dtype=np.int64)
@@ -123,8 +142,22 @@ class TripleStore:
     # Mutation
     # ------------------------------------------------------------------
 
+    def _check_writable(self) -> None:
+        if self._read_only:
+            raise ReadOnlyStoreError(
+                "store was opened read-only (snapshot-sharing worker); "
+                "mutating it would silently diverge from sibling "
+                "processes mapping the same snapshot — load with "
+                "read_only=False to get a private copy-on-write store"
+            )
+
     def add(self, s: int, p: int, o: int) -> bool:
-        """Insert a triple; returns False when it was already present."""
+        """Insert a triple; returns False when it was already present.
+
+        Raises :class:`ReadOnlyStoreError` on a store opened with
+        ``read_only=True``.
+        """
+        self._check_writable()
         triple = (int(s), int(p), int(o))
         if (
             triple in self._delta
@@ -152,8 +185,10 @@ class TripleStore:
         for the whole batch (not at all when every row was a duplicate).
         A memmap-backed snapshot is never mutated in place: new rows
         land in pending staging and the next consolidation builds fresh
-        in-memory arrays.
+        in-memory arrays.  Raises :class:`ReadOnlyStoreError` on a store
+        opened with ``read_only=True``.
         """
+        self._check_writable()
         rows = _coerce_batch(triples)
         if rows.shape[0] == 0:
             return 0
@@ -633,13 +668,46 @@ class TripleStore:
     # Persistence
     # ------------------------------------------------------------------
 
-    def save_snapshot(self, directory: Union[str, Path]) -> Path:
+    @property
+    def read_only(self) -> bool:
+        """True when this store was opened with ``read_only=True``."""
+        return self._read_only
+
+    @property
+    def snapshot_source(self) -> Optional[Path]:
+        """The on-disk snapshot this store still mirrors, if any.
+
+        Set by :meth:`save_snapshot` and :meth:`load_snapshot` and
+        **invalidated by any mutation**: once the store's generation has
+        moved past the snapshotted one, the path is no longer a faithful
+        image of the in-memory state, and handing it to snapshot-sharing
+        workers would make them label against stale data.  Consumers
+        (``repro.rdf.parallel``) therefore re-snapshot when this returns
+        None instead of trusting a demoted parent's old directory.
+        """
+        if (
+            self._snapshot_path is not None
+            and self._snapshot_generation == self.generation
+        ):
+            return self._snapshot_path
+        return None
+
+    def save_snapshot(
+        self, directory: Union[str, Path], record_source: bool = True
+    ) -> Path:
         """Persist the store (index + dictionaries) to *directory*.
 
         Writes one ``.npy`` per permutation column, the term
         dictionaries as JSON when present, and a versioned manifest
         carrying the triple count plus content and dictionary checksums.
         Returns the manifest path.
+
+        By default the directory is recorded as this store's
+        :attr:`snapshot_source`.  Pass ``record_source=False`` for
+        throwaway snapshots (e.g. a labeling pool's tempdir): a path
+        that is deleted right after use must not linger as the store's
+        supposed on-disk image, or the next pool would attach its
+        workers to a directory that no longer exists.
         """
         directory = Path(directory)
         extra = {"has_dictionary": self.dictionary is not None}
@@ -650,7 +718,11 @@ class TripleStore:
                 json.dumps(self.dictionary.to_payload()) + "\n",
                 encoding="utf-8",
             )
-        return self.columnar.save(directory, extra_manifest=extra)
+        manifest = self.columnar.save(directory, extra_manifest=extra)
+        if record_source:
+            self._snapshot_path = directory
+            self._snapshot_generation = self.generation
+        return manifest
 
     @classmethod
     def load_snapshot(
@@ -658,13 +730,24 @@ class TripleStore:
         directory: Union[str, Path],
         mmap_mode: Optional[str] = "r",
         verify: bool = True,
+        read_only: bool = False,
+        load_dictionary: bool = True,
     ) -> "TripleStore":
         """Load a saved store: columns come back as read-only memmaps.
 
         There is no per-triple work; with the default ``verify=True``
         the load still performs one O(N) sequential CRC32 pass over the
         columns (pass ``verify=False`` for a truly O(1) load).
-        ``mmap_mode=None`` loads eagerly instead.  Raises
+        ``mmap_mode=None`` loads eagerly instead.  With
+        ``read_only=True`` every later mutation raises
+        :class:`ReadOnlyStoreError` instead of demoting to private
+        in-memory arrays — the mode parallel-labeling workers use so one
+        worker cannot silently diverge from siblings mapping the same
+        snapshot.  ``load_dictionary=False`` skips parsing the term
+        dictionaries entirely — id-level consumers like the labeling
+        pool's workers never decode a term, and re-building the
+        dictionary in every worker process would be the one non-O(1),
+        non-shared part of their attach.  Raises
         :class:`~repro.rdf.columnar.SnapshotError` on a missing,
         corrupted, truncated, or version-mismatched snapshot.
         """
@@ -674,7 +757,7 @@ class TripleStore:
         )
         manifest = read_manifest(directory)
         dictionary = None
-        if manifest.get("has_dictionary"):
+        if manifest.get("has_dictionary") and load_dictionary:
             path = directory / DICTIONARY_NAME
             if not path.is_file():
                 raise SnapshotError(
@@ -696,7 +779,11 @@ class TripleStore:
                         f"snapshot dictionary at {path} failed checksum "
                         f"verification ({checksum} != {expected!r})"
                     )
-        return cls.from_columnar(index, dictionary)
+        store = cls.from_columnar(index, dictionary)
+        store._read_only = bool(read_only)
+        store._snapshot_path = directory
+        store._snapshot_generation = store.generation
+        return store
 
     def memory_bytes(self) -> int:
         """Resident size of the columnar permutations, in bytes.

@@ -12,11 +12,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.rdf.fastcount import count_query
+from repro.rdf.parallel import label_queries
 from repro.rdf.pattern import QueryPattern
 from repro.rdf.store import TripleStore
 from repro.sampling.random_walk import sample_instances
@@ -105,6 +107,8 @@ def generate_workload(
     method: str = "exact",
     min_unbound: int = 1,
     max_instances: Optional[int] = None,
+    workers: Optional[int] = 1,
+    snapshot_dir: Union[str, Path, None] = None,
 ) -> Workload:
     """Sample, unbind, deduplicate, and label queries of one shape.
 
@@ -112,16 +116,27 @@ def generate_workload(
     turned into a query by unbinding a random subset of its nodes, exact
     duplicates (up to variable renaming) are dropped, and every query is
     labelled with its exact cardinality.
+
+    Labeling dominates generation cost.  With ``workers > 1`` (or
+    ``workers=None`` for one per core) the deduplicated queries are
+    sharded across a process pool in which every worker memory-maps the
+    same read-only snapshot (:mod:`repro.rdf.parallel`) — pass
+    *snapshot_dir* to attach to an existing on-disk snapshot of *store*,
+    otherwise one is written to a temporary directory for the pool.
+    Counts and record order are identical to the serial path for every
+    worker count.
     """
     rng = np.random.default_rng(seed + 1)
     budget = max_instances if max_instances is not None else num_queries * 4
     instances, _ = sample_instances(
         store, topology, size, budget, seed=seed, method=method
     )
+    # Sampling/unbinding/dedup is cheap and order-defining, so it stays
+    # serial; only the cardinality labeling below is sharded.
     seen = set()
-    records: List[QueryRecord] = []
+    queries: List[QueryPattern] = []
     for instance in instances:
-        if len(records) >= num_queries:
+        if len(queries) >= num_queries:
             break
         mask = random_unbound_mask(size + 1, rng, min_unbound=min_unbound)
         query = query_from_instance(topology, instance, mask)
@@ -129,7 +144,12 @@ def generate_workload(
         if key in seen:
             continue
         seen.add(key)
-        cardinality = count_query(store, query)
+        queries.append(query)
+    cardinalities = label_queries(
+        queries, store=store, snapshot_dir=snapshot_dir, workers=workers
+    )
+    records: List[QueryRecord] = []
+    for query, cardinality in zip(queries, cardinalities):
         if cardinality < 1:
             # Unbinding a sampled instance always matches at least the
             # instance itself; zero would mean a counting bug.
@@ -147,6 +167,8 @@ def generate_test_queries(
     per_bucket: int,
     seed: int = 100,
     oversample: int = 12,
+    workers: Optional[int] = 1,
+    snapshot_dir: Union[str, Path, None] = None,
 ) -> Workload:
     """Bucket-balanced test queries, the paper's 600-query protocol.
 
@@ -162,6 +184,8 @@ def generate_test_queries(
         num_queries=per_bucket * NUM_BUCKETS * oversample,
         seed=seed,
         max_instances=per_bucket * NUM_BUCKETS * oversample * 2,
+        workers=workers,
+        snapshot_dir=snapshot_dir,
     )
     kept: Dict[int, List[QueryRecord]] = {}
     for record in candidates.records:

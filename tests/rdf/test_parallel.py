@@ -1,0 +1,387 @@
+"""Serial-vs-parallel labeling equivalence and failure-path tests.
+
+Pooled labeling (:mod:`repro.rdf.parallel`) must return byte-identical
+counts in identical order to running
+:func:`repro.rdf.fastcount.count_query` serially — for any worker
+count, chunking, or completion order — and must fail loudly (never
+silently diverge) when a worker crashes or mutates its shared
+snapshot.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import ReadOnlyStoreError, SnapshotError, TripleStore
+from repro.rdf.fastcount import count_query
+from repro.rdf.parallel import (
+    ParallelLabelingError,
+    chunk_queries,
+    label_queries,
+    label_serial,
+)
+from repro.rdf.pattern import QueryPattern, chain_pattern, star_pattern
+from repro.rdf.terms import Variable
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(
+    not HAVE_FORK, reason="needs the fork start method"
+)
+
+
+def build_store(rng, triples=500, nodes=40, predicates=4):
+    store = TripleStore()
+    rows = np.column_stack(
+        [
+            rng.integers(1, nodes, triples),
+            rng.integers(1, predicates + 1, triples),
+            rng.integers(1, nodes, triples),
+        ]
+    ).astype(np.int64)
+    store.add_all(rows)
+    return store
+
+
+def build_queries(count=24, predicates=4):
+    """A deterministic mix of star and chain queries, bound and not."""
+    queries = []
+    for i in range(count):
+        p1 = 1 + i % predicates
+        p2 = 1 + (i + 1) % predicates
+        if i % 2 == 0:
+            queries.append(
+                star_pattern(
+                    Variable("c"),
+                    [(p1, Variable(f"o{i}")), (p2, Variable(f"q{i}"))],
+                )
+            )
+        else:
+            start = Variable("a") if i % 3 else (1 + i % 20)
+            queries.append(
+                chain_pattern(
+                    [start, p1, Variable("b"), p2, Variable("c")]
+                )
+            )
+    return queries
+
+
+@pytest.fixture
+def graph_store():
+    return build_store(np.random.default_rng(42))
+
+
+@pytest.fixture
+def snapshot(graph_store, tmp_path):
+    directory = tmp_path / "snap"
+    graph_store.save_snapshot(directory)
+    return directory
+
+
+class TestChunking:
+    def test_covers_every_query_once_in_order(self):
+        queries = build_queries(23)
+        tasks = chunk_queries(queries, workers=4, chunk_size=None)
+        flat = [q for _, chunk in tasks for q in chunk]
+        assert flat == queries
+        offsets = [offset for offset, _ in tasks]
+        assert offsets == sorted(offsets)
+
+    def test_more_chunks_than_workers(self):
+        tasks = chunk_queries(build_queries(24), 2, None)
+        assert len(tasks) > 2
+
+    def test_explicit_chunk_size(self):
+        tasks = chunk_queries(build_queries(10), 2, chunk_size=3)
+        assert [len(c) for _, c in tasks] == [3, 3, 3, 1]
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            chunk_queries(build_queries(4), 2, chunk_size=0)
+
+
+class TestSerialPaths:
+    """Paths that never spawn a pool must still be exact."""
+
+    def test_workers_1_matches_count_query(self, graph_store):
+        queries = build_queries()
+        assert label_queries(queries, store=graph_store) == [
+            count_query(graph_store, q) for q in queries
+        ]
+
+    def test_empty_workload(self, graph_store):
+        assert label_queries([], store=graph_store, workers=4) == []
+
+    def test_single_query_skips_pool(self, graph_store):
+        queries = build_queries(1)
+        assert label_queries(
+            queries, store=graph_store, workers=8
+        ) == label_serial(graph_store, queries)
+
+    def test_snapshot_dir_only_serial(self, graph_store, snapshot):
+        queries = build_queries()
+        assert label_queries(
+            queries, snapshot_dir=snapshot, workers=1
+        ) == label_serial(graph_store, queries)
+
+    def test_requires_a_source(self):
+        with pytest.raises(ValueError, match="store or a snapshot"):
+            label_queries(build_queries(2))
+
+    def test_workers_validated(self, graph_store):
+        with pytest.raises(ValueError, match="workers"):
+            label_queries(
+                build_queries(2), store=graph_store, workers=0
+            )
+
+
+@needs_fork
+class TestPooledEquivalence:
+    def test_pooled_matches_serial(self, graph_store, snapshot):
+        queries = build_queries(40)
+        serial = label_serial(graph_store, queries)
+        pooled = label_queries(
+            queries, snapshot_dir=snapshot, workers=2
+        )
+        assert pooled == serial
+
+    def test_workers_exceed_chunks(self, graph_store, snapshot):
+        """More workers than shards: the pool shrinks, results don't."""
+        queries = build_queries(3)
+        pooled = label_queries(
+            queries,
+            snapshot_dir=snapshot,
+            workers=16,
+            chunk_size=2,
+        )
+        assert pooled == label_serial(graph_store, queries)
+
+    def test_chunk_size_one(self, graph_store, snapshot):
+        queries = build_queries(7)
+        pooled = label_queries(
+            queries, snapshot_dir=snapshot, workers=2, chunk_size=1
+        )
+        assert pooled == label_serial(graph_store, queries)
+
+    def test_store_without_snapshot_is_resnapshotted(self, graph_store):
+        """No on-disk image: one is written to a tempdir for the pool."""
+        queries = build_queries(12)
+        assert graph_store.snapshot_source is None
+        pooled = label_queries(queries, store=graph_store, workers=2)
+        assert pooled == label_serial(graph_store, queries)
+
+    def test_pool_tempdir_is_not_recorded_as_source(self, graph_store):
+        """The throwaway pool snapshot dies with the pool; a second
+        pooled call must re-snapshot, not attach to the deleted path."""
+        queries = build_queries(10)
+        serial = label_serial(graph_store, queries)
+        assert label_queries(
+            queries, store=graph_store, workers=2
+        ) == serial
+        # The tempdir must not linger as the store's on-disk image...
+        assert graph_store.snapshot_source is None
+        # ...so the next pooled call works instead of hanging on a
+        # nonexistent directory (regression: save_snapshot used to
+        # record the soon-deleted tempdir).
+        assert label_queries(
+            queries, store=graph_store, workers=2
+        ) == serial
+
+    def test_workers_none_uses_core_count(self, graph_store, snapshot):
+        queries = build_queries(8)
+        pooled = label_queries(
+            queries, snapshot_dir=snapshot, workers=None
+        )
+        assert pooled == label_serial(graph_store, queries)
+
+    @given(data=st.data())
+    @settings(max_examples=5, deadline=None)
+    def test_property_pooled_equals_serial(self, data, tmp_path_factory):
+        """Random graphs x random worker/chunk settings: byte-identical."""
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        store = build_store(
+            rng,
+            triples=data.draw(st.integers(2, 300)),
+            nodes=data.draw(st.integers(2, 30)),
+        )
+        queries = build_queries(data.draw(st.integers(2, 30)))
+        workers = data.draw(st.integers(2, 5))
+        chunk_size = data.draw(
+            st.one_of(st.none(), st.integers(1, 8))
+        )
+        directory = tmp_path_factory.mktemp("snaps") / "snap"
+        store.save_snapshot(directory)
+        pooled = label_queries(
+            queries,
+            snapshot_dir=directory,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
+        assert pooled == label_serial(store, queries)
+
+
+class _ExplodingPattern(QueryPattern):
+    """A query whose classification blows up inside the worker."""
+
+    def topology(self):
+        raise RuntimeError("injected labeling crash")
+
+
+@needs_fork
+class TestFailurePaths:
+    def test_crashed_worker_raises_with_traceback(
+        self, graph_store, snapshot
+    ):
+        queries = build_queries(6)
+        queries[4] = _ExplodingPattern(queries[4].triples)
+        with pytest.raises(
+            ParallelLabelingError, match="injected labeling crash"
+        ) as excinfo:
+            label_queries(queries, snapshot_dir=snapshot, workers=2)
+        # The worker-side traceback must survive the process boundary.
+        assert "Traceback" in str(excinfo.value)
+
+    def test_crash_in_serial_path_propagates_directly(self, graph_store):
+        queries = [_ExplodingPattern(build_queries(1)[0].triples)]
+        with pytest.raises(RuntimeError, match="injected"):
+            label_queries(queries, store=graph_store, workers=1)
+
+    def test_vanished_snapshot_fails_loudly_not_hanging(
+        self, graph_store, snapshot
+    ):
+        """A snapshot that disappears between parent check and worker
+        attach must raise, not make the pool respawn workers forever."""
+        import shutil
+
+        store = TripleStore.load_snapshot(snapshot)
+        shutil.rmtree(snapshot)
+        # The parent still trusts its (memmapped, resident) store and
+        # its recorded source; the workers' attach fails and must
+        # surface as ParallelLabelingError with the worker traceback.
+        with pytest.raises(
+            ParallelLabelingError, match="failed to attach"
+        ):
+            label_queries(
+                build_queries(6),
+                store=store,
+                snapshot_dir=snapshot,
+                workers=2,
+            )
+
+    def test_corrupted_snapshot_dir_raises_before_pooling(
+        self, snapshot
+    ):
+        """snapshot_dir without a store is checksum-verified once in
+        the parent — corruption raises SnapshotError, it never labels
+        against bit-rotted columns (workers attach with verify=False)."""
+        column = snapshot / "spo_s.npy"
+        data = bytearray(column.read_bytes())
+        data[-8:] = (123456789).to_bytes(8, "little", signed=True)
+        column.write_bytes(bytes(data))
+        for workers in (1, 4):
+            with pytest.raises(SnapshotError, match="checksum"):
+                label_queries(
+                    build_queries(4),
+                    snapshot_dir=snapshot,
+                    workers=workers,
+                )
+
+
+class TestReadOnlyWorkerGuard:
+    """Workers share one snapshot; mutating it must be loud, not silent.
+
+    A worker that demoted its copy to private in-memory arrays would
+    keep answering while diverging from every sibling process mapping
+    the same files — so the worker attach mode forbids mutation
+    entirely, and the parent-side path re-snapshots when its own store
+    no longer matches the on-disk image.
+    """
+
+    def test_read_only_store_rejects_add(self, snapshot):
+        worker_view = TripleStore.load_snapshot(snapshot, read_only=True)
+        assert worker_view.read_only
+        with pytest.raises(ReadOnlyStoreError, match="read-only"):
+            worker_view.add(900, 1, 901)
+
+    def test_read_only_store_rejects_add_all(self, snapshot):
+        worker_view = TripleStore.load_snapshot(snapshot, read_only=True)
+        with pytest.raises(ReadOnlyStoreError, match="diverge"):
+            worker_view.add_all([(900, 1, 901)])
+
+    def test_read_only_rejection_leaves_store_intact(
+        self, graph_store, snapshot
+    ):
+        worker_view = TripleStore.load_snapshot(snapshot, read_only=True)
+        with pytest.raises(ReadOnlyStoreError):
+            worker_view.add(900, 1, 901)
+        assert len(worker_view) == len(graph_store)
+        assert worker_view.generation == 0
+        queries = build_queries(6)
+        assert label_serial(worker_view, queries) == label_serial(
+            graph_store, queries
+        )
+
+    def test_default_load_still_demotes_privately(
+        self, graph_store, snapshot
+    ):
+        """Without read_only, mutation copies locally: the snapshot on
+        disk — and any sibling mapping it — is untouched."""
+        writable = TripleStore.load_snapshot(snapshot)
+        sibling = TripleStore.load_snapshot(snapshot, read_only=True)
+        assert writable.add(900, 1, 901)
+        assert (900, 1, 901) in writable
+        assert (900, 1, 901) not in sibling
+        assert len(sibling) == len(graph_store)
+
+    def test_snapshot_source_invalidated_by_mutation(self, snapshot):
+        store = TripleStore.load_snapshot(snapshot)
+        assert store.snapshot_source == snapshot
+        store.add(900, 1, 901)
+        assert store.snapshot_source is None
+
+    @needs_fork
+    def test_demoted_parent_is_resnapshotted_not_stale(self, snapshot):
+        """A parent that mutated after loading must not hand workers the
+        stale directory: pooled counts reflect the mutated store."""
+        store = TripleStore.load_snapshot(snapshot)
+        centre = 900
+        for i in range(5):
+            store.add(centre, 1, 910 + i)
+            store.add(centre, 2, 920 + i)
+        query = star_pattern(
+            centre, [(1, Variable("x")), (2, Variable("y"))]
+        )
+        queries = build_queries(6) + [query]
+        pooled = label_queries(
+            queries, store=store, snapshot_dir=snapshot, workers=2
+        )
+        assert pooled == label_serial(store, queries)
+        assert pooled[-1] == 25  # 5 p1-objects x 5 p2-objects
+
+    def test_save_snapshot_sets_source(self, graph_store, tmp_path):
+        directory = tmp_path / "fresh"
+        graph_store.save_snapshot(directory)
+        assert graph_store.snapshot_source == directory
+
+    def test_worker_attach_skips_dictionary(self, tmp_path):
+        """Workers count ids, never decode terms: the attach mode must
+        not re-parse (and privately duplicate) the dictionaries."""
+        store = TripleStore.from_lexical(
+            [("a", "p", "b"), ("a", "p", "c"), ("b", "q", "c")]
+        )
+        directory = tmp_path / "lex"
+        store.save_snapshot(directory)
+        worker_view = TripleStore.load_snapshot(
+            directory, read_only=True, load_dictionary=False
+        )
+        assert worker_view.dictionary is None
+        queries = build_queries(4)
+        assert label_serial(worker_view, queries) == label_serial(
+            store, queries
+        )
+        # The default load still brings the dictionary back.
+        full = TripleStore.load_snapshot(directory)
+        assert full.dictionary is not None

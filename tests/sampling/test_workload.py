@@ -124,6 +124,54 @@ class TestGenerateWorkload:
             assert record.query.num_unbound >= 1
 
 
+class TestParallelLabeling:
+    """workers=N must be invisible in the output: same records, same
+    cardinalities, same order as the serial path."""
+
+    @pytest.fixture(autouse=True)
+    def _needs_fork(self):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs the fork start method")
+
+    def test_workers_equivalent_to_serial(self, lubm_store):
+        serial = generate_workload(lubm_store, "star", 2, 40, seed=9)
+        pooled = generate_workload(
+            lubm_store, "star", 2, 40, seed=9, workers=2
+        )
+        assert [r.query for r in pooled] == [r.query for r in serial]
+        assert [r.cardinality for r in pooled] == [
+            r.cardinality for r in serial
+        ]
+
+    def test_workers_with_existing_snapshot(self, lubm_store, tmp_path):
+        directory = tmp_path / "snap"
+        lubm_store.save_snapshot(directory)
+        serial = generate_workload(lubm_store, "chain", 2, 30, seed=3)
+        pooled = generate_workload(
+            lubm_store,
+            "chain",
+            2,
+            30,
+            seed=3,
+            workers=2,
+            snapshot_dir=directory,
+        )
+        assert [r.cardinality for r in pooled] == [
+            r.cardinality for r in serial
+        ]
+
+    def test_all_core_workers(self, lubm_store):
+        serial = generate_workload(lubm_store, "chain", 2, 20, seed=4)
+        pooled = generate_workload(
+            lubm_store, "chain", 2, 20, seed=4, workers=None
+        )
+        assert [r.cardinality for r in pooled] == [
+            r.cardinality for r in serial
+        ]
+
+
 class TestTestQueries:
     def test_bucket_balance(self, lubm_store):
         workload = generate_test_queries(

@@ -320,6 +320,130 @@ class TestSnapshotCommands:
         assert set(loaded) == set(direct)
 
 
+class TestLabelCommand:
+    def test_label_serial(self, capsys):
+        code = main(
+            [
+                "label",
+                "--dataset",
+                "lubm",
+                "--scale",
+                "0.25",
+                "--topology",
+                "star",
+                "--size",
+                "2",
+                "--count",
+                "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "labelled 20 star:2 queries" in out
+        assert "serial" in out
+
+    def test_label_workers_against_snapshot(self, tmp_path, capsys):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs the fork start method")
+        directory = tmp_path / "snap"
+        code = main(
+            [
+                "snapshot",
+                "save",
+                "--dataset",
+                "lubm",
+                "--scale",
+                "0.25",
+                "--out",
+                str(directory),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        out_path = tmp_path / "train.tsv"
+        code = main(
+            [
+                "label",
+                "--snapshot",
+                str(directory),
+                "--topology",
+                "chain",
+                "--size",
+                "2",
+                "--count",
+                "25",
+                "--workers",
+                "2",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 workers, shared snapshot" in out
+        assert "written to" in out
+        from repro.sampling.io import load_workload
+
+        records = load_workload(out_path)
+        assert len(records) == 25
+
+    def test_label_workers_match_serial_output(self, tmp_path, capsys):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs the fork start method")
+        serial_path = tmp_path / "serial.tsv"
+        pooled_path = tmp_path / "pooled.tsv"
+        base = [
+            "label",
+            "--dataset",
+            "lubm",
+            "--scale",
+            "0.25",
+            "--count",
+            "15",
+            "--seed",
+            "3",
+        ]
+        assert main(base + ["--out", str(serial_path)]) == 0
+        assert (
+            main(base + ["--workers", "2", "--out", str(pooled_path)])
+            == 0
+        )
+        capsys.readouterr()
+        assert serial_path.read_text() == pooled_path.read_text()
+
+    def test_label_negative_workers_rejected(self):
+        with pytest.raises(SystemExit, match="--workers must be >= 0"):
+            main(
+                [
+                    "label",
+                    "--dataset",
+                    "lubm",
+                    "--scale",
+                    "0.25",
+                    "--count",
+                    "5",
+                    "--workers",
+                    "-3",
+                ]
+            )
+
+    def test_label_bad_snapshot_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="snapshot load failed"):
+            main(
+                [
+                    "label",
+                    "--snapshot",
+                    str(tmp_path / "nope"),
+                    "--count",
+                    "5",
+                ]
+            )
+
+
 class TestWorkloadOut:
     def test_workload_out_round_trips(self, tmp_path, capsys):
         from repro.cli import main
