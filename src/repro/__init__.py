@@ -3,8 +3,14 @@ estimation for knowledge graphs.
 
 Public API highlights:
 
+- :class:`repro.core.Estimator` — the unified estimation protocol
+  (``estimate_batch(queries) -> np.ndarray`` with ``estimate``
+  derived) every model and baseline implements,
 - :class:`repro.core.LMKG` — the framework façade (both LMKG-S and
-  LMKG-U behind grouping strategies and query decomposition),
+  LMKG-U behind grouping strategies and query decomposition), with
+  whole-framework checkpointing (``save``/``load``),
+- :mod:`repro.serve` — the micro-batched HTTP serving subsystem
+  (``python -m repro serve``),
 - :mod:`repro.rdf` — triple store, exact matcher, SPARQL-subset parser,
 - :mod:`repro.datasets` — SWDF/LUBM/YAGO-like synthetic graphs,
 - :mod:`repro.sampling` — training-data and workload generation,
@@ -24,6 +30,7 @@ from repro.core import (
     LMKG,
     LMKGS,
     LMKGU,
+    Estimator,
     LMKGSConfig,
     LMKGUConfig,
     q_error,
@@ -42,6 +49,7 @@ from repro.rdf import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "Estimator",
     "LMKG",
     "LMKGS",
     "LMKGU",

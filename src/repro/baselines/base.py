@@ -1,49 +1,41 @@
-"""Common estimator interface shared by LMKG models and all baselines.
+"""Baseline-facing view of the unified Estimator protocol.
 
-Every estimator answers ``estimate(query) -> float`` and
-``estimate_batch(queries) -> ndarray``; the base class supplies the
-batch form as a loop so callers can rely on one API regardless of
-whether a concrete estimator has a vectorized path (the learned models
-do — one featurize plus one network forward per batch).
+Every baseline subclasses :class:`CardinalityEstimator` and implements
+the protected per-query hook ``_estimate_one(query) -> float`` (or, when
+it has a vectorized path like MSCN, ``_estimate_batch``).  The public
+``estimate`` / ``estimate_batch(queries) -> np.ndarray`` surface is
+inherited from :class:`repro.core.estimator.Estimator`, which validates
+every result vector in one place: values are asserted finite and clamped
+to ``>= 0.0`` before any caller sees them, so a summary formula that
+divides to a negative or an undertrained head that emits garbage can
+never leak past the protocol boundary.
 
 Sampling-based estimators additionally expose ``runs`` — the number of
-repetitions G-CARE averages over (30 in the paper); their ``estimate``
-already performs the averaging internally so benches measure the same
-work the paper timed.
+repetitions G-CARE averages over (30 in the paper); their
+``_estimate_one`` already performs the averaging internally so benches
+measure the same work the paper timed.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from repro.core.estimator import (
+    Estimator,
+    EstimatorContractError,
+    finalize_estimates,
+)
 
-import numpy as np
+__all__ = [
+    "CardinalityEstimator",
+    "Estimator",
+    "EstimatorContractError",
+    "finalize_estimates",
+]
 
-from repro.rdf.pattern import QueryPattern
 
+class CardinalityEstimator(Estimator):
+    """Protocol for every baseline in the evaluation.
 
-class CardinalityEstimator:
-    """Protocol for every estimator in the evaluation."""
-
-    #: short identifier used in result tables ("cset", "wj", ...)
-    name: str = "abstract"
-
-    def estimate(self, query: QueryPattern) -> float:
-        """Estimated cardinality of *query* (non-negative)."""
-        raise NotImplementedError
-
-    def estimate_batch(
-        self, queries: Sequence[QueryPattern]
-    ) -> np.ndarray:
-        """Estimates for a batch of queries.
-
-        The default loops over :meth:`estimate`; vectorized estimators
-        override it.
-        """
-        return np.array(
-            [self.estimate(q) for q in queries], dtype=np.float64
-        )
-
-    def memory_bytes(self) -> int:
-        """Size of the synopsis/model; 0 when the estimator reads the
-        graph directly (sampling approaches)."""
-        return 0
+    A thin alias of :class:`~repro.core.estimator.Estimator` kept as the
+    import point for baseline and optimizer code; the estimation surface,
+    validation, and clamping all live in the shared base class.
+    """

@@ -223,7 +223,7 @@ class BayesNetEstimator(CardinalityEstimator):
         self.chain_model = ChainHistogram(store)
         self._fallback = IndependenceEstimator(store)
 
-    def estimate(self, query: QueryPattern) -> float:
+    def _estimate_one(self, query: QueryPattern) -> float:
         if any(not is_bound(tp.p) for tp in query.triples):
             return self._fallback.estimate(query)
         topology = query.topology()

@@ -65,7 +65,7 @@ class CharacteristicSets(CardinalityEstimator):
 
     # ------------------------------------------------------------------
 
-    def estimate(self, query: QueryPattern) -> float:
+    def _estimate_one(self, query: QueryPattern) -> float:
         topo = query.topology()
         if topo in (Topology.STAR, Topology.SINGLE):
             return self._estimate_star(query)

@@ -49,7 +49,7 @@ class Impr(CardinalityEstimator):
         self._rng = np.random.default_rng(seed)
         self._nodes = store.nodes()
 
-    def estimate(self, query: QueryPattern) -> float:
+    def _estimate_one(self, query: QueryPattern) -> float:
         topo = query.topology()
         if topo not in (Topology.STAR, Topology.CHAIN, Topology.SINGLE):
             # The walk templates below cover the paper's two topologies.

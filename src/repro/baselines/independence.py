@@ -28,7 +28,7 @@ class IndependenceEstimator(CardinalityEstimator):
     def __init__(self, store: TripleStore) -> None:
         self.store = store
 
-    def estimate(self, query: QueryPattern) -> float:
+    def _estimate_one(self, query: QueryPattern) -> float:
         product = 1.0
         for tp in query.triples:
             product *= float(self.store.count_pattern(tp))

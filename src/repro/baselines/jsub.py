@@ -47,7 +47,7 @@ class JSUB(CardinalityEstimator):
             self._max_out[p] = int(out_fanouts.max(initial=0))
             self._max_in[p] = int(in_fanouts.max(initial=0))
 
-    def estimate(self, query: QueryPattern) -> float:
+    def _estimate_one(self, query: QueryPattern) -> float:
         ordered = order_patterns(self.store, query)
         estimates = [self._run_once(ordered) for _ in range(self.runs)]
         return float(np.mean(estimates))

@@ -234,10 +234,7 @@ class MSCN(CardinalityEstimator):
             history.append(epoch_loss / max(batches, 1))
         return history
 
-    def estimate(self, query: QueryPattern) -> float:
-        return float(self.estimate_batch([query])[0])
-
-    def estimate_batch(self, queries) -> np.ndarray:
+    def _estimate_batch(self, queries) -> np.ndarray:
         """Vectorized estimation: one featurize + one forward per batch."""
         if self._head is None:
             raise RuntimeError("estimate() before fit()")

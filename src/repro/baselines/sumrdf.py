@@ -69,7 +69,7 @@ class SumRDF(CardinalityEstimator):
 
     # ------------------------------------------------------------------
 
-    def estimate(self, query: QueryPattern) -> float:
+    def _estimate_one(self, query: QueryPattern) -> float:
         """Expected cardinality over the possible worlds of the summary."""
         bucket_query, bound_nodes = self._to_bucket_query(query)
         total = 0.0

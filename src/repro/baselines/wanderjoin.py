@@ -69,7 +69,7 @@ class WanderJoin(CardinalityEstimator):
         self.runs = runs
         self._rng = np.random.default_rng(seed)
 
-    def estimate(self, query: QueryPattern) -> float:
+    def _estimate_one(self, query: QueryPattern) -> float:
         """Mean of ``runs`` independent walk-batch estimates."""
         ordered = order_patterns(self.store, query)
         estimates = [

@@ -237,28 +237,43 @@ class BenchContext:
     # Uniform estimation API
     # ------------------------------------------------------------------
 
+    def estimator_for(self, name: str, workload: Workload):
+        """Resolve an estimator name to its (trained) Estimator.
+
+        Every estimator in the evaluation — the LMKG façade, the MSCN
+        variants, and the synopsis/sampling baselines — speaks the
+        unified :class:`~repro.core.estimator.Estimator` protocol, so
+        callers need the *workload* only here, for the models that are
+        trained per (topology, size).
+        """
+        contextual = {
+            "lmkg-s": self.lmkg_s,
+            "lmkg-u": lambda: self.lmkg_u(
+                workload.topology, workload.size
+            ),
+            "mscn-0": lambda: self.mscn(0),
+            "mscn-1k": lambda: self.mscn(self.profile.mscn_big_samples),
+        }
+        builder = contextual.get(name)
+        if builder is not None:
+            return builder()
+        return self.baseline(name)
+
     def estimate_all(
         self, estimator: str, workload: Workload
-    ) -> List[float]:
+    ) -> np.ndarray:
         """Estimates of one named estimator over a workload.
 
-        Learned estimators run through their batched path (one featurize
-        + one forward per model); the sampling/synopsis baselines loop
-        via the shared ``estimate_batch`` fallback.
+        One ``estimate_batch`` call through the Estimator protocol:
+        learned estimators run their vectorized path (one featurize +
+        one forward per model), the sampling/synopsis baselines loop via
+        the shared per-query fallback — the harness no longer cares
+        which is which.
         """
         queries = [r.query for r in workload]
-        if estimator == "lmkg-s":
-            return self.lmkg_s().estimate_batch(queries)
-        if estimator == "lmkg-u":
-            model = self.lmkg_u(workload.topology, workload.size)
-            return [float(v) for v in model.estimate_batch(queries)]
-        if estimator == "mscn-0":
-            return [float(v) for v in self.mscn(0).estimate_batch(queries)]
-        if estimator == "mscn-1k":
-            model = self.mscn(self.profile.mscn_big_samples)
-            return [float(v) for v in model.estimate_batch(queries)]
-        baseline = self.baseline(estimator)
-        return [float(v) for v in baseline.estimate_batch(queries)]
+        return self.estimator_for(estimator, workload).estimate_batch(
+            queries
+        )
 
     def evaluate(
         self, estimator: str, workload: Workload
@@ -268,7 +283,7 @@ class BenchContext:
 
     def timed_estimates(
         self, estimator: str, workload: Workload
-    ) -> Tuple[List[float], float]:
+    ) -> Tuple[np.ndarray, float]:
         """(estimates, mean milliseconds per query)."""
         start = time.perf_counter()
         estimates = self.estimate_all(estimator, workload)

@@ -14,7 +14,16 @@ Subcommands:
   against the true-optimal order,
 - ``snapshot``— persist a graph as a memory-mapped columnar snapshot
   (``snapshot save``) and load/inspect one without per-triple work
-  (``snapshot load``; ``--no-verify`` skips the checksum pass).
+  (``snapshot load``; ``--no-verify`` skips the checksum pass),
+- ``serve``   — serve the batched estimation API over HTTP with
+  micro-batching across concurrent requests (``POST /estimate``,
+  ``GET /healthz``, ``GET /stats``); attaches to a store snapshot
+  (``--snapshot DIR``), answers through an ``LMKG.save`` checkpoint
+  (``--checkpoint DIR``) or deterministic startup-fit defaults, and
+  optionally shards estimation across worker processes that share the
+  snapshot read-only (``--workers N``), exactly as ``label`` workers
+  do.  Micro-batching knobs: ``--max-batch``, ``--max-delay-ms``,
+  ``--max-queue``.
 
 Examples::
 
@@ -29,6 +38,8 @@ Examples::
         --count 1000 --workers 4 --out /tmp/train.tsv
     python -m repro snapshot save --dataset lubm --out /tmp/lubm_snap
     python -m repro snapshot load --dir /tmp/lubm_snap
+    python -m repro serve --snapshot /tmp/lubm_snap --port 8310 \
+        --max-batch 128 --max-delay-ms 2 --workers 2
 """
 
 from __future__ import annotations
@@ -355,6 +366,93 @@ def cmd_snapshot_load(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve import (
+        BatchScheduler,
+        EstimatorService,
+        FitDefaults,
+        ServiceError,
+        ServingPool,
+        ServingWorkerError,
+        make_server,
+    )
+
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    fit_defaults = FitDefaults(
+        queries_per_shape=args.fit_queries, epochs=args.fit_epochs
+    )
+    try:
+        service = EstimatorService.from_snapshot(
+            args.snapshot, args.checkpoint, fit_defaults
+        )
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    checkpoint_dir = args.checkpoint
+    if args.save_checkpoint:
+        service.framework.save(args.save_checkpoint)
+        checkpoint_dir = args.save_checkpoint
+        print(f"checkpoint written to {args.save_checkpoint}")
+    pool = None
+    tempdir = None
+    try:
+        if args.workers > 1:
+            if checkpoint_dir is None:
+                # Workers rebuild the framework from disk; a startup-fit
+                # model must be checkpointed somewhere first.
+                tempdir = tempfile.TemporaryDirectory(
+                    prefix="repro-serve-"
+                )
+                checkpoint_dir = Path(tempdir.name) / "checkpoint"
+                service.framework.save(checkpoint_dir)
+            try:
+                pool = ServingPool(
+                    args.snapshot, checkpoint_dir, args.workers
+                )
+            except ServingWorkerError as exc:
+                raise SystemExit(str(exc))
+            backend = pool.estimate_batch
+        else:
+            backend = service.framework.estimate_batch
+        scheduler = BatchScheduler(
+            backend,
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            max_queue=args.max_queue,
+        )
+        server = make_server(
+            service,
+            scheduler,
+            host=args.host,
+            port=args.port,
+            quiet=not args.verbose,
+        )
+        host, port = server.server_address[:2]
+        print(
+            f"serving {len(service.store)} triples at "
+            f"http://{host}:{port} ({args.workers} worker(s), "
+            f"max_batch={args.max_batch}, "
+            f"max_delay={args.max_delay_ms} ms)",
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+            scheduler.close()
+    finally:
+        if pool is not None:
+            pool.close()
+        if tempdir is not None:
+            tempdir.cleanup()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -504,6 +602,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip checksum verification (still validates shapes)",
     )
     p_snap_load.set_defaults(func=cmd_snapshot_load)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve the estimation API over HTTP with micro-batching",
+    )
+    p_serve.add_argument(
+        "--snapshot",
+        required=True,
+        help="store snapshot directory to serve (read-only, shared)",
+    )
+    p_serve.add_argument(
+        "--checkpoint",
+        help=(
+            "LMKG.save checkpoint directory; omitted = fit the "
+            "deterministic default framework from the snapshot at "
+            "startup"
+        ),
+    )
+    p_serve.add_argument(
+        "--save-checkpoint",
+        help="write the served framework to this checkpoint directory",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8310,
+        help="listen port (0 = ephemeral)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "estimation worker processes sharing the snapshot "
+            "(1 = in-process)"
+        ),
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="flush a micro-batch once this many queries are pending",
+    )
+    p_serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="longest a request waits to be co-batched",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=4096,
+        help="pending-query capacity before requests get 429",
+    )
+    from repro.serve.service import (
+        DEFAULT_FIT_EPOCHS,
+        DEFAULT_FIT_QUERIES,
+    )
+
+    p_serve.add_argument(
+        "--fit-queries",
+        type=int,
+        default=DEFAULT_FIT_QUERIES,
+        help="startup-fit training queries per shape (no --checkpoint)",
+    )
+    p_serve.add_argument(
+        "--fit-epochs",
+        type=int,
+        default=DEFAULT_FIT_EPOCHS,
+        help="startup-fit training epochs (no --checkpoint)",
+    )
+    p_serve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log every HTTP request",
+    )
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

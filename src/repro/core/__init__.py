@@ -22,7 +22,17 @@ from repro.core.encoders import (
     make_encoders,
     one_hot_width,
 )
-from repro.core.framework import LMKG, CreationReport, EstimationError
+from repro.core.estimator import (
+    Estimator,
+    EstimatorContractError,
+    finalize_estimates,
+)
+from repro.core.framework import (
+    LMKG,
+    CheckpointError,
+    CreationReport,
+    EstimationError,
+)
 from repro.core.grouping import (
     GroupingStrategy,
     SingleGrouping,
@@ -98,8 +108,12 @@ __all__ = [
     "make_encoders",
     "one_hot_width",
     "LMKG",
+    "CheckpointError",
     "CreationReport",
     "EstimationError",
+    "Estimator",
+    "EstimatorContractError",
+    "finalize_estimates",
     "GroupingStrategy",
     "SingleGrouping",
     "SizeGrouping",

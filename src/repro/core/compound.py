@@ -143,7 +143,7 @@ class CompoundEstimator(CardinalityEstimator):
     # Estimation
     # ------------------------------------------------------------------
 
-    def estimate(self, query: QueryPattern) -> float:
+    def _estimate_one(self, query: QueryPattern) -> float:
         if self.policy == "router":
             model = (
                 self.unsupervised

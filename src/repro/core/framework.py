@@ -5,20 +5,31 @@ generate training data, train — and the execution phase — route a query
 to the model covering its (topology, size), decomposing composite queries
 first.
 
+The framework speaks the unified
+:class:`~repro.core.estimator.Estimator` protocol:
+``estimate_batch(queries) -> np.ndarray`` is the primary surface (one
+encoding pass + one forward per routed model), and ``estimate`` is the
+derived one-query form.  The serving layer (:mod:`repro.serve`) builds
+directly on this surface.
+
 Typical use::
 
     from repro import LMKG
     framework = LMKG(store, model_type="supervised", grouping="size")
     framework.fit(shapes=[("star", 2), ("star", 3), ("chain", 2)])
-    framework.estimate(query)
+    framework.estimate_batch(queries)   # -> np.ndarray
+    framework.save(checkpoint_dir)      # later: LMKG.load(dir, store)
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.decomposition import combine_estimates, decompose
+from repro.core.estimator import Estimator
 from repro.core.grouping import (
     GroupingStrategy,
     SpecializedGrouping,
@@ -38,6 +49,10 @@ class EstimationError(RuntimeError):
     """Raised when no trained model can answer a query component."""
 
 
+class CheckpointError(RuntimeError):
+    """Raised when a framework checkpoint directory cannot be loaded."""
+
+
 @dataclass
 class CreationReport:
     """What the creation phase built: model keys and training sizes."""
@@ -46,8 +61,10 @@ class CreationReport:
     training_records: Dict[Hashable, int] = field(default_factory=dict)
 
 
-class LMKG:
+class LMKG(Estimator):
     """Compound estimator: a set of learned models plus routing logic."""
+
+    name = "lmkg"
 
     def __init__(
         self,
@@ -153,35 +170,21 @@ class LMKG:
     # Execution phase
     # ------------------------------------------------------------------
 
-    def estimate(self, query: QueryPattern) -> float:
-        """Estimated cardinality, decomposing composite queries.
-
-        Tree-shaped composites are answered directly when a tree model
-        was trained (the SG-Encoding covers arbitrary topologies);
-        otherwise the query is decomposed into star/chain components.
-        """
-        if query.topology() is Topology.COMPOSITE:
-            tree_estimate = self._try_tree_model(query)
-            if tree_estimate is not None:
-                return tree_estimate
-        components = decompose(query)
-        if len(components) == 1:
-            return self._estimate_component(components[0])
-        estimates = [self._estimate_component(c) for c in components]
-        return combine_estimates(self.store, components, estimates)
-
-    def estimate_batch(
+    def _estimate_batch(
         self, queries: Sequence[QueryPattern]
     ) -> List[float]:
         """Batched estimation: one featurize + one forward per model.
 
-        Queries are decomposed exactly as :meth:`estimate` does;
-        components landing on the same trained model are collected and
-        answered by a single ``estimate_batch`` call on it (one encoding
-        pass + one network forward for LMKG-S / one shared particle
-        sweep for LMKG-U).  Models without a batch path fall back to a
-        per-component ``estimate`` loop, so every caller gets the same
-        one-call API regardless of model support.
+        The one estimation routine of the framework (``estimate`` is the
+        protocol-derived one-query batch).  Composite queries are
+        answered by a trained tree model where possible, otherwise
+        decomposed into star/chain components; components landing on the
+        same trained model are collected and answered by a single
+        ``estimate_batch`` call on it (one encoding pass + one network
+        forward for LMKG-S / one shared particle sweep for LMKG-U).
+        Models without a batch path fall back to a per-component
+        ``estimate`` loop, so every caller gets the same one-call API
+        regardless of model support.
         """
         queries = list(queries)
         results: List[Optional[float]] = [None] * len(queries)
@@ -231,7 +234,12 @@ class LMKG:
         self, component: QueryPattern
     ) -> Union[float, LMKGS, LMKGU]:
         """A final estimate when answerable directly, else the model to
-        batch the component through (mirrors :meth:`_estimate_component`).
+        batch the component through.
+
+        Single triple patterns are answered exactly from the indexes, as
+        every RDF engine does; a star/chain whose shape lacks a model can
+        still be absorbed by a trained tree model (a star/chain is also a
+        tree).
         """
         if component.size == 1:
             return float(self.store.count_pattern(component.triples[0]))
@@ -262,25 +270,6 @@ class LMKG:
         if not is_tree_query(query):
             return None
         return max(float(model.estimate(query)), 0.0)
-
-    def _estimate_component(self, component: QueryPattern) -> float:
-        if component.size == 1:
-            # Single triple patterns are answered exactly from the indexes,
-            # as every RDF engine does.
-            return float(self.store.count_pattern(component.triples[0]))
-        topology = component.topology()
-        if topology is not Topology.COMPOSITE:
-            try:
-                model = self._model_for(topology.value, component.size)
-            except EstimationError:
-                # A star/chain is also a tree; a trained tree model can
-                # stand in when no shape-specific model exists.
-                tree_estimate = self._try_tree_model(component)
-                if tree_estimate is not None:
-                    return tree_estimate
-                raise
-            return max(float(model.estimate(component)), 0.0)
-        return self._estimate_composite_component(component)
 
     def _estimate_composite_component(
         self, component: QueryPattern
@@ -327,3 +316,156 @@ class LMKG:
 
     def num_models(self) -> int:
         return len(self.models)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    _MANIFEST_FORMAT = "repro-lmkg-framework"
+    _MANIFEST_VERSION = 1
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the whole framework to a checkpoint directory.
+
+        One ``model_<i>.npz`` per trained model plus ``manifest.json``
+        recording the grouping strategy, model type, and each model's
+        routing extent (key, max size, topologies).  The manifest is
+        written last, so its presence marks a complete checkpoint.
+        ``LMKG.load(path, store)`` rebuilds an identical framework
+        against the same store (or a snapshot of it).
+        """
+        if not self.models:
+            raise RuntimeError("save() before fit()")
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        entries = []
+        for i, (key, model) in enumerate(self.models.items()):
+            filename = f"model_{i}.npz"
+            model.save(path / filename)
+            entries.append(
+                {
+                    "key": list(key) if isinstance(key, tuple) else key,
+                    "key_is_tuple": isinstance(key, tuple),
+                    "kind": (
+                        "lmkg-u" if isinstance(model, LMKGU) else "lmkg-s"
+                    ),
+                    "file": filename,
+                    "max_size": int(self._group_max_size.get(key, 0)),
+                    "topologies": sorted(
+                        self._group_topologies.get(key, set())
+                    ),
+                }
+            )
+        grouping: Dict[str, object] = {"name": self.grouping.name}
+        boundaries = getattr(self.grouping, "boundaries", None)
+        if boundaries is not None:
+            grouping["boundaries"] = list(boundaries)
+        # Fingerprint of the training graph: the term encoders only
+        # derive widths from the store, so a checkpoint loaded against
+        # a *different* graph with matching widths would silently serve
+        # garbage — load() refuses instead.
+        store_info: Dict[str, object] = {
+            "num_triples": len(self.store),
+            "num_nodes": self.store.num_nodes,
+            "num_predicates": self.store.num_predicates,
+        }
+        if self.store.dictionary is not None:
+            store_info["dictionary_checksum"] = (
+                self.store.dictionary.checksum()
+            )
+        manifest = {
+            "format": self._MANIFEST_FORMAT,
+            "version": self._MANIFEST_VERSION,
+            "model_type": self.model_type,
+            "seed": self.seed,
+            "grouping": grouping,
+            "store": store_info,
+            "models": entries,
+        }
+        manifest_path = path / "manifest.json"
+        manifest_path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        return manifest_path
+
+    @classmethod
+    def load(
+        cls, path: Union[str, Path], store: TripleStore
+    ) -> "LMKG":
+        """Rebuild a saved framework against *store*.
+
+        The store must be the graph the models were trained on (or a
+        snapshot of it): the term encoders derive their widths from the
+        store's node/predicate counts.
+        """
+        path = Path(path)
+        manifest_path = path / "manifest.json"
+        if not manifest_path.is_file():
+            raise CheckpointError(
+                f"no framework manifest at {manifest_path}"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"corrupt manifest: {exc}") from exc
+        if manifest.get("format") != cls._MANIFEST_FORMAT:
+            raise CheckpointError(
+                f"not a framework checkpoint: {manifest_path}"
+            )
+        if manifest.get("version") != cls._MANIFEST_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version "
+                f"{manifest.get('version')!r}"
+            )
+        store_info = manifest.get("store", {})
+        mismatches = [
+            f"{key}: checkpoint {store_info[key]} vs store {actual}"
+            for key, actual in (
+                ("num_triples", len(store)),
+                ("num_nodes", store.num_nodes),
+                ("num_predicates", store.num_predicates),
+            )
+            if store_info.get(key) not in (None, actual)
+        ]
+        saved_checksum = store_info.get("dictionary_checksum")
+        if (
+            saved_checksum is not None
+            and store.dictionary is not None
+            and store.dictionary.checksum() != saved_checksum
+        ):
+            mismatches.append("dictionary checksum differs")
+        if mismatches:
+            raise CheckpointError(
+                "checkpoint was saved against a different graph ("
+                + "; ".join(mismatches)
+                + ")"
+            )
+        grouping_spec = manifest["grouping"]
+        kwargs = (
+            {"boundaries": tuple(grouping_spec["boundaries"])}
+            if "boundaries" in grouping_spec
+            else {}
+        )
+        framework = cls(
+            store,
+            model_type=manifest["model_type"],
+            grouping=make_grouping(grouping_spec["name"], **kwargs),
+            seed=int(manifest.get("seed", 0)),
+        )
+        for entry in manifest["models"]:
+            key: Hashable = (
+                tuple(entry["key"])
+                if entry.get("key_is_tuple")
+                else entry["key"]
+            )
+            loader = LMKGU if entry["kind"] == "lmkg-u" else LMKGS
+            try:
+                model = loader.load(path / entry["file"], store)
+            except (OSError, KeyError, ValueError) as exc:
+                raise CheckpointError(
+                    f"cannot load {entry['file']}: {exc}"
+                ) from exc
+            framework.models[key] = model
+            framework._group_max_size[key] = int(entry["max_size"])
+            framework._group_topologies[key] = set(entry["topologies"])
+        return framework

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.encoders import TermEncoder, make_encoders
+from repro.core.estimator import Estimator
 from repro.core.pattern_bound import PatternBoundEncoder
 from repro.core.sg_encoding import SGEncoding
 from repro.nn.losses import MSELoss, QErrorLoss
@@ -46,13 +47,18 @@ class LMKGSConfig:
     seed: int = 0
 
 
-class LMKGS:
+class LMKGS(Estimator):
     """A supervised estimator for star/chain queries up to a fixed size.
 
     One instance hosts one model: depending on the grouping strategy that
     model may be specialised to a single (topology, size) or shared across
     topologies and sizes (the SG-Encoding makes the latter possible).
+    Speaks the :class:`~repro.core.estimator.Estimator` protocol:
+    ``_estimate_batch`` is the vectorized forward, ``estimate`` derives
+    from it.
     """
+
+    name = "lmkg-s"
 
     def __init__(
         self,
@@ -133,11 +139,7 @@ class LMKGS:
         )
         return self.history
 
-    def estimate(self, query: QueryPattern) -> float:
-        """Estimated cardinality of one query."""
-        return float(self.estimate_batch([query])[0])
-
-    def estimate_batch(self, queries: List[QueryPattern]) -> np.ndarray:
+    def _estimate_batch(self, queries: List[QueryPattern]) -> np.ndarray:
         """Vectorised estimation for a batch of queries."""
         if self._regressor is None:
             raise RuntimeError("estimate() before fit()")

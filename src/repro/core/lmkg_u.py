@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.estimator import Estimator, finalize_estimates
 from repro.nn.masked import MADE
 from repro.rdf.pattern import QueryPattern, Topology
 from repro.rdf.store import TripleStore
@@ -60,8 +61,10 @@ class LMKGUConfig:
     seed: int = 0
 
 
-class LMKGU:
+class LMKGU(Estimator):
     """Autoregressive estimator for one query topology and size."""
+
+    name = "lmkg-u"
 
     def __init__(
         self,
@@ -192,14 +195,27 @@ class LMKGU:
     # ------------------------------------------------------------------
 
     def estimate(self, query: QueryPattern) -> float:
-        """Estimated cardinality via likelihood-weighted sampling."""
+        """Estimated cardinality via likelihood-weighted sampling.
+
+        Overrides the protocol's derived form on purpose: the per-query
+        sweep draws its particles from a fresh RNG stream, matching the
+        paper's algorithm draw-for-draw, whereas ``estimate_batch``
+        shares one stream across the batch (identical within sampling
+        noise, not bitwise).
+        """
         if self.model is None or self.universe is None:
             raise RuntimeError("estimate() before fit()")
         constraints = self._query_sequence(query)
         probability = self._probability(constraints)
-        return float(self.universe * probability)
+        # Same validation contract as the batch path (finite or raise,
+        # clamped non-negative), which this override bypasses.
+        return float(
+            finalize_estimates(
+                [float(self.universe) * probability], 1, self.name
+            )[0]
+        )
 
-    def estimate_batch(self, queries) -> np.ndarray:
+    def _estimate_batch(self, queries) -> np.ndarray:
         """Batched likelihood-weighted estimation.
 
         All queries share one particle sweep: the per-position

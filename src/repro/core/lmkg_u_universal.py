@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.estimator import Estimator
 from repro.core.lmkg_u import LMKGUConfig
 from repro.nn.masked import MADE
 from repro.rdf.pattern import QueryPattern, Topology
@@ -44,7 +45,7 @@ _PRED_VOCAB = 1
 _SHAPE_VOCAB = 2
 
 
-class UniversalLMKGU:
+class UniversalLMKGU(Estimator):
     """One ResMADE covering several (topology, size) shapes.
 
     Args:
@@ -215,7 +216,7 @@ class UniversalLMKGU:
         )
         return constraints
 
-    def estimate(self, query: QueryPattern) -> float:
+    def _estimate_one(self, query: QueryPattern) -> float:
         """Estimated cardinality via likelihood-weighted sampling."""
         if self.model is None or not self.total_universe:
             raise RuntimeError("estimate() before fit()")

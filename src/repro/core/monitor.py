@@ -21,6 +21,7 @@ from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.estimator import Estimator
 from repro.core.framework import EstimationError, LMKG
 from repro.rdf.pattern import QueryPattern
 from repro.sampling.workload import QueryRecord
@@ -182,7 +183,7 @@ class AdaptationEvent:
     dropped: Tuple[Shape, ...]
 
 
-class AdaptiveLMKG:
+class AdaptiveLMKG(Estimator):
     """The execution-phase loop: estimate, monitor, adapt.
 
     Wraps a fitted :class:`LMKG` façade.  Every ``estimate`` records the
@@ -221,7 +222,7 @@ class AdaptiveLMKG:
                     shapes.add((topology, size))
         return shapes
 
-    def estimate(self, query: QueryPattern) -> float:
+    def _estimate_one(self, query: QueryPattern) -> float:
         """Estimate and feed the monitor; adapts on detected drift.
 
         A query whose shape no model covers triggers an immediate

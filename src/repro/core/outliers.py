@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.core.estimator import Estimator
 from repro.rdf.pattern import QueryPattern
 from repro.sampling.workload import QueryRecord
 
@@ -69,7 +70,7 @@ class OutlierBuffer:
         return len(self._buffer) * 64
 
 
-class BufferedEstimator:
+class BufferedEstimator(Estimator):
     """An estimator wrapped with an :class:`OutlierBuffer`.
 
     Matches the common ``estimate(query) -> float`` protocol so it can
@@ -90,7 +91,7 @@ class BufferedEstimator:
         self.hits = 0
         self.misses = 0
 
-    def estimate(self, query: QueryPattern) -> float:
+    def _estimate_one(self, query: QueryPattern) -> float:
         exact = self.buffer.lookup(query)
         if exact is not None:
             self.hits += 1

@@ -1,0 +1,64 @@
+"""Micro-batched serving of the estimation API (``python -m repro serve``).
+
+The execution-phase story of the paper at production shape: a query
+optimizer (here: any HTTP client) asks for cardinalities at high
+frequency, and the server answers through the same
+:class:`~repro.core.estimator.Estimator` protocol every library caller
+uses — ``estimate_batch(queries) -> np.ndarray`` — with three layers on
+top:
+
+- :class:`EstimatorService` (:mod:`repro.serve.service`) — loads a
+  read-only memory-mapped store snapshot plus an ``LMKG.save``
+  checkpoint (or fits deterministic defaults), and parses SPARQL
+  request text;
+- :class:`BatchScheduler` (:mod:`repro.serve.scheduler`) — coalesces
+  concurrent requests into batched calls under a max-batch/max-delay
+  policy, with queue-full load shedding;
+- the HTTP endpoint (:mod:`repro.serve.http`) — a stdlib
+  ``ThreadingHTTPServer`` exposing ``POST /estimate``,
+  ``GET /healthz``, and ``GET /stats``;
+- optionally :class:`ServingPool` (:mod:`repro.serve.pool`) — N worker
+  processes attached to the one shared snapshot, the same machinery the
+  parallel-labeling pool uses.
+"""
+
+from repro.serve.http import (
+    EstimatorHTTPServer,
+    make_server,
+)
+from repro.serve.pool import ServingPool, ServingWorkerError
+from repro.serve.scheduler import (
+    BatchScheduler,
+    QueueFullError,
+    SchedulerClosedError,
+)
+from repro.serve.service import (
+    DEFAULT_FIT_EPOCHS,
+    DEFAULT_FIT_HIDDEN,
+    DEFAULT_FIT_QUERIES,
+    DEFAULT_FIT_SEED,
+    DEFAULT_FIT_SHAPES,
+    EstimatorService,
+    FitDefaults,
+    ServiceError,
+    default_framework,
+)
+
+__all__ = [
+    "BatchScheduler",
+    "DEFAULT_FIT_EPOCHS",
+    "DEFAULT_FIT_HIDDEN",
+    "DEFAULT_FIT_QUERIES",
+    "DEFAULT_FIT_SEED",
+    "DEFAULT_FIT_SHAPES",
+    "EstimatorHTTPServer",
+    "EstimatorService",
+    "FitDefaults",
+    "QueueFullError",
+    "SchedulerClosedError",
+    "ServiceError",
+    "ServingPool",
+    "ServingWorkerError",
+    "default_framework",
+    "make_server",
+]

@@ -1,0 +1,203 @@
+"""The JSON-over-HTTP estimation endpoint (stdlib only).
+
+``ThreadingHTTPServer`` gives one handler thread per connection; every
+handler parses its request and blocks on the shared
+:class:`~repro.serve.scheduler.BatchScheduler`, which coalesces the
+concurrent requests into batched ``estimate_batch`` calls.  Routes:
+
+- ``POST /estimate`` — body ``{"queries": ["SELECT ... WHERE {...}"]}``;
+  answers ``{"estimates": [...], "count": N}``.  Malformed JSON, a
+  missing/empty/ill-typed ``queries`` field, or unparseable SPARQL is a
+  400 with ``{"error": ...}``; an unestimable query (no trained model
+  covers its shape) is a 422; a full scheduler queue is a 429.
+- ``GET /healthz`` — liveness plus the served graph/model summary.
+- ``GET /stats`` — scheduler counters and latency percentiles.
+
+Everything else is a 404.  The server never dies on a bad request: all
+errors are JSON responses with the matching status code.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.core.framework import EstimationError
+from repro.rdf.parser import ParseError
+from repro.serve.scheduler import (
+    BatchScheduler,
+    QueueFullError,
+    SchedulerClosedError,
+)
+from repro.serve.service import EstimatorService
+
+#: request bodies beyond this are rejected (413) before being read.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class EstimatorHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service + scheduler."""
+
+    daemon_threads = True
+    #: socketserver's default listen backlog of 5 resets connections
+    #: under a concurrent-client burst — exactly the workload the
+    #: scheduler exists to coalesce.
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: EstimatorService,
+        scheduler: BatchScheduler,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.scheduler = scheduler
+        self.quiet = quiet
+        self.started_at = time.monotonic()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    server: EstimatorHTTPServer
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        if self.path == "/healthz":
+            payload = {
+                "status": "ok",
+                "uptime_s": round(
+                    time.monotonic() - self.server.started_at, 3
+                ),
+            }
+            payload.update(self.server.service.describe())
+            self._send_json(200, payload)
+        elif self.path == "/stats":
+            self._send_json(200, self.server.scheduler.stats())
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        if self.path != "/estimate":
+            # The body stays unread, so the keep-alive stream is no
+            # longer framed; drop the connection after answering.
+            self.close_connection = True
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+            return
+        texts = self._read_queries()
+        if texts is None:
+            return  # error response already sent
+        service = self.server.service
+        try:
+            queries = service.parse_queries(texts)
+        except ParseError as exc:
+            self._send_json(400, {"error": f"bad query: {exc}"})
+            return
+        try:
+            values = self.server.scheduler.submit(queries)
+        except QueueFullError as exc:
+            self._send_json(429, {"error": str(exc)})
+            return
+        except EstimationError as exc:
+            self._send_json(422, {"error": str(exc)})
+            return
+        except SchedulerClosedError as exc:
+            self._send_json(503, {"error": str(exc)})
+            return
+        except Exception as exc:  # noqa: BLE001 — a handler must answer
+            # ServingWorkerError, EstimatorContractError, anything else:
+            # the contract is a JSON response, never a dropped socket.
+            self._send_json(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+            return
+        self._send_json(
+            200,
+            {"estimates": values.tolist(), "count": int(values.size)},
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _read_queries(self) -> Optional[list]:
+        """Parse and validate the request body; None after an error
+        response."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if length <= 0 or length > MAX_BODY_BYTES:
+            # The body was never read, so the keep-alive stream is no
+            # longer framed; drop the connection after answering.
+            self.close_connection = True
+        if length <= 0:
+            self._send_json(400, {"error": "empty request body"})
+            return None
+        if length > MAX_BODY_BYTES:
+            self._send_json(
+                413,
+                {"error": f"body exceeds {MAX_BODY_BYTES} bytes"},
+            )
+            return None
+        body = self.rfile.read(length)
+        try:
+            payload = json.loads(body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": f"invalid JSON: {exc}"})
+            return None
+        if (
+            not isinstance(payload, dict)
+            or "queries" not in payload
+        ):
+            self._send_json(
+                400, {"error": 'body must be {"queries": [...]}'}
+            )
+            return None
+        texts = payload["queries"]
+        if not isinstance(texts, list) or not texts:
+            self._send_json(
+                400, {"error": '"queries" must be a non-empty list'}
+            )
+            return None
+        if not all(isinstance(text, str) for text in texts):
+            self._send_json(
+                400, {"error": "every query must be a SPARQL string"}
+            )
+            return None
+        return texts
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+
+def make_server(
+    service: EstimatorService,
+    scheduler: BatchScheduler,
+    host: str = "127.0.0.1",
+    port: int = 8310,
+    quiet: bool = True,
+) -> EstimatorHTTPServer:
+    """Bind (but do not run) the estimation endpoint.
+
+    ``port=0`` binds an ephemeral port (tests); the bound address is
+    ``server.server_address``.  Call ``serve_forever()`` to run and
+    ``shutdown()`` from another thread to stop.
+    """
+    return EstimatorHTTPServer((host, port), service, scheduler, quiet)

@@ -1,0 +1,178 @@
+"""Multi-worker estimation over one shared memory-mapped snapshot.
+
+The single-process server answers through the parent's framework; past
+one core's worth of traffic, :class:`ServingPool` spreads batches across
+N worker processes exactly the way the labeling pool
+(:mod:`repro.rdf.parallel`) does:
+
+- every worker attaches to the **same on-disk snapshot** via
+  ``TripleStore.load_snapshot(..., read_only=True)`` — the twelve
+  permutation columns are shared read-only pages, resident once across
+  the whole pool, and any accidental in-worker mutation raises
+  ``ReadOnlyStoreError``;
+- every worker rebuilds the framework from the **same ``LMKG.save``
+  checkpoint directory** — identical weights, no model pickling;
+- a batch is cut into per-worker chunks, estimated concurrently, and
+  reassembled by offset, so ordering matches the in-process path.
+
+Worker failures surface as :class:`ServingWorkerError` carrying the
+worker-side traceback — never a silently shorter result vector.
+
+LMKG-S answers are row-independent, so pooled results match in-process
+results numerically; LMKG-U's batched particle sweep shares an RNG
+stream per chunk, so chunking changes individual draws within sampling
+noise (same caveat as ``LMKGU.estimate`` vs ``estimate_batch``).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import traceback
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.framework import EstimationError
+from repro.rdf.parallel import resolve_context
+from repro.rdf.pattern import QueryPattern
+
+#: Process-global service state, populated once per worker by
+#: :func:`_init_worker` so tasks carry only (offset, queries).
+_WORKER_FRAMEWORK = None
+
+#: Traceback of a failed worker attach, reported by the first chunk
+#: (an initializer that raised would make the pool respawn forever —
+#: same rationale as the labeling pool).
+_WORKER_INIT_ERROR: Optional[str] = None
+
+
+class ServingWorkerError(RuntimeError):
+    """An estimation worker failed; carries the worker traceback."""
+
+
+def _init_worker(snapshot_dir: str, checkpoint_dir: str) -> None:
+    """Attach this worker to the shared snapshot + checkpoint.
+
+    ``verify=False``/``load_dictionary=False`` as in the labeling pool:
+    the parent verified the snapshot before starting the pool, and
+    estimation never touches the term dictionary (parsing happens in the
+    parent).
+    """
+    global _WORKER_FRAMEWORK, _WORKER_INIT_ERROR
+    try:
+        from repro.core.framework import LMKG
+        from repro.rdf.store import TripleStore
+
+        store = TripleStore.load_snapshot(
+            snapshot_dir,
+            verify=False,
+            read_only=True,
+            load_dictionary=False,
+        )
+        _WORKER_FRAMEWORK = LMKG.load(checkpoint_dir, store)
+    except BaseException:
+        _WORKER_FRAMEWORK = None
+        _WORKER_INIT_ERROR = traceback.format_exc()
+
+
+def _estimate_chunk(task: tuple) -> tuple:
+    """(offset, queries) -> (offset, estimates-list, error).
+
+    *error* is None on success, else a ``(kind, text)`` pair:
+    ``("estimation", message)`` for an unestimable query — the parent
+    re-raises it as :class:`EstimationError` so the HTTP layer can
+    answer 422 exactly as in single-worker mode — and
+    ``("crash", traceback)`` for everything else.
+    """
+    offset, queries = task
+    try:
+        if _WORKER_FRAMEWORK is None:
+            raise RuntimeError(
+                "worker failed to attach to snapshot/checkpoint:\n"
+                f"{_WORKER_INIT_ERROR or '(no attach was attempted)'}"
+            )
+        values = _WORKER_FRAMEWORK.estimate_batch(queries)
+        return (offset, values.tolist(), None)
+    except EstimationError as exc:
+        return (offset, None, ("estimation", str(exc)))
+    except BaseException:
+        return (offset, None, ("crash", traceback.format_exc()))
+
+
+class ServingPool:
+    """N estimation processes sharing one snapshot and checkpoint."""
+
+    def __init__(
+        self,
+        snapshot_dir: Union[str, Path],
+        checkpoint_dir: Union[str, Path],
+        workers: int,
+        mp_context: Union[
+            str, multiprocessing.context.BaseContext, None
+        ] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        context = resolve_context(mp_context)
+        self._pool = context.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(str(snapshot_dir), str(checkpoint_dir)),
+        )
+        # Surface attach failures at startup, not on the first request.
+        # One empty probe per worker, chunksize 1: with every worker
+        # idle each probe lands on a different process (best-effort —
+        # Pool cannot target workers; a failure that still slips
+        # through surfaces as ServingWorkerError on the first chunk the
+        # broken worker receives).
+        probes = self._pool.map(
+            _estimate_chunk,
+            [(i, []) for i in range(workers)],
+            chunksize=1,
+        )
+        failed = [p for p in probes if p[2] is not None]
+        if failed:
+            self._pool.terminate()
+            raise ServingWorkerError(
+                f"serving worker failed to start:\n{failed[0][2][1]}"
+            )
+
+    def estimate_batch(
+        self, queries: Sequence[QueryPattern]
+    ) -> np.ndarray:
+        """Estimates in input order, sharded across the pool."""
+        queries = list(queries)
+        if not queries:
+            return np.zeros(0, dtype=np.float64)
+        chunk_size = max(1, math.ceil(len(queries) / self.workers))
+        tasks = [
+            (start, queries[start:start + chunk_size])
+            for start in range(0, len(queries), chunk_size)
+        ]
+        values = np.empty(len(queries), dtype=np.float64)
+        for offset, chunk_values, error in self._pool.imap_unordered(
+            _estimate_chunk, tasks
+        ):
+            if error is not None:
+                kind, text = error
+                if kind == "estimation":
+                    raise EstimationError(text)
+                raise ServingWorkerError(
+                    f"estimation worker failed on chunk at offset "
+                    f"{offset}:\n{text}"
+                )
+            values[offset:offset + len(chunk_values)] = chunk_values
+        return values
+
+    def close(self) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "ServingPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,326 @@
+"""Micro-batching request scheduler for the estimation service.
+
+A query optimizer — or here, N concurrent HTTP handler threads — issues
+many small estimation requests.  Answering each alone wastes the
+vectorized ``estimate_batch`` path (one featurize + one forward
+regardless of batch width), so :class:`BatchScheduler` coalesces
+concurrent requests into one batched call under a classic
+max-batch/max-delay policy:
+
+- the first pending request opens a batch window of ``max_delay_ms``;
+- the batch flushes as soon as ``max_batch`` queries are pending, the
+  window expires, or a *second* request has joined — whichever comes
+  first.  A lone request on an idle server therefore waits at most
+  ``max_delay_ms`` for company, but the scheduler never idles waiting
+  for a fuller batch while requests are ready: under sustained
+  concurrency the execution time of the in-flight batch is the real
+  accumulation window (continuous batching), and everything that
+  arrived meanwhile flushes together immediately.
+
+Requests are **atomic**: a request's queries are never split across
+batches (a single request may exceed ``max_batch``), so a request posted
+to an idle scheduler is answered by one ``estimate_batch`` call over
+exactly its queries — which is what makes served results byte-identical
+to calling :meth:`Framework.estimate_batch` directly.
+
+Backpressure is load-shedding, not buffering: once ``max_queue`` queries
+are pending, :meth:`BatchScheduler.submit` raises
+:class:`QueueFullError` (the HTTP layer maps it to 429) instead of
+letting latency grow without bound.
+
+The scheduler owns one daemon worker thread; the underlying numpy
+forward releases the GIL for the heavy matmuls, so client threads keep
+parsing/serializing while a batch runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.estimator import finalize_estimates
+
+
+class QueueFullError(RuntimeError):
+    """The scheduler is at capacity; the caller should shed load (429)."""
+
+
+class SchedulerClosedError(RuntimeError):
+    """Submit after close()."""
+
+
+@dataclass
+class _Request:
+    queries: List
+    future: Future
+    enqueued: float
+
+    @property
+    def size(self) -> int:
+        return len(self.queries)
+
+
+@dataclass
+class _Counters:
+    """Mutable running totals, read out via :meth:`BatchScheduler.stats`."""
+
+    requests: int = 0
+    queries: int = 0
+    batches: int = 0
+    rejected: int = 0
+    errors: int = 0
+    max_batch_seen: int = 0
+    coalesced_requests: int = 0  # requests that shared a batch
+    latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=4096)
+    )
+
+
+class BatchScheduler:
+    """Coalesces concurrent estimate requests into batched calls.
+
+    Args:
+        estimate_batch: the batched estimator —
+            ``(queries) -> np.ndarray`` — typically
+            ``LMKG.estimate_batch`` or a
+            :class:`~repro.serve.pool.ServingPool`.
+        max_batch: stop coalescing once this many queries are pending in
+            the forming batch (a single larger request still runs whole).
+        max_delay_ms: longest a request waits for co-batching company.
+        max_queue: pending-query capacity; beyond it submits are
+            rejected with :class:`QueueFullError`.  An empty queue
+            always admits, so rejection means retrying can succeed.
+    """
+
+    def __init__(
+        self,
+        estimate_batch: Callable[[List], np.ndarray],
+        max_batch: int = 64,
+        max_delay_ms: float = 2.0,
+        max_queue: int = 4096,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_ms < 0:
+            raise ValueError(
+                f"max_delay_ms must be >= 0, got {max_delay_ms}"
+            )
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self._fn = estimate_batch
+        self.max_batch = max_batch
+        self.max_delay = max_delay_ms / 1000.0
+        self.max_queue = max_queue
+        self._cv = threading.Condition()
+        self._pending: Deque[_Request] = deque()
+        self._pending_queries = 0
+        self._closed = False
+        self._counters = _Counters()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-batch-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+
+    def submit_async(self, queries: Sequence) -> Future:
+        """Enqueue one request; the Future resolves to its estimates."""
+        queries = list(queries)
+        future: Future = Future()
+        if not queries:
+            future.set_result(np.zeros(0, dtype=np.float64))
+            return future
+        with self._cv:
+            if self._closed:
+                raise SchedulerClosedError("scheduler is closed")
+            # An empty queue always admits — even a request larger than
+            # max_queue (the HTTP body limit bounds it) — so a 429
+            # always means retrying later can succeed.
+            if (
+                self._pending_queries > 0
+                and self._pending_queries + len(queries) > self.max_queue
+            ):
+                self._counters.rejected += 1
+                raise QueueFullError(
+                    f"queue full: {self._pending_queries} queries "
+                    f"pending, request adds {len(queries)}, "
+                    f"capacity {self.max_queue}"
+                )
+            self._pending.append(
+                _Request(queries, future, time.monotonic())
+            )
+            self._pending_queries += len(queries)
+            self._counters.requests += 1
+            self._counters.queries += len(queries)
+            self._cv.notify_all()
+        return future
+
+    def submit(
+        self, queries: Sequence, timeout: Optional[float] = None
+    ) -> np.ndarray:
+        """Blocking form of :meth:`submit_async`."""
+        return self.submit_async(queries).result(timeout)
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Stop accepting requests, drain the queue, join the worker."""
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()
+        self._thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Counters and latency percentiles for ``GET /stats``."""
+        with self._cv:
+            c = self._counters
+            latencies = np.array(c.latencies, dtype=np.float64)
+            snapshot: Dict[str, object] = {
+                "requests": c.requests,
+                "queries": c.queries,
+                "batches": c.batches,
+                "rejected": c.rejected,
+                "errors": c.errors,
+                "queue_depth": self._pending_queries,
+                "max_batch_seen": c.max_batch_seen,
+                "coalesced_requests": c.coalesced_requests,
+                "mean_batch": (
+                    round(c.queries / c.batches, 2) if c.batches else 0.0
+                ),
+                "policy": {
+                    "max_batch": self.max_batch,
+                    "max_delay_ms": self.max_delay * 1000.0,
+                    "max_queue": self.max_queue,
+                },
+            }
+        if latencies.size:
+            snapshot["latency_ms"] = {
+                "p50": round(float(np.percentile(latencies, 50)) * 1e3, 3),
+                "p90": round(float(np.percentile(latencies, 90)) * 1e3, 3),
+                "p99": round(float(np.percentile(latencies, 99)) * 1e3, 3),
+                "max": round(float(latencies.max()) * 1e3, 3),
+            }
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _next_batch(self) -> Optional[List[_Request]]:
+        """Block until a batch is due; None when closed and drained."""
+        with self._cv:
+            while not self._pending and not self._closed:
+                self._cv.wait()
+            if not self._pending:
+                return None  # closed and drained
+            # Hold the batch open only while a single request is
+            # pending and the window is young: one request may profit
+            # from company, but ready work is never kept waiting for a
+            # fuller batch (continuous batching — the previous batch's
+            # execution time already accumulated these requests).
+            deadline = self._pending[0].enqueued + self.max_delay
+            while (
+                not self._closed
+                and len(self._pending) == 1
+                and self._pending_queries < self.max_batch
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cv.wait(remaining)
+            batch: List[_Request] = []
+            total = 0
+            while self._pending and (
+                total == 0
+                or total + self._pending[0].size <= self.max_batch
+            ):
+                request = self._pending.popleft()
+                batch.append(request)
+                total += request.size
+            self._pending_queries -= total
+            return batch
+
+    def _execute(self, batch: List[_Request]) -> None:
+        live = [
+            r for r in batch if r.future.set_running_or_notify_cancel()
+        ]
+        if not live:
+            return
+        queries = [q for r in live for q in r.queries]
+        try:
+            values = finalize_estimates(
+                self._fn(queries), len(queries), "serve-backend"
+            )
+        except BaseException as exc:  # noqa: BLE001 — shipped to callers
+            if len(live) > 1:
+                # One poisoned request must not fail its co-batched
+                # neighbours: fall back to per-request calls so only the
+                # offender(s) see the error.
+                self._execute_individually(live)
+                return
+            with self._cv:
+                self._counters.errors += 1
+            for request in live:
+                request.future.set_exception(exc)
+            return
+        finished = time.monotonic()
+        offset = 0
+        with self._cv:
+            self._counters.batches += 1
+            self._counters.max_batch_seen = max(
+                self._counters.max_batch_seen, len(queries)
+            )
+            if len(live) > 1:
+                self._counters.coalesced_requests += len(live)
+            for request in live:
+                self._counters.latencies.append(
+                    finished - request.enqueued
+                )
+        for request in live:
+            request.future.set_result(
+                values[offset:offset + request.size].copy()
+            )
+            offset += request.size
+
+    def _execute_individually(self, live: List[_Request]) -> None:
+        """Isolation fallback after a failed coalesced batch: each
+        request runs alone, so an exception reaches only the request
+        that caused it."""
+        for request in live:
+            try:
+                values = finalize_estimates(
+                    self._fn(request.queries),
+                    request.size,
+                    "serve-backend",
+                )
+            except BaseException as exc:  # noqa: BLE001
+                with self._cv:
+                    self._counters.errors += 1
+                request.future.set_exception(exc)
+                continue
+            finished = time.monotonic()
+            with self._cv:
+                self._counters.batches += 1
+                self._counters.latencies.append(
+                    finished - request.enqueued
+                )
+            request.future.set_result(values)

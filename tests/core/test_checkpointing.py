@@ -94,3 +94,123 @@ class TestLMKGUCheckpoint:
         model = LMKGU(lubm_store, "star", 2)
         with pytest.raises(RuntimeError):
             model.save(tmp_path / "x.npz")
+
+
+class TestFrameworkCheckpoint:
+    """LMKG.save/load: the whole façade round-trips as one directory."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self, lubm_store):
+        from repro.core.framework import LMKG
+
+        framework = LMKG(
+            lubm_store,
+            model_type="supervised",
+            grouping="size",
+            lmkgs_config=LMKGSConfig(hidden_sizes=(32, 32), epochs=8),
+        )
+        framework.fit(
+            shapes=[("star", 2), ("chain", 2)], queries_per_shape=150
+        )
+        return framework
+
+    def test_roundtrip_identical_estimates(
+        self, lubm_store, fitted, tmp_path
+    ):
+        from repro.core.framework import LMKG
+        from repro.sampling import generate_workload
+
+        fitted.save(tmp_path / "ckpt")
+        restored = LMKG.load(tmp_path / "ckpt", lubm_store)
+        star = generate_workload(lubm_store, "star", 2, 15, seed=91)
+        chain = generate_workload(lubm_store, "chain", 2, 15, seed=92)
+        queries = [r.query for r in list(star) + list(chain)]
+        assert (
+            restored.estimate_batch(queries).tolist()
+            == fitted.estimate_batch(queries).tolist()
+        )
+
+    def test_manifest_and_routing_metadata(
+        self, lubm_store, fitted, tmp_path
+    ):
+        import json
+
+        from repro.core.framework import LMKG
+
+        manifest_path = fitted.save(tmp_path / "meta")
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["format"] == "repro-lmkg-framework"
+        assert manifest["grouping"]["name"] == "size"
+        restored = LMKG.load(tmp_path / "meta", lubm_store)
+        assert restored.num_models() == fitted.num_models()
+        assert restored._group_max_size == fitted._group_max_size
+        assert restored._group_topologies == fitted._group_topologies
+        assert restored.grouping.name == fitted.grouping.name
+
+    def test_specialized_tuple_keys_roundtrip(
+        self, lubm_store, star_workload, tmp_path
+    ):
+        from repro.core.framework import LMKG
+
+        framework = LMKG(
+            lubm_store,
+            grouping="specialized",
+            lmkgs_config=LMKGSConfig(hidden_sizes=(16,), epochs=3),
+        )
+        framework.fit(
+            shapes=[("star", 2)], workload=star_workload.records[:100]
+        )
+        framework.save(tmp_path / "spec")
+        restored = LMKG.load(tmp_path / "spec", lubm_store)
+        assert ("star", 2) in restored.models
+
+    def test_unsupervised_roundtrip(self, lubm_store, tmp_path):
+        from repro.core.framework import LMKG
+
+        framework = LMKG(
+            lubm_store,
+            model_type="unsupervised",
+            lmkgu_config=LMKGUConfig(
+                embed_dim=8,
+                hidden_sizes=(16,),
+                epochs=1,
+                training_samples=800,
+                particles=32,
+            ),
+        )
+        framework.fit(shapes=[("star", 2)])
+        framework.save(tmp_path / "unsup")
+        restored = LMKG.load(tmp_path / "unsup", lubm_store)
+        assert restored.model_type == "unsupervised"
+        assert isinstance(restored.models[("star", 2)], LMKGU)
+
+    def test_save_before_fit_rejected(self, lubm_store, tmp_path):
+        from repro.core.framework import LMKG
+
+        with pytest.raises(RuntimeError):
+            LMKG(lubm_store).save(tmp_path / "x")
+
+    def test_load_against_different_graph_rejected(
+        self, fitted, tmp_path
+    ):
+        """A checkpoint must refuse a store it was not trained on —
+        matching encoder widths would otherwise serve garbage."""
+        from repro.core.framework import CheckpointError, LMKG
+        from repro.datasets import load_dataset
+
+        other = load_dataset("lubm", scale=0.25, seed=9)
+        fitted.save(tmp_path / "mismatch")
+        with pytest.raises(CheckpointError, match="different graph"):
+            LMKG.load(tmp_path / "mismatch", other)
+
+    def test_load_missing_or_corrupt_rejected(
+        self, lubm_store, fitted, tmp_path
+    ):
+        from repro.core.framework import CheckpointError, LMKG
+
+        with pytest.raises(CheckpointError, match="manifest"):
+            LMKG.load(tmp_path / "nope", lubm_store)
+        fitted.save(tmp_path / "bad")
+        (tmp_path / "bad" / "manifest.json").write_text("{not json")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            LMKG.load(tmp_path / "bad", lubm_store)

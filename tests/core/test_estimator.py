@@ -1,0 +1,153 @@
+"""The unified Estimator protocol: template hooks, validation, clamp."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import (
+    Estimator,
+    EstimatorContractError,
+    finalize_estimates,
+)
+
+
+class LoopingStub(Estimator):
+    """Per-query hook only; the base class supplies the batch loop."""
+
+    name = "loop-stub"
+
+    def __init__(self, value=5.0):
+        self.value = value
+        self.calls = 0
+
+    def _estimate_one(self, query):
+        self.calls += 1
+        return self.value
+
+
+class VectorStub(Estimator):
+    """Batch hook only; returns whatever it was told to."""
+
+    name = "vector-stub"
+
+    def __init__(self, raw):
+        self.raw = raw
+
+    def _estimate_batch(self, queries):
+        return self.raw
+
+
+class TestDerivedSurfaces:
+    def test_estimate_derives_from_batch(self):
+        stub = LoopingStub(3.5)
+        assert stub.estimate("q") == 3.5
+        assert stub.calls == 1
+
+    def test_default_batch_loops_per_query_hook(self):
+        stub = LoopingStub(2.0)
+        batch = stub.estimate_batch(["a", "b", "c"])
+        assert batch.tolist() == [2.0, 2.0, 2.0]
+        assert batch.dtype == np.float64
+        assert stub.calls == 3
+
+    def test_empty_batch_short_circuits(self):
+        stub = LoopingStub()
+        assert stub.estimate_batch([]).size == 0
+        assert stub.calls == 0
+
+    def test_neither_hook_implemented(self):
+        with pytest.raises(NotImplementedError, match="neither"):
+            Estimator().estimate_batch(["q"])
+
+    def test_default_memory_bytes(self):
+        assert LoopingStub().memory_bytes() == 0
+
+
+class TestValidationAndClamp:
+    """The one clamp site every estimator's output passes through."""
+
+    def test_negatives_clamped_to_zero(self):
+        stub = VectorStub(np.array([-3.0, 0.0, 7.5]))
+        assert stub.estimate_batch([1, 2, 3]).tolist() == [0.0, 0.0, 7.5]
+
+    def test_negative_per_query_estimate_clamped(self):
+        assert LoopingStub(-12.0).estimate("q") == 0.0
+
+    def test_nan_is_a_contract_error(self):
+        stub = VectorStub(np.array([1.0, float("nan")]))
+        with pytest.raises(EstimatorContractError, match="non-finite"):
+            stub.estimate_batch([1, 2])
+
+    def test_inf_is_a_contract_error(self):
+        stub = VectorStub(np.array([float("inf")]))
+        with pytest.raises(EstimatorContractError, match="non-finite"):
+            stub.estimate_batch([1])
+
+    def test_wrong_length_is_a_contract_error(self):
+        stub = VectorStub(np.array([1.0, 2.0]))
+        with pytest.raises(EstimatorContractError, match="shape"):
+            stub.estimate_batch([1, 2, 3])
+
+    def test_wrong_rank_is_a_contract_error(self):
+        stub = VectorStub(np.ones((2, 2)))
+        with pytest.raises(EstimatorContractError, match="shape"):
+            stub.estimate_batch([1, 2])
+
+    def test_list_results_coerced_to_float64(self):
+        stub = VectorStub([1, 2, 3])
+        batch = stub.estimate_batch(["a", "b", "c"])
+        assert batch.dtype == np.float64
+        assert batch.tolist() == [1.0, 2.0, 3.0]
+
+    def test_finalize_names_the_offender(self):
+        with pytest.raises(EstimatorContractError, match="wj"):
+            finalize_estimates([float("nan")], 1, "wj")
+
+
+class TestConformance:
+    """Every shipped estimator family speaks the protocol."""
+
+    def test_baselines_subclass_estimator(self):
+        from repro.baselines import (
+            BayesNetEstimator,
+            CharacteristicSets,
+            Impr,
+            IndependenceEstimator,
+            JSUB,
+            MSCN,
+            SumRDF,
+            WanderJoin,
+        )
+
+        for cls in (
+            BayesNetEstimator,
+            CharacteristicSets,
+            Impr,
+            IndependenceEstimator,
+            JSUB,
+            MSCN,
+            SumRDF,
+            WanderJoin,
+        ):
+            assert issubclass(cls, Estimator), cls
+
+    def test_core_models_subclass_estimator(self):
+        from repro.core import (
+            LMKG,
+            LMKGS,
+            LMKGU,
+            BufferedEstimator,
+            CompoundEstimator,
+            UniversalLMKGU,
+        )
+        from repro.core.monitor import AdaptiveLMKG
+
+        for cls in (
+            LMKG,
+            LMKGS,
+            LMKGU,
+            BufferedEstimator,
+            CompoundEstimator,
+            UniversalLMKGU,
+            AdaptiveLMKG,
+        ):
+            assert issubclass(cls, Estimator), cls

@@ -149,10 +149,34 @@ class TestEstimateBatch:
         tp = next(iter(lubm_store))
         query = QueryPattern([TriplePattern(tp[0], tp[1], v("o"))])
         expected = float(lubm_store.count_pattern(query.triples[0]))
-        assert supervised.estimate_batch([query]) == [expected]
+        assert supervised.estimate_batch([query]).tolist() == [expected]
+
+    def test_returns_ndarray(self, supervised, lubm_store):
+        """The unified Estimator protocol: float64 ndarray, like the
+        baselines."""
+        import numpy as np
+
+        star = generate_workload(lubm_store, "star", 2, 5, seed=13)
+        batch = supervised.estimate_batch([r.query for r in star])
+        assert isinstance(batch, np.ndarray)
+        assert batch.dtype == np.float64
+        assert np.all(batch >= 0.0)
+
+    def test_list_shim_for_existing_callers(self, supervised, lubm_store):
+        """Migration shim: pre-redesign callers did
+        ``list(framework.estimate_batch(qs))`` (the old List[float]
+        return); iterating the ndarray must keep working and yield the
+        same per-query floats."""
+        star = generate_workload(lubm_store, "star", 2, 10, seed=14)
+        queries = [r.query for r in star]
+        batch = supervised.estimate_batch(queries)
+        as_list = list(batch)
+        assert len(as_list) == len(queries)
+        assert all(isinstance(float(value), float) for value in as_list)
+        assert as_list == [float(value) for value in batch]
 
     def test_empty_batch(self, supervised):
-        assert supervised.estimate_batch([]) == []
+        assert supervised.estimate_batch([]).size == 0
 
     def test_missing_model_raises_in_batch(self, supervised):
         big = star_pattern(
@@ -186,7 +210,7 @@ class TestEstimateBatch:
             star_pattern(v("x"), [(2, v("a")), (3, v("b"))]),
         ]
         estimates = framework.estimate_batch(queries)
-        assert estimates == [7.0, 7.0]
+        assert estimates.tolist() == [7.0, 7.0]
         assert LoopOnly.calls == 2
 
     def test_unsupervised_batch(self, lubm_store):

@@ -1,0 +1,44 @@
+"""Shared serving fixtures: one tmpdir snapshot + fitted service."""
+
+import pytest
+
+from repro.serve import EstimatorService, FitDefaults
+
+#: small but non-trivial startup-fit: seconds, not minutes.
+FIT = FitDefaults(queries_per_shape=100, epochs=4, hidden_sizes=(32, 32))
+
+
+@pytest.fixture(scope="session")
+def fit_defaults():
+    return FIT
+
+
+@pytest.fixture(scope="session")
+def snapshot_dir(tmp_path_factory):
+    from repro.datasets import load_dataset
+
+    store = load_dataset("lubm", scale=0.25, seed=1)
+    directory = tmp_path_factory.mktemp("serve") / "snapshot"
+    store.save_snapshot(directory)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def service(snapshot_dir):
+    return EstimatorService.from_snapshot(snapshot_dir, fit_defaults=FIT)
+
+
+@pytest.fixture(scope="session")
+def checkpoint_dir(service, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("serve-ckpt") / "checkpoint"
+    service.framework.save(directory)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def star_queries(service):
+    """Parsed star queries drawn from the served graph."""
+    from repro.sampling import generate_workload
+
+    workload = generate_workload(service.store, "star", 2, 30, seed=17)
+    return [record.query for record in workload]

@@ -1,0 +1,73 @@
+"""ServingPool: multi-process estimation over one shared snapshot."""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.serve import ServingPool, ServingWorkerError
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="needs the fork start method",
+)
+
+
+@needs_fork
+class TestServingPool:
+    def test_matches_in_process_results(
+        self, snapshot_dir, checkpoint_dir, service, star_queries
+    ):
+        direct = service.framework.estimate_batch(star_queries)
+        with ServingPool(snapshot_dir, checkpoint_dir, workers=2) as pool:
+            pooled = pool.estimate_batch(star_queries)
+        assert pooled.shape == direct.shape
+        assert np.allclose(pooled, direct, rtol=1e-9)
+
+    def test_empty_batch(self, snapshot_dir, checkpoint_dir):
+        with ServingPool(snapshot_dir, checkpoint_dir, workers=2) as pool:
+            assert pool.estimate_batch([]).size == 0
+
+    def test_bad_checkpoint_fails_at_startup(
+        self, snapshot_dir, tmp_path
+    ):
+        with pytest.raises(ServingWorkerError, match="failed to start"):
+            ServingPool(snapshot_dir, tmp_path / "no-ckpt", workers=2)
+
+    def test_uncovered_shape_raises_estimation_error(
+        self, snapshot_dir, checkpoint_dir, service
+    ):
+        """EstimationError crosses the process boundary typed, so the
+        HTTP layer answers 422 in multi-worker mode too."""
+        from repro.core.framework import EstimationError
+        from repro.rdf.pattern import star_pattern
+        from repro.rdf.terms import Variable
+
+        big = star_pattern(
+            Variable("x"), [(p, Variable(f"y{p}")) for p in range(1, 7)]
+        )
+        with ServingPool(snapshot_dir, checkpoint_dir, workers=2) as pool:
+            with pytest.raises(EstimationError):
+                pool.estimate_batch([big])
+
+    def test_worker_count_validated(self, snapshot_dir, checkpoint_dir):
+        with pytest.raises(ValueError, match="workers"):
+            ServingPool(snapshot_dir, checkpoint_dir, workers=0)
+
+    def test_behind_scheduler_coalesces_and_answers(
+        self, snapshot_dir, checkpoint_dir, service, star_queries
+    ):
+        """The pool is a drop-in estimate_batch backend for the
+        micro-batching scheduler (the --workers N serve path)."""
+        from repro.serve import BatchScheduler
+
+        direct = service.framework.estimate_batch(star_queries)
+        with ServingPool(snapshot_dir, checkpoint_dir, workers=2) as pool:
+            scheduler = BatchScheduler(
+                pool.estimate_batch, max_batch=16, max_delay_ms=2.0
+            )
+            try:
+                values = scheduler.submit(star_queries, timeout=60.0)
+            finally:
+                scheduler.close()
+        assert np.allclose(values, direct, rtol=1e-9)

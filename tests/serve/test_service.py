@@ -1,0 +1,89 @@
+"""EstimatorService: snapshot/checkpoint loading and query parsing."""
+
+import numpy as np
+import pytest
+
+from repro.rdf.parser import ParseError
+from repro.serve import EstimatorService, ServiceError
+
+QUERY = (
+    "SELECT ?x ?y WHERE { ?x <ub:advisor> ?y . "
+    "?x <ub:takesCourse> ?z . }"
+)
+
+
+class TestConstruction:
+    def test_bad_snapshot_rejected(self, tmp_path):
+        with pytest.raises(ServiceError, match="snapshot load failed"):
+            EstimatorService.from_snapshot(tmp_path / "nope")
+
+    def test_bad_checkpoint_rejected(self, snapshot_dir, tmp_path):
+        with pytest.raises(ServiceError, match="checkpoint load failed"):
+            EstimatorService.from_snapshot(
+                snapshot_dir, tmp_path / "no-ckpt"
+            )
+
+    def test_dictionaryless_snapshot_rejected(self, tmp_path):
+        """Queries cannot be parsed without the term dictionary."""
+        from repro.rdf.store import TripleStore
+
+        store = TripleStore()
+        store.add_all([(0, 0, 1), (1, 0, 2), (2, 1, 3)])
+        store.save_snapshot(tmp_path / "raw")
+        with pytest.raises(ServiceError, match="dictionary"):
+            EstimatorService.from_snapshot(tmp_path / "raw")
+
+    def test_checkpoint_answers_like_startup_fit(
+        self, snapshot_dir, checkpoint_dir, service, star_queries
+    ):
+        """A reloaded checkpoint is the served model, bit for bit."""
+        reloaded = EstimatorService.from_snapshot(
+            snapshot_dir, checkpoint_dir
+        )
+        assert (
+            reloaded.estimate_batch(star_queries).tolist()
+            == service.estimate_batch(star_queries).tolist()
+        )
+
+    def test_default_fit_is_deterministic(
+        self, snapshot_dir, service, fit_defaults
+    ):
+        """Two processes fitting from the same snapshot with the same
+        defaults must agree exactly — the CI smoke test's foundation."""
+        twin = EstimatorService.from_snapshot(
+            snapshot_dir, fit_defaults=fit_defaults
+        )
+        queries = twin.parse_queries([QUERY])
+        assert (
+            twin.estimate_batch(queries).tolist()
+            == service.estimate_batch(queries).tolist()
+        )
+
+
+class TestRequestSurface:
+    def test_parse_and_estimate(self, service):
+        queries = service.parse_queries([QUERY, QUERY])
+        values = service.estimate_batch(queries)
+        assert isinstance(values, np.ndarray)
+        assert values.shape == (2,)
+        assert values[0] == values[1] >= 0.0
+
+    def test_parse_rejects_garbage(self, service):
+        for bad in (
+            "SELECT ?x WHERE",
+            "not sparql at all {",
+            "SELECT ?x WHERE { ?x <no:such:predicate> ?y . }",
+        ):
+            with pytest.raises(ParseError):
+                service.parse_query(bad)
+
+    def test_parse_rejects_non_strings(self, service):
+        with pytest.raises(ParseError, match="SPARQL string"):
+            service.parse_query(42)
+
+    def test_describe_reports_graph_and_model(self, service):
+        info = service.describe()
+        assert info["triples"] == len(service.store)
+        assert info["models"] >= 1
+        assert info["model_type"] == "supervised"
+        assert info["model_bytes"] > 0
