@@ -63,7 +63,9 @@ def test_ext_universal_u(benchmark, report):
             )
             model.fit()
             per_shape[topology] = model
-            per_shape_memory += model.memory_bytes()
+            # Paper-facing float32 size: state-independent, unlike the
+            # in-process memory_bytes() footprint.
+            per_shape_memory += model.checkpoint_bytes()
         rows = []
         stats = {}
         for name in ("universal", "per-shape"):
@@ -81,7 +83,7 @@ def test_ext_universal_u(benchmark, report):
                     estimates, [r.cardinality for r in workload]
                 ).mean
             memory = (
-                universal.memory_bytes()
+                universal.checkpoint_bytes()
                 if name == "universal"
                 else per_shape_memory
             )

@@ -19,6 +19,12 @@ Measures, on a synthetic ~100k-triple hub-heavy graph:
   machine the gate asserts >= 2x,
 - **batch estimation**: LMKG-S queries/sec through
   ``Framework.estimate_batch`` vs the per-query ``estimate`` loop,
+- **MADE inference trunk**: rows/sec of the masked autoregressive
+  forward at the serving batch width — the seed's float64
+  re-masked-per-call trunk against the fused float32 inference cache
+  (pre-masked weights, float32 table shadows; gate: >= 2x) — plus
+  LMKG-U ``estimate_batch`` queries/sec through the incremental
+  Gumbel-max particle sweep,
 - **serving**: requests/sec of the micro-batching scheduler
   (``repro.serve.BatchScheduler``) under concurrent single-query
   clients, against the sequential one-request-at-a-time baseline, with
@@ -232,6 +238,91 @@ def test_store_throughput(report, tmp_path):
     _, loop_s = _timed(lambda: [framework.estimate(q) for q in serve])
     _, batch_s = _timed(lambda: framework.estimate_batch(serve))
 
+    # MADE inference trunk: the fused float32 forward against the seed's
+    # float64 trunk (weight * mask re-materialised per layer per call,
+    # per-position embedding gathers) on an identical model at the
+    # serving batch width.  Both produce the same logits up to float32
+    # rounding — asserted below — so the speedup is pure dtype/caching.
+    from repro.core.lmkg_u import LMKGU, LMKGUConfig
+    from repro.nn.masked import MADE
+
+    made = MADE(
+        var_vocabs=[0, 1, 0, 1, 0],
+        vocab_sizes=[store.num_nodes + 1, store.num_predicates + 1],
+        embed_dim=32,
+        hidden_sizes=(256, 256),
+        seed=7,
+    )
+    made_rows = 1024  # a serving-width particle block
+    made_ids = rng.integers(
+        1, min(store.num_nodes, store.num_predicates),
+        size=(made_rows, made.num_vars),
+    )
+
+    def _seed_forward(model, ids):
+        """The seed trunk, verbatim: float64, re-masked every call."""
+        blocks = [
+            model.tables[model.var_vocabs[i]].value[ids[:, i]]
+            for i in range(model.num_vars)
+        ]
+        h = np.concatenate(blocks, axis=1)
+        for li, layer in enumerate(model.hidden_layers):
+            pre = h @ (layer.weight.value * layer.mask) + layer.bias.value
+            post = np.maximum(pre, 0.0)
+            use_res = (
+                model.residual and li > 0 and post.shape[1] == h.shape[1]
+            )
+            h = post + h if use_res else post
+        out = h @ (
+            model.out_proj.weight.value * model.out_proj.mask
+        ) + model.out_proj.bias.value
+        dim = model.embed_dim
+        return [
+            out[:, i * dim: (i + 1) * dim]
+            @ model.tables[model.var_vocabs[i]].value.T
+            + model.out_bias[i].value
+            for i in range(model.num_vars)
+        ]
+
+    # Equivalence before timing: fused float32 logits track float64.
+    seed_logits = _seed_forward(made, made_ids)
+    fused_logits = made.forward(made_ids)
+    for ref, got in zip(seed_logits, fused_logits):
+        assert np.allclose(ref, got, rtol=1e-3, atol=1e-3)
+
+    def _best_time(fn, repeats=5):
+        """Fastest of *repeats* runs: robust to scheduler noise, which
+        a single sample of either side would fold into the gate."""
+        return min(_timed(fn)[1] for _ in range(repeats))
+
+    made64_s = _best_time(lambda: _seed_forward(made, made_ids))
+    made32_s = _best_time(lambda: made.forward(made_ids))
+    made64_rows_s = made_rows / made64_s
+    made32_rows_s = made_rows / made32_s
+    made_speedup = made32_rows_s / made64_rows_s
+
+    # LMKG-U end to end: the incremental Gumbel-max particle sweep
+    # through estimate_batch (auto-tuned block width included).
+    lmkgu = LMKGU(
+        store,
+        "star",
+        2,
+        LMKGUConfig(
+            embed_dim=16,
+            hidden_sizes=(64, 64),
+            epochs=2,
+            training_samples=4_000,
+            particles=64,
+        ),
+    )
+    lmkgu.fit()
+    lmkgu_queries = [
+        q for topology, size, q in queries if (topology, size) == ("star", 2)
+    ][:128]
+    lmkgu.estimate_batch(lmkgu_queries[:8])  # calibrate outside the timer
+    _, lmkgu_s = _timed(lambda: lmkgu.estimate_batch(lmkgu_queries))
+    lmkgu_qps = len(lmkgu_queries) / lmkgu_s
+
     # Serving: the real HTTP endpoint, sequential vs concurrent
     # clients.  A sequential client gives the scheduler nothing to
     # coalesce (every request is its own width-1 batch); 16 concurrent
@@ -369,6 +460,16 @@ def test_store_throughput(report, tmp_path):
             "estimate_batch_qps": round(len(serve) / batch_s, 1),
             "batch_speedup": round(loop_s / batch_s, 2),
         },
+        "made_inference": {
+            "batch_rows": made_rows,
+            "made_forward_rows_per_s": {
+                "float64_seed": round(made64_rows_s, 1),
+                "float32_fused": round(made32_rows_s, 1),
+            },
+            "fused_speedup": round(made_speedup, 2),
+            "estimate_batch_qps": round(lmkgu_qps, 1),
+            "particles": lmkgu.config.particles,
+        },
         "serving": {
             "transport": "http",
             "num_requests": len(serving_texts),
@@ -446,6 +547,26 @@ def test_store_throughput(report, tmp_path):
                     results["batch_estimation"]["estimate_batch_qps"],
                 ],
                 [
+                    "MADE fwd rows/s (float64 seed)",
+                    results["made_inference"]["made_forward_rows_per_s"][
+                        "float64_seed"
+                    ],
+                ],
+                [
+                    "MADE fwd rows/s (float32 fused)",
+                    results["made_inference"]["made_forward_rows_per_s"][
+                        "float32_fused"
+                    ],
+                ],
+                [
+                    "MADE fused speedup",
+                    results["made_inference"]["fused_speedup"],
+                ],
+                [
+                    "LMKG-U estimate_batch q/s",
+                    results["made_inference"]["estimate_batch_qps"],
+                ],
+                [
                     "serving q/s (sequential requests)",
                     results["serving"]["sequential_request_qps"],
                 ],
@@ -494,6 +615,14 @@ def test_store_throughput(report, tmp_path):
             f"parallel labeling speedup {parallel_speedup:.2f}x < 2x "
             f"on {PARALLEL_WORKERS} workers"
         )
+    # The acceptance gate of the fused inference trunk: the float32
+    # pre-masked forward must at least double the seed's float64
+    # re-masked-per-call trunk at the serving batch width.
+    assert made_speedup >= 2.0, (
+        f"fused float32 MADE forward {made_speedup:.2f}x < 2x the "
+        f"float64 seed trunk ({made32_rows_s:.0f} vs "
+        f"{made64_rows_s:.0f} rows/s)"
+    )
     # The acceptance gates of the serving subsystem.  Throughput:
     # concurrent clients through the micro-batching endpoint must beat
     # a sequential client against the same server configuration by

@@ -21,7 +21,8 @@ SIZES = (2, 3, 5)
 
 def _lmkgs_bytes(ctx, size):
     """Architecture-only build: one epoch on a tiny slice (memory does
-    not depend on training length)."""
+    not depend on training length).  Reports the paper-facing
+    checkpoint size, not the in-process training footprint."""
     records = ctx.train_workload("star", size).records[:64]
     model = LMKGS(
         ctx.store,
@@ -32,7 +33,7 @@ def _lmkgs_bytes(ctx, size):
         ),
     )
     model.fit(records)
-    return model.memory_bytes()
+    return model.checkpoint_bytes()
 
 
 def _lmkgu_bytes(ctx, size):
@@ -45,7 +46,11 @@ def _lmkgu_bytes(ctx, size):
         ),
     )
     model.build_model()
-    return model.memory_bytes()
+    # checkpoint_bytes (float32) is the paper's Table II quantity; the
+    # in-memory footprint (float64 masters + fused float32 caches +
+    # bool masks) lives in memory_bytes() and is deliberately not what
+    # the table compares.
+    return model.checkpoint_bytes()
 
 
 def test_table2_memory(benchmark, report):

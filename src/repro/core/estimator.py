@@ -107,6 +107,16 @@ class Estimator:
         graph directly (sampling approaches)."""
         return 0
 
+    def checkpoint_bytes(self) -> int:
+        """Serialized (paper-facing) model size.
+
+        Defaults to :meth:`memory_bytes`; estimators whose in-process
+        footprint differs from their checkpoint precision (LMKG-U keeps
+        float64 masters plus fused float32 inference caches, but
+        checkpoints at float32) override it.
+        """
+        return self.memory_bytes()
+
     # ------------------------------------------------------------------
     # Implementation hooks
     # ------------------------------------------------------------------

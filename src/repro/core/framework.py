@@ -311,8 +311,13 @@ class LMKG(Estimator):
     # ------------------------------------------------------------------
 
     def memory_bytes(self) -> int:
-        """Total checkpoint size of all trained models."""
+        """Total in-memory size of all trained models (LMKG-U models
+        count their float64 masters plus fused float32 caches)."""
         return sum(m.memory_bytes() for m in self.models.values())
+
+    def checkpoint_bytes(self) -> int:
+        """Total serialized size at checkpoint precision (Table II)."""
+        return sum(m.checkpoint_bytes() for m in self.models.values())
 
     def num_models(self) -> int:
         return len(self.models)
@@ -332,7 +337,10 @@ class LMKG(Estimator):
         routing extent (key, max size, topologies).  The manifest is
         written last, so its presence marks a complete checkpoint.
         ``LMKG.load(path, store)`` rebuilds an identical framework
-        against the same store (or a snapshot of it).
+        against the same store (or a snapshot of it).  Checkpoints hold
+        the float64 training masters bit-exactly; the fused float32
+        inference caches are derived state and rebuilt on first use
+        after a load.
         """
         if not self.models:
             raise RuntimeError("save() before fit()")

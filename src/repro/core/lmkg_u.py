@@ -22,6 +22,7 @@ grouping the paper uses for its experiments.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -37,6 +38,53 @@ from repro.sampling.random_walk import sample_instances
 #: vocabulary indices inside the MADE
 _NODE_VOCAB = 0
 _PRED_VOCAB = 1
+
+
+def likelihood_weighted_probability(
+    model: MADE,
+    constraints: Sequence[Optional[int]],
+    particles: int,
+    rng: np.random.Generator,
+) -> float:
+    """Mean particle weight of one constraint sequence (paper Alg. 1).
+
+    The seed's inverse-CDF sampler over an incremental fused-float32
+    sweep: positions are visited in model order; a bound position
+    multiplies each particle's weight by the conditional of its value,
+    an unbound one samples from the conditional with the reserved
+    unbound id 0 excluded (a particle whose conditional collapsed onto
+    it carries weight 0).  Shared by :class:`LMKGU` and
+    :class:`~repro.core.lmkg_u_universal.UniversalLMKGU`.
+    """
+    num_positions = len(constraints)
+    sweep = model.begin_sweep(
+        np.zeros((particles, num_positions), dtype=np.int64)
+    )
+    weights = np.ones(particles)
+    last = num_positions - 1
+    for position, value in enumerate(constraints):
+        probs = sweep.conditionals(position)
+        if value is not None:
+            weights *= probs[:, value].astype(np.float64)
+            column = np.full(particles, value, dtype=np.int64)
+        else:
+            probs = probs.copy()
+            probs[:, 0] = 0.0
+            totals = probs.sum(axis=1, keepdims=True)
+            dead = totals.ravel() <= 0
+            if dead.any():
+                weights[dead] = 0.0
+                totals[dead] = 1.0
+                probs[dead, 1] = 1.0
+            cdf = np.cumsum(probs / totals, axis=1)
+            # Float32 summation can leave cdf[-1] a hair under 1,
+            # which would send a tail draw to the reserved id 0.
+            cdf[:, -1] = 1.0
+            draws = rng.random((particles, 1))
+            column = (cdf > draws).argmax(axis=1)
+        if position != last:
+            sweep.assign(position, column)
+    return float(weights.mean())
 
 
 @dataclass(frozen=True)
@@ -59,6 +107,16 @@ class LMKGUConfig:
     particles: int = 256
     sample_method: str = "exact"  # "exact" | "rw"
     seed: int = 0
+    #: element budget (block_rows * vocab) of one conditional-logit
+    #: matrix in the batched particle sweep; None auto-tunes on the
+    #: first estimate by timing a few candidate widths.  Estimates are
+    #: invariant to the choice (per-query noise substreams), so the
+    #: knob is purely a throughput lever.
+    chunk_budget: Optional[int] = None
+
+
+#: candidate element budgets tried by the first-estimate calibration
+_CHUNK_BUDGETS = (175_000, 350_000, 1_400_000)
 
 
 class LMKGU(Estimator):
@@ -92,6 +150,13 @@ class LMKGU(Estimator):
         self.model: Optional[MADE] = None
         self.universe: Optional[int] = None
         self.history: List[float] = []
+        #: block width picked by estimate-time calibration when
+        #: ``config.chunk_budget`` is None (queries per sweep block),
+        #: plus the widest candidate the calibration could measure —
+        #: a larger later batch re-calibrates rather than staying
+        #: pinned to a narrow first-batch winner.
+        self._tuned_chunk: Optional[int] = None
+        self._tuned_cover: int = 0
 
     def build_model(self) -> MADE:
         """Instantiate the (untrained) ResMADE for this shape.
@@ -219,12 +284,13 @@ class LMKGU(Estimator):
         """Batched likelihood-weighted estimation.
 
         All queries share one particle sweep: the per-position
-        conditional forward runs once for the whole
-        ``queries x particles`` block instead of once per query, chunked
-        so the conditional-probability tensor stays within a fixed
-        memory budget.  Particle draws use one RNG stream for the batch,
-        so individual numbers differ from per-query :meth:`estimate`
-        within sampling noise.
+        conditional forward runs once for a ``block x particles`` row
+        block on the fused float32 trunk (incremental first layer, see
+        :meth:`MADE.begin_sweep`), chunked so the logit tensor stays
+        cache-resident.  Sampling noise comes from one counter-based
+        Philox substream per (query, position), so results do not depend
+        on the chunk width — individual numbers still differ from the
+        per-query :meth:`estimate` within sampling noise.
         """
         if self.model is None or self.universe is None:
             raise RuntimeError("estimate() before fit()")
@@ -238,117 +304,219 @@ class LMKGU(Estimator):
             for j, value in enumerate(self._query_sequence(query)):
                 if value is not None:
                     constraints[i, j] = value
-        particles = self.config.particles
-        vocab = max(self._vocab_sizes)
-        # The MADE conditional forward is memory-bound: its rows/s peaks
-        # near ~128-row blocks of the (rows, vocab) probability matrix
-        # and degrades several-fold beyond, so the chunk keeps
-        # chunk * particles * vocab around that cache-resident sweet
-        # spot rather than maximising batch width.
-        chunk = int(3.5e5) // max(particles * vocab, 1)
-        if chunk <= 1:
-            # One particle block already fills the sweet spot: co-batching
-            # queries would only add bookkeeping.  Run the per-query
-            # sweep, which also matches estimate() draw-for-draw.
-            return np.array(
-                [
-                    float(self.universe)
-                    * self._probability(
-                        [v if v >= 0 else None for v in row]
-                    )
-                    for row in constraints.tolist()
-                ],
-                dtype=np.float64,
-            )
-        rng = np.random.default_rng(self.config.seed + 9)
         probabilities = np.empty(len(queries), dtype=np.float64)
-        for lo in range(0, len(queries), chunk):
+        chunk, covered = self._block_chunk(constraints, probabilities)
+        for lo in range(covered, len(queries), chunk):
             probabilities[lo: lo + chunk] = self._probability_block(
-                constraints[lo: lo + chunk], rng
+                constraints[lo: lo + chunk], lo
             )
         return float(self.universe) * probabilities
 
-    def _probability_block(
-        self, constraints: np.ndarray, rng: np.random.Generator
+    # ------------------------------------------------------------------
+    # Block-width selection
+    # ------------------------------------------------------------------
+
+    def _queries_per_block(self, budget: int) -> int:
+        per_query = max(self.config.particles * max(self._vocab_sizes), 1)
+        return max(int(budget) // per_query, 1)
+
+    def _block_chunk(
+        self, constraints: np.ndarray, out: np.ndarray
+    ) -> Tuple[int, int]:
+        """(queries per sweep block, queries already computed into *out*).
+
+        The MADE conditional forward is memory-bound: rows/s peaks when
+        the ``(block * particles, vocab)`` logit matrix stays cache
+        resident and degrades several-fold beyond.  Instead of the seed's
+        hard-coded 3.5e5-element budget, estimation times the sweep at
+        a few candidate widths on a prefix of the real batch and caches
+        the winner; a later batch wide enough to measure candidates the
+        cached calibration could not re-calibrates, so a small warm-up
+        batch cannot pin serving to a narrow block forever.  The timing
+        blocks are real work — results are chunk-invariant by
+        construction — so they are written into *out* rather than
+        discarded, and the caller resumes after the covered prefix.
+        ``config.chunk_budget`` pins the budget explicitly (tests,
+        reproducible benchmarks); estimates never depend on the choice.
+        """
+        if self.config.chunk_budget is not None:
+            return self._queries_per_block(self.config.chunk_budget), 0
+        candidates = sorted(
+            {self._queries_per_block(b) for b in _CHUNK_BUDGETS}
+        )
+        measurable = [c for c in candidates if c <= len(constraints)]
+        if len(measurable) < 2:
+            # Too small a batch to time meaningfully (one or two blocks
+            # either way); keep any cached winner, else the middle
+            # candidate, and leave calibration to a larger batch.
+            return (
+                self._tuned_chunk or candidates[len(candidates) // 2],
+                0,
+            )
+        if (
+            self._tuned_chunk is not None
+            and measurable[-1] <= self._tuned_cover
+        ):
+            return self._tuned_chunk, 0
+        self._tuned_chunk = self._calibrate_chunk(
+            constraints, measurable, out
+        )
+        self._tuned_cover = measurable[-1]
+        return self._tuned_chunk, measurable[-1]
+
+    def _calibrate_chunk(
+        self,
+        constraints: np.ndarray,
+        candidates: List[int],
+        out: np.ndarray,
+    ) -> int:
+        # Warm the fused caches outside the timed region.
+        out[:1] = self._probability_block(constraints[:1], 0)
+        best_chunk, best_rate = candidates[0], 0.0
+        for chunk in candidates:
+            block = constraints[:chunk]
+            start = time.perf_counter()
+            result = self._probability_block(block, 0)
+            elapsed = time.perf_counter() - start
+            # Chunk-invariant results: the widest (last) candidate's
+            # prefix stands as the final answer for those queries.
+            out[:chunk] = result
+            rate = len(block) / max(elapsed, 1e-9)
+            if rate > best_rate:
+                best_chunk, best_rate = chunk, rate
+        return best_chunk
+
+    # ------------------------------------------------------------------
+    # Particle sweep
+    # ------------------------------------------------------------------
+
+    def _gumbel_noise(
+        self,
+        query_indices: np.ndarray,
+        position: int,
+        particles: int,
+        vocab: int,
     ) -> np.ndarray:
-        """Mean particle weight per query for one chunk of constraints."""
+        """Standard-Gumbel noise from per-(query, position) substreams.
+
+        Each (query, position) pair owns a counter-based Philox stream
+        keyed by its index, so the draws a query sees are independent of
+        how the batch is chunked — the block width is a pure throughput
+        knob.  Gumbel variates come from ``-log(Exp(1))`` (one log, no
+        inverse-CDF cumsum).
+        """
+        out = np.empty(
+            (len(query_indices), particles, vocab), dtype=np.float32
+        )
+        base = (self.config.seed + 9) & 0xFFFFFFFFFFFFFFFF
+        for row, qi in enumerate(query_indices):
+            key = [int(qi) * self.num_positions + position, base]
+            gen = np.random.Generator(np.random.Philox(key=key))
+            out[row] = gen.standard_exponential(
+                (particles, vocab), dtype=np.float32
+            )
+        # Exp(1) can round to 0 in float32; clamp to the smallest
+        # positive subnormal so the log stays finite.
+        np.maximum(out, np.float32(1e-45), out=out)
+        np.log(out, out=out)
+        np.negative(out, out=out)
+        return out
+
+    def _probability_block(
+        self, constraints: np.ndarray, offset: int
+    ) -> np.ndarray:
+        """Mean particle weight per query for one block of constraints.
+
+        *offset* is the block's first query index within the batch; it
+        keys the per-query noise substreams (chunk-width invariance).
+
+        One incremental sweep serves the whole block: per position the
+        fused trunk yields masked logits, bound positions multiply the
+        particle weight by the conditional of the bound value, unbound
+        positions sample by Gumbel-max directly on the logits (the
+        reserved id 0 masked to -inf) — no exp/normalise/cumsum
+        materialisation.  A particle whose conditional collapsed onto
+        the reserved id carries weight 0, exactly as the seed's CDF
+        sampler did.
+        """
         model = self.model
         assert model is not None
         num_queries = constraints.shape[0]
         particles = self.config.particles
-        ids = np.zeros(
-            (num_queries * particles, self.num_positions), dtype=np.int64
+        rows = num_queries * particles
+        sweep = model.begin_sweep(
+            np.zeros((rows, self.num_positions), dtype=np.int64)
         )
-        ids_view = ids.reshape(num_queries, particles, self.num_positions)
         weights = np.ones((num_queries, particles))
+        last = self.num_positions - 1
         for position in range(self.num_positions):
-            probs = model.conditionals(ids, position).reshape(
+            logits = sweep.logits(position).reshape(
                 num_queries, particles, -1
             )
             values = constraints[:, position]
             bound = values >= 0
+            # Per-particle log normaliser (the sweep's only exp pass).
+            peak = logits.max(axis=2)
+            lse = peak + np.log(
+                np.exp(logits - peak[:, :, None]).sum(axis=2)
+            )
+            column = np.empty((num_queries, particles), dtype=np.int64)
             if bound.any():
                 picked = np.take_along_axis(
-                    probs[bound],
-                    values[bound][:, None, None],
-                    axis=2,
+                    logits[bound], values[bound][:, None, None], axis=2
                 )[:, :, 0]
-                weights[bound] *= picked
-                ids_view[bound, :, position] = values[bound, None]
+                weights[bound] *= np.exp(
+                    (picked - lse[bound]).astype(np.float64)
+                )
+                column[bound] = values[bound, None]
             unbound = ~bound
             if unbound.any():
-                # Sample per particle from the conditional, excluding the
-                # reserved unbound id 0 (never seen in training).
-                pr = probs[unbound].copy()
-                pr[:, :, 0] = 0.0
-                totals = pr.sum(axis=2, keepdims=True)
-                dead = totals[:, :, 0] <= 0
+                masked = logits[unbound]
+                # Dead conditional: all remaining float32 mass sits on
+                # the reserved unbound id 0 (never seen in training).
+                rest_peak = masked[:, :, 1:].max(axis=2)
+                dead = (
+                    np.exp(
+                        (rest_peak - lse[unbound]).astype(np.float32)
+                    )
+                    == 0.0
+                )
+                masked[:, :, 0] = -np.inf
+                noise = self._gumbel_noise(
+                    np.flatnonzero(unbound) + offset,
+                    position,
+                    particles,
+                    masked.shape[2],
+                )
+                masked += noise
+                choice = masked.argmax(axis=2)
                 if dead.any():
-                    # A particle whose conditional collapsed carries
-                    # weight 0.
+                    choice[dead] = 1
                     sub = weights[unbound]
                     sub[dead] = 0.0
                     weights[unbound] = sub
-                    totals[dead] = 1.0
-                    pr[dead, 1] = 1.0
-                cdf = np.cumsum(pr / totals, axis=2)
-                draws = rng.random(cdf.shape[:2])[:, :, None]
-                ids_view[unbound, :, position] = (cdf > draws).argmax(
-                    axis=2
-                )
+                column[unbound] = choice
+            if position != last:
+                sweep.assign(position, column.reshape(rows))
         return weights.mean(axis=1)
 
     def _probability(
         self, constraints: Sequence[Optional[int]]
     ) -> float:
+        """Single-query likelihood weighting, paper draw-for-draw.
+
+        Keeps the seed's inverse-CDF sampler and RNG stream; only the
+        trunk changed — the conditionals now come from one incremental
+        fused-float32 sweep instead of a full forward per position.
+        """
         model = self.model
         assert model is not None
         fully_bound = all(v is not None for v in constraints)
         particles = 1 if fully_bound else self.config.particles
         rng = np.random.default_rng(self.config.seed + 9)
-        ids = np.zeros((particles, self.num_positions), dtype=np.int64)
-        weights = np.ones(particles)
-        for position, value in enumerate(constraints):
-            probs = model.conditionals(ids, position)
-            if value is not None:
-                weights *= probs[:, value]
-                ids[:, position] = value
-                continue
-            # Sample a value per particle from the conditional, excluding
-            # the reserved unbound id 0 (never seen in training).
-            probs = probs.copy()
-            probs[:, 0] = 0.0
-            totals = probs.sum(axis=1, keepdims=True)
-            dead = totals.ravel() <= 0
-            if dead.any():
-                # A particle whose conditional collapsed carries weight 0.
-                weights[dead] = 0.0
-                totals[dead] = 1.0
-                probs[dead, 1] = 1.0
-            cdf = np.cumsum(probs / totals, axis=1)
-            draws = rng.random((particles, 1))
-            ids[:, position] = (cdf > draws).argmax(axis=1)
-        return float(weights.mean())
+        return likelihood_weighted_probability(
+            model, constraints, particles, rng
+        )
 
     def log_likelihood(self, instances: np.ndarray) -> float:
         """Mean log-likelihood of bound instances (training diagnostics)."""
@@ -362,10 +530,17 @@ class LMKGU(Estimator):
         return self.model.num_parameters()
 
     def memory_bytes(self) -> int:
-        """Model size at float32 checkpoint precision."""
+        """True in-memory footprint: float64 masters + fused float32
+        inference caches + bool layer masks."""
         if self.model is None:
             raise RuntimeError("model not built yet")
         return self.model.memory_bytes()
+
+    def checkpoint_bytes(self) -> int:
+        """Paper-facing model size at float32 checkpoint precision."""
+        if self.model is None:
+            raise RuntimeError("model not built yet")
+        return self.model.checkpoint_bytes()
 
     # ------------------------------------------------------------------
     # Checkpointing

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.estimator import Estimator
-from repro.core.lmkg_u import LMKGUConfig
+from repro.core.lmkg_u import LMKGUConfig, likelihood_weighted_probability
 from repro.nn.masked import MADE
 from repro.rdf.pattern import QueryPattern, Topology
 from repro.rdf.store import TripleStore
@@ -226,31 +226,21 @@ class UniversalLMKGU(Estimator):
     def _probability(
         self, constraints: Sequence[Optional[int]]
     ) -> float:
+        """Likelihood weighting over one incremental fused-float32 sweep.
+
+        Same inverse-CDF sampler and RNG stream as the seed; the
+        conditionals come from :meth:`MADE.begin_sweep` so only the
+        changed embed-dim block re-enters the first (widest) matmul per
+        position.  The sampler itself is shared with :class:`LMKGU`.
+        """
         model = self.model
         assert model is not None
         fully_bound = all(v is not None for v in constraints)
         particles = 1 if fully_bound else self.config.particles
         rng = np.random.default_rng(self.config.seed + 9)
-        ids = np.zeros((particles, self.num_positions), dtype=np.int64)
-        weights = np.ones(particles)
-        for position, value in enumerate(constraints):
-            probs = model.conditionals(ids, position)
-            if value is not None:
-                weights *= probs[:, value]
-                ids[:, position] = value
-                continue
-            probs = probs.copy()
-            probs[:, 0] = 0.0
-            totals = probs.sum(axis=1, keepdims=True)
-            dead = totals.ravel() <= 0
-            if dead.any():
-                weights[dead] = 0.0
-                totals[dead] = 1.0
-                probs[dead, 1] = 1.0
-            cdf = np.cumsum(probs / totals, axis=1)
-            draws = rng.random((particles, 1))
-            ids[:, position] = (cdf > draws).argmax(axis=1)
-        return float(weights.mean())
+        return likelihood_weighted_probability(
+            model, constraints, particles, rng
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -262,10 +252,17 @@ class UniversalLMKGU(Estimator):
         return self.model.num_parameters()
 
     def memory_bytes(self) -> int:
-        """Model size at float32 checkpoint precision."""
+        """True in-memory footprint: float64 masters + fused float32
+        inference caches + bool layer masks."""
         if self.model is None:
             raise RuntimeError("model not built yet")
         return self.model.memory_bytes()
+
+    def checkpoint_bytes(self) -> int:
+        """Paper-facing model size at float32 checkpoint precision."""
+        if self.model is None:
+            raise RuntimeError("model not built yet")
+        return self.model.checkpoint_bytes()
 
 
     # ------------------------------------------------------------------

@@ -27,7 +27,7 @@ from repro.nn.losses import (
     log_softmax,
     softmax_cross_entropy,
 )
-from repro.nn.masked import MADE, MaskedLinear, hidden_degrees
+from repro.nn.masked import MADE, MADESweep, MaskedLinear, hidden_degrees
 from repro.nn.network import Regressor, TrainingHistory, build_mlp
 from repro.nn.optimizers import SGD, Adam, Optimizer
 from repro.nn.scaling import LogMinMaxScaler
@@ -56,6 +56,7 @@ __all__ = [
     "log_softmax",
     "softmax_cross_entropy",
     "MADE",
+    "MADESweep",
     "MaskedLinear",
     "hidden_degrees",
     "Regressor",

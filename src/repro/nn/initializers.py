@@ -1,4 +1,9 @@
-"""Weight initialisation schemes for the numpy NN substrate."""
+"""Weight initialisation schemes for the numpy NN substrate.
+
+Initial values are float64 — the training "master" precision of
+:class:`~repro.nn.layers.Parameter`; the fused float32 inference
+shadows are derived from the masters later, never initialised directly.
+"""
 
 from __future__ import annotations
 

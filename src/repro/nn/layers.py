@@ -27,16 +27,30 @@ from repro.nn.initializers import glorot_uniform, he_uniform
 
 
 class Parameter:
-    """A trainable array plus its accumulated gradient."""
+    """A trainable array plus its accumulated gradient.
+
+    Values are always float64 — the training "masters".  Derived
+    representations (the fused float32 inference weights of
+    :class:`~repro.nn.masked.MaskedLinear`, the float32 embedding-table
+    shadows of :class:`~repro.nn.masked.MADE`) are cached against
+    :attr:`version`, which every code path that rewrites :attr:`value`
+    must bump via :meth:`bump_version` — the optimisers do it per step,
+    the checkpoint loaders after restoring.
+    """
 
     def __init__(self, name: str, value: np.ndarray) -> None:
         self.name = name
         self.value = np.asarray(value, dtype=np.float64)
         self.grad = np.zeros_like(self.value)
+        self.version = 0
 
     @property
     def size(self) -> int:
         return self.value.size
+
+    def bump_version(self) -> None:
+        """Mark :attr:`value` as mutated so derived caches rebuild."""
+        self.version += 1
 
     def zero_grad(self) -> None:
         self.grad.fill(0.0)

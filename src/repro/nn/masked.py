@@ -19,6 +19,21 @@ practical on knowledge graphs with thousands of distinct terms:
   multiplying with the (transposed) shared embedding table, plus a
   per-position bias.  This keeps the parameter count linear in the vocab
   size rather than ``hidden x vocab`` per position.
+
+Dtype policy
+------------
+
+Training is float64 end to end: parameters keep float64 master values,
+``forward(ids, training=True)`` / ``loss_and_backward`` compute with the
+masked float64 masters, and fits are bit-identical to the seed.
+Inference (``forward``, ``log_prob``, ``logits_for``, ``conditionals``,
+:class:`MADESweep`) runs on **fused float32 caches**: each masked layer
+holds ``(W * M).astype(float32)`` plus a float32 bias, and the embedding
+tables and output biases keep float32 shadows.  The caches are keyed by
+the per-parameter version counters that :meth:`repro.nn.optimizers.Adam.step`
+bumps, so a stale cache is impossible and the hot estimation paths pay
+zero per-call masking or casting.  Masks themselves are stored as
+``bool`` (8x smaller than the float64 masks of the seed).
 """
 
 from __future__ import annotations
@@ -34,7 +49,16 @@ from repro.nn.optimizers import Adam
 
 
 class MaskedLinear(Layer):
-    """A dense layer whose weight is elementwise-multiplied by a 0/1 mask."""
+    """A dense layer whose weight is elementwise-multiplied by a 0/1 mask.
+
+    The mask is stored as ``bool``.  Two derived-weight caches exist:
+
+    - the float64 masked weight, built once per ``forward`` and reused by
+      ``backward`` (the seed recomputed ``weight * mask`` in both), and
+    - the fused inference weight from :meth:`fused` — the pre-masked
+      master cast once to the inference dtype, cached against the
+      parameter version counters so optimiser steps invalidate it.
+    """
 
     def __init__(
         self,
@@ -52,18 +76,47 @@ class MaskedLinear(Layer):
             f"{name}.weight", glorot_uniform(rng, in_features, out_features)
         )
         self.bias = Parameter(f"{name}.bias", np.zeros(out_features))
-        self.mask = mask.astype(np.float64)
+        self.mask = np.ascontiguousarray(mask.astype(bool))
         self._input: Optional[np.ndarray] = None
+        self._masked64: Optional[np.ndarray] = None
+        self._fused: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._fused_key: Optional[Tuple[int, int, np.dtype]] = None
+
+    def _masked_weight(self) -> np.ndarray:
+        """Masked float64 master weight; one multiply per training step."""
+        if self._masked64 is None:
+            self._masked64 = np.empty_like(self.weight.value)
+        np.multiply(self.weight.value, self.mask, out=self._masked64)
+        return self._masked64
+
+    def fused(self, dtype=np.float32) -> Tuple[np.ndarray, np.ndarray]:
+        """``(weight * mask, bias)`` at the inference dtype, cached.
+
+        Rebuilt only when an optimiser step (or checkpoint restore) bumps
+        a parameter version — the inference hot path never masks or
+        casts.
+        """
+        key = (self.weight.version, self.bias.version, np.dtype(dtype))
+        if self._fused_key != key:
+            self._fused = (
+                self._masked_weight().astype(key[2]),
+                self.bias.value.astype(key[2]),
+            )
+            self._fused_key = key
+        return self._fused
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._input = x
-        return x @ (self.weight.value * self.mask) + self.bias.value
+        return x @ self._masked_weight() + self.bias.value
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         assert self._input is not None
         self.weight.grad += (self._input.T @ grad) * self.mask
         self.bias.grad += grad.sum(axis=0)
-        return grad @ (self.weight.value * self.mask).T
+        # The masked weight built by forward() is still current: steps
+        # happen between iterations, never between forward and backward.
+        assert self._masked64 is not None
+        return grad @ self._masked64.T
 
     def parameters(self) -> List[Parameter]:
         return [self.weight, self.bias]
@@ -86,14 +139,93 @@ def hidden_degrees(
 
 def _input_mask(in_degrees: np.ndarray, out_degrees: np.ndarray) -> np.ndarray:
     """Mask for input/hidden layers: out unit sees in units with deg <= its."""
-    return (out_degrees[None, :] >= in_degrees[:, None]).astype(np.float64)
+    return out_degrees[None, :] >= in_degrees[:, None]
 
 
 def _output_mask(
     in_degrees: np.ndarray, out_degrees: np.ndarray
 ) -> np.ndarray:
     """Mask for the output layer: strictly preceding degrees only."""
-    return (out_degrees[None, :] > in_degrees[:, None]).astype(np.float64)
+    return out_degrees[None, :] > in_degrees[:, None]
+
+
+class MADESweep:
+    """Incremental inference state for a position-by-position sweep.
+
+    Likelihood-weighted sampling visits positions in model order over a
+    fixed particle batch; between consecutive positions only one
+    embed-dim column block of the embedded input changes.  The sweep
+    caches the first hidden layer's pre-activation and applies a
+    rank-``embed_dim`` update per assignment (``h1 += delta_block @
+    W1[block_rows]``) instead of re-running the full first matmul — the
+    widest of the trunk (``num_vars * embed_dim -> hidden``) — so its
+    cost drops to ~1/num_vars per position.  Deeper (narrower) layers
+    still re-run per position.
+
+    Everything here is fused-dtype (float32 by default); obtain one via
+    :meth:`MADE.begin_sweep`.
+    """
+
+    def __init__(self, model: "MADE", ids: np.ndarray) -> None:
+        self.model = model
+        self.ids = np.array(ids, dtype=np.int64, copy=True)
+        if self.ids.ndim != 2 or self.ids.shape[1] != model.num_vars:
+            raise ValueError(
+                f"expected (batch, {model.num_vars}) ids, "
+                f"got {self.ids.shape}"
+            )
+        self._embedded = model._embed_fused(self.ids)
+        first = model.hidden_layers[0]
+        weight, bias = first.fused(model.inference_dtype)
+        self._h1_pre = self._embedded @ weight
+        self._h1_pre += bias
+
+    def assign(self, position: int, values: np.ndarray) -> None:
+        """Set *position* to *values* (one id per row) and update h1."""
+        model = self.model
+        values = np.asarray(values, dtype=np.int64)
+        lo = position * model.embed_dim
+        hi = lo + model.embed_dim
+        table = model._fused_table(model.var_vocabs[position])
+        new_block = np.take(table, values, axis=0)
+        delta = new_block - self._embedded[:, lo:hi]
+        weight, _ = model.hidden_layers[0].fused(model.inference_dtype)
+        self._h1_pre += delta @ weight[lo:hi, :]
+        self._embedded[:, lo:hi] = new_block
+        self.ids[:, position] = values
+
+    def _trunk(self) -> np.ndarray:
+        """Hidden state after the full trunk, from the cached h1."""
+        model = self.model
+        h = np.maximum(self._h1_pre, 0.0)
+        for li in range(1, len(model.hidden_layers)):
+            weight, bias = model.hidden_layers[li].fused(
+                model.inference_dtype
+            )
+            pre = h @ weight
+            pre += bias
+            post = np.maximum(pre, 0.0, out=pre)
+            h = post + h if (
+                model.residual and post.shape[1] == h.shape[1]
+            ) else post
+        return h
+
+    def logits(self, position: int) -> np.ndarray:
+        """Logits of *position* given the currently assigned ids."""
+        model = self.model
+        h = self._trunk()
+        lo = position * model.embed_dim
+        hi = lo + model.embed_dim
+        weight, bias = model.out_proj.fused(model.inference_dtype)
+        block = h @ weight[:, lo:hi]
+        block += bias[lo:hi]
+        head = block @ model._fused_table_t(model.var_vocabs[position])
+        head += model._fused_out_bias(position)
+        return head
+
+    def conditionals(self, position: int) -> np.ndarray:
+        """Probabilities ``P(x_position | assigned x_<position)``."""
+        return np.exp(log_softmax(self.logits(position)))
 
 
 class MADE:
@@ -136,6 +268,15 @@ class MADE:
             Parameter(f"table{t}", normal_embedding(rng, size, embed_dim))
             for t, size in enumerate(self.vocab_sizes)
         ]
+        #: positions grouped by their vocabulary, for block-gathered embeds
+        self._vocab_positions: List[Tuple[int, np.ndarray]] = []
+        by_vocab: Dict[int, List[int]] = {}
+        for i, t in enumerate(self.var_vocabs):
+            by_vocab.setdefault(t, []).append(i)
+        for t, positions in by_vocab.items():
+            self._vocab_positions.append(
+                (t, np.asarray(positions, dtype=np.int64))
+            )
 
         # Degrees: position i (0-based) has degree i + 1; every one of its
         # embed_dim input units carries that degree.
@@ -172,6 +313,16 @@ class MADE:
         ]
         self._cache: Dict[str, object] = {}
 
+        #: dtype of the fused inference caches; float64 is a debugging /
+        #: parity knob (fused but uncast), float32 the serving default.
+        self.inference_dtype: np.dtype = np.dtype(np.float32)
+        self._table_shadows: Dict[int, np.ndarray] = {}
+        self._table_shadow_keys: Dict[int, Tuple[int, np.dtype]] = {}
+        self._table_t_shadows: Dict[int, np.ndarray] = {}
+        self._table_t_shadow_keys: Dict[int, Tuple[int, np.dtype]] = {}
+        self._out_bias_shadows: Dict[int, np.ndarray] = {}
+        self._out_bias_shadow_keys: Dict[int, Tuple[int, np.dtype]] = {}
+
     # ------------------------------------------------------------------
     # Parameters / size
     # ------------------------------------------------------------------
@@ -188,41 +339,133 @@ class MADE:
         return sum(p.size for p in self.parameters())
 
     def memory_bytes(self) -> int:
-        """Model size in bytes at float32 checkpoint precision."""
+        """True in-process footprint, counted from the live arrays.
+
+        Float64 masters and their gradient accumulators, the bool layer
+        masks, and whichever derived caches currently exist: the
+        per-layer masked float64 training weights (allocated on first
+        training forward) and the fused inference caches (allocated on
+        first inference, at the current inference dtype).  The
+        paper-facing checkpoint size is :meth:`checkpoint_bytes`.
+        """
+        total = sum(
+            p.value.nbytes + p.grad.nbytes for p in self.parameters()
+        )
+        layers = self.hidden_layers + [self.out_proj]
+        total += sum(layer.mask.nbytes for layer in layers)
+        for layer in layers:
+            if layer._masked64 is not None:
+                total += layer._masked64.nbytes
+            if layer._fused is not None:
+                total += sum(a.nbytes for a in layer._fused)
+        total += sum(a.nbytes for a in self._table_shadows.values())
+        total += sum(a.nbytes for a in self._table_t_shadows.values())
+        total += sum(a.nbytes for a in self._out_bias_shadows.values())
+        return total
+
+    def checkpoint_bytes(self) -> int:
+        """Model size in bytes at float32 checkpoint precision (Table II)."""
         return self.num_parameters() * 4
+
+    # ------------------------------------------------------------------
+    # Fused inference caches
+    # ------------------------------------------------------------------
+
+    def set_inference_dtype(self, dtype) -> None:
+        """Switch the fused-cache dtype (float32 default, float64 parity)."""
+        self.inference_dtype = np.dtype(dtype)
+
+    def _fused_table(self, vocab: int) -> np.ndarray:
+        param = self.tables[vocab]
+        key = (param.version, self.inference_dtype)
+        if self._table_shadow_keys.get(vocab) != key:
+            self._table_shadows[vocab] = param.value.astype(key[1])
+            self._table_shadow_keys[vocab] = key
+        return self._table_shadows[vocab]
+
+    def _fused_table_t(self, vocab: int) -> np.ndarray:
+        """Contiguous ``(embed, vocab)`` transpose of the fused table.
+
+        The tied-projection head multiplies every out block with the
+        transposed embedding table; a contiguous transposed copy keeps
+        that GEMM on cache-friendly operands (~1.3x at serving widths)
+        instead of a strided ``table.T`` view.
+        """
+        param = self.tables[vocab]
+        key = (param.version, self.inference_dtype)
+        if self._table_t_shadow_keys.get(vocab) != key:
+            self._table_t_shadows[vocab] = np.ascontiguousarray(
+                self._fused_table(vocab).T
+            )
+            self._table_t_shadow_keys[vocab] = key
+        return self._table_t_shadows[vocab]
+
+    def _fused_out_bias(self, position: int) -> np.ndarray:
+        param = self.out_bias[position]
+        key = (param.version, self.inference_dtype)
+        if self._out_bias_shadow_keys.get(position) != key:
+            self._out_bias_shadows[position] = param.value.astype(key[1])
+            self._out_bias_shadow_keys[position] = key
+        return self._out_bias_shadows[position]
 
     # ------------------------------------------------------------------
     # Forward / backward
     # ------------------------------------------------------------------
 
     def _embed(self, ids: np.ndarray) -> np.ndarray:
+        """Float64 training embed: block-gather into one buffer."""
         batch = ids.shape[0]
-        blocks = [
-            self.tables[self.var_vocabs[i]].value[ids[:, i]]
-            for i in range(self.num_vars)
-        ]
-        return np.concatenate(blocks, axis=1).reshape(
-            batch, self.num_vars * self.embed_dim
+        out = np.empty(
+            (batch, self.num_vars, self.embed_dim), dtype=np.float64
         )
+        for vocab, positions in self._vocab_positions:
+            out[:, positions, :] = np.take(
+                self.tables[vocab].value, ids[:, positions], axis=0
+            )
+        return out.reshape(batch, self.num_vars * self.embed_dim)
 
-    def forward(self, ids: np.ndarray) -> List[np.ndarray]:
-        """Per-position logits ``[(batch, vocab_i)] * num_vars``.
+    def _embed_fused(self, ids: np.ndarray) -> np.ndarray:
+        """Inference embed from the fused float32 table shadows."""
+        batch = ids.shape[0]
+        out = np.empty(
+            (batch, self.num_vars, self.embed_dim),
+            dtype=self.inference_dtype,
+        )
+        for vocab, positions in self._vocab_positions:
+            out[:, positions, :] = np.take(
+                self._fused_table(vocab), ids[:, positions], axis=0
+            )
+        return out.reshape(batch, self.num_vars * self.embed_dim)
 
-        Position i's logits depend only on ids at positions < i, so callers
-        may place arbitrary valid ids at positions >= i.
-        """
+    def _validated_ids(self, ids: np.ndarray) -> np.ndarray:
         ids = np.asarray(ids, dtype=np.int64)
         if ids.ndim != 2 or ids.shape[1] != self.num_vars:
             raise ValueError(
                 f"expected (batch, {self.num_vars}) ids, got {ids.shape}"
             )
+        return ids
+
+    def forward(
+        self, ids: np.ndarray, training: bool = False
+    ) -> List[np.ndarray]:
+        """Per-position logits ``[(batch, vocab_i)] * num_vars``.
+
+        Position i's logits depend only on ids at positions < i, so callers
+        may place arbitrary valid ids at positions >= i.  With
+        ``training=True`` the trunk runs on the float64 masters and caches
+        activations for :meth:`loss_and_backward`; otherwise it runs on
+        the fused float32 inference weights.
+        """
+        ids = self._validated_ids(ids)
+        if not training:
+            return self._forward_fused(ids)
         self._cache = {"ids": ids}
         h = self._embed(ids)
         self._cache["embedded"] = h
         activations: List[np.ndarray] = []
         residual_in: List[Optional[np.ndarray]] = []
         for li, layer in enumerate(self.hidden_layers):
-            pre = layer.forward(h)
+            pre = layer.forward(h, training=True)
             post = np.maximum(pre, 0.0)
             use_res = (
                 self.residual and li > 0 and post.shape[1] == h.shape[1]
@@ -232,7 +475,7 @@ class MADE:
             activations.append(pre)
         self._cache["pre_activations"] = activations
         self._cache["residual_in"] = residual_in
-        out = self.out_proj.forward(h)
+        out = self.out_proj.forward(h, training=True)
         self._cache["out_blocks"] = out
         logits: List[np.ndarray] = []
         for i in range(self.num_vars):
@@ -241,9 +484,32 @@ class MADE:
             logits.append(block @ table.T + self.out_bias[i].value)
         return logits
 
+    def _forward_fused(self, ids: np.ndarray) -> List[np.ndarray]:
+        """Full inference forward on the fused caches (no grad state)."""
+        h = self._embed_fused(ids)
+        for li, layer in enumerate(self.hidden_layers):
+            weight, bias = layer.fused(self.inference_dtype)
+            pre = h @ weight
+            pre += bias
+            post = np.maximum(pre, 0.0, out=pre)
+            use_res = (
+                self.residual and li > 0 and post.shape[1] == h.shape[1]
+            )
+            h = post + h if use_res else post
+        weight, bias = self.out_proj.fused(self.inference_dtype)
+        out = h @ weight
+        out += bias
+        logits: List[np.ndarray] = []
+        for i in range(self.num_vars):
+            block = out[:, i * self.embed_dim: (i + 1) * self.embed_dim]
+            head = block @ self._fused_table_t(self.var_vocabs[i])
+            head += self._fused_out_bias(i)
+            logits.append(head)
+        return logits
+
     def loss_and_backward(self, ids: np.ndarray) -> float:
         """Mean negative log-likelihood over the batch; accumulates grads."""
-        logits = self.forward(ids)
+        logits = self.forward(ids, training=True)
         ids = self._cache["ids"]  # type: ignore[assignment]
         out = self._cache["out_blocks"]  # type: ignore[assignment]
         batch = ids.shape[0]
@@ -290,40 +556,38 @@ class MADE:
     # ------------------------------------------------------------------
 
     def log_prob(self, ids: np.ndarray) -> np.ndarray:
-        """Log density of each row: sum of per-position conditionals."""
-        ids = np.asarray(ids, dtype=np.int64)
-        logits = self.forward(ids)
-        total = np.zeros(ids.shape[0])
+        """Log density of each row: sum of per-position conditionals.
+
+        Computed on the fused float32 trunk; the per-row sum accumulates
+        in float64.
+        """
+        ids = self._validated_ids(ids)
+        logits = self._forward_fused(ids)
+        total = np.zeros(ids.shape[0], dtype=np.float64)
+        rows = np.arange(ids.shape[0])
         for i in range(self.num_vars):
             lp = log_softmax(logits[i])
-            total += lp[np.arange(ids.shape[0]), ids[:, i]]
+            total += lp[rows, ids[:, i]]
         return total
+
+    def begin_sweep(self, ids: np.ndarray) -> MADESweep:
+        """Incremental sweep state over *ids* (copied; fused dtype).
+
+        The hot path of likelihood-weighted sampling: call
+        ``logits(position)`` / ``conditionals(position)`` in position
+        order and ``assign(position, values)`` after each draw — only
+        the changed embed-dim block re-enters the first matmul.
+        """
+        return MADESweep(self, self._validated_ids(ids))
 
     def logits_for(self, ids: np.ndarray, position: int) -> np.ndarray:
         """Logits of a single position without building every head.
 
-        Runs the trunk once and projects only *position*'s block — the hot
-        path of likelihood-weighted sampling, which sweeps positions one
-        at a time over a particle batch.
+        Runs the fused trunk once and projects only *position*'s block —
+        equivalent to ``forward(ids)[position]`` up to fused-dtype
+        rounding.
         """
-        ids = np.asarray(ids, dtype=np.int64)
-        h = self._embed(ids)
-        for li, layer in enumerate(self.hidden_layers):
-            pre = layer.forward(h)
-            post = np.maximum(pre, 0.0)
-            use_res = (
-                self.residual and li > 0 and post.shape[1] == h.shape[1]
-            )
-            h = post + h if use_res else post
-        # Project through only the output rows feeding this block.
-        lo = position * self.embed_dim
-        hi = lo + self.embed_dim
-        weight = (
-            self.out_proj.weight.value * self.out_proj.mask
-        )[:, lo:hi]
-        block = h @ weight + self.out_proj.bias.value[lo:hi]
-        table = self.tables[self.var_vocabs[position]].value
-        return block @ table.T + self.out_bias[position].value
+        return self.begin_sweep(ids).logits(position)
 
     def conditionals(
         self, ids: np.ndarray, position: int
@@ -331,7 +595,8 @@ class MADE:
         """Probabilities ``P(x_position | x_<position)`` for each row.
 
         Ids at positions >= *position* may hold any valid placeholder.
-        Returns a ``(batch, vocab)`` probability matrix.
+        Returns a ``(batch, vocab)`` probability matrix at the fused
+        inference dtype.
         """
         lp = log_softmax(self.logits_for(ids, position))
         return np.exp(lp)
@@ -392,4 +657,5 @@ class MADE:
         )
         for param in model.parameters():
             param.value[...] = arrays[param.name]
+            param.bump_version()
         return model

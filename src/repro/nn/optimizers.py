@@ -49,6 +49,7 @@ class SGD(Optimizer):
                 param.value += vel
             else:
                 param.value -= self.lr * grad
+            param.bump_version()
             param.zero_grad()
 
 
@@ -93,6 +94,9 @@ class Adam(Optimizer):
             m_hat = m / (1.0 - self.beta1 ** self._t)
             v_hat = v / (1.0 - self.beta2 ** self._t)
             param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # Invalidate the fused float32 inference caches derived from
+            # this master (see MaskedLinear.fused / MADE table shadows).
+            param.bump_version()
             param.zero_grad()
 
     def _clip_gradients(self) -> None:

@@ -37,7 +37,12 @@ def save_sequential(path: Union[str, Path], network: Sequential) -> None:
 
 
 def load_sequential(path: Union[str, Path], network: Sequential) -> None:
-    """Restore parameters into an architecture-compatible network."""
+    """Restore parameters into an architecture-compatible network.
+
+    Checkpoints hold the float64 master values bit-exactly; restoring
+    bumps each parameter's version so any fused inference caches derived
+    from the previous values are rebuilt.
+    """
     arrays = load_arrays(path)
     for param in network.parameters():
         stored = arrays.get(param.name)
@@ -49,6 +54,7 @@ def load_sequential(path: Union[str, Path], network: Sequential) -> None:
                 f"{stored.shape} vs {param.value.shape}"
             )
         param.value[...] = stored
+        param.bump_version()
 
 
 def save_made(path: Union[str, Path], model: MADE) -> None:

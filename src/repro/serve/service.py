@@ -175,4 +175,5 @@ class EstimatorService:
             "model_type": self.framework.model_type,
             "grouping": self.framework.grouping.name,
             "model_bytes": self.framework.memory_bytes(),
+            "checkpoint_bytes": self.framework.checkpoint_bytes(),
         }

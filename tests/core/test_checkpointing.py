@@ -183,6 +183,13 @@ class TestFrameworkCheckpoint:
         restored = LMKG.load(tmp_path / "unsup", lubm_store)
         assert restored.model_type == "unsupervised"
         assert isinstance(restored.models[("star", 2)], LMKGU)
+        # The round trip preserves the float64 training masters exactly
+        # (the fused float32 inference caches are derived, not stored).
+        original = framework.models[("star", 2)].model
+        loaded = restored.models[("star", 2)].model
+        for a, b in zip(original.parameters(), loaded.parameters()):
+            assert b.value.dtype == np.float64
+            assert np.array_equal(a.value, b.value), a.name
 
     def test_save_before_fit_rejected(self, lubm_store, tmp_path):
         from repro.core.framework import LMKG

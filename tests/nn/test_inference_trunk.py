@@ -1,0 +1,233 @@
+"""Numerics of the fused float32 inference trunk (dtype policy, fused
+caches, incremental sweep) against the float64 masters."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MADE, Adam
+from repro.nn.losses import log_softmax
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+def _make_model(seed=3, hidden=(48, 48)):
+    return MADE(
+        var_vocabs=[0, 1, 0, 1, 0],
+        vocab_sizes=[40, 12],
+        embed_dim=8,
+        hidden_sizes=hidden,
+        residual=True,
+        seed=seed,
+    )
+
+
+def _fit_a_little(model, rng, steps=6):
+    data = rng.integers(1, 10, size=(64 * steps, model.num_vars))
+    model.fit(data, epochs=1, batch_size=64, lr=1e-3)
+
+
+class TestDtypePolicy:
+    def test_masters_stay_float64_through_training(self, rng):
+        model = _make_model()
+        _fit_a_little(model, rng)
+        for param in model.parameters():
+            assert param.value.dtype == np.float64, param.name
+
+    def test_masks_are_bool(self):
+        model = _make_model()
+        for layer in model.hidden_layers + [model.out_proj]:
+            assert layer.mask.dtype == np.bool_
+
+    def test_inference_logits_are_float32(self, rng):
+        model = _make_model()
+        ids = rng.integers(1, 10, size=(6, 5))
+        for block in model.forward(ids):
+            assert block.dtype == np.float32
+        assert model.logits_for(ids, 2).dtype == np.float32
+
+    def test_training_forward_is_float64(self, rng):
+        model = _make_model()
+        ids = rng.integers(1, 10, size=(6, 5))
+        for block in model.forward(ids, training=True):
+            assert block.dtype == np.float64
+
+
+class TestFloat32Accuracy:
+    """float32 vs float64 inference: relative-error bounds."""
+
+    def test_log_prob_close_to_float64(self, rng):
+        model = _make_model()
+        _fit_a_little(model, rng)
+        ids = rng.integers(1, 10, size=(32, 5))
+        lp32 = model.log_prob(ids)
+        model.set_inference_dtype(np.float64)
+        lp64 = model.log_prob(ids)
+        model.set_inference_dtype(np.float32)
+        assert np.allclose(lp32, lp64, rtol=1e-4, atol=1e-4)
+
+    def test_conditionals_close_to_float64(self, rng):
+        model = _make_model()
+        _fit_a_little(model, rng)
+        ids = rng.integers(1, 10, size=(16, 5))
+        for position in range(5):
+            p32 = model.conditionals(ids, position)
+            model.set_inference_dtype(np.float64)
+            p64 = model.conditionals(ids, position)
+            model.set_inference_dtype(np.float32)
+            assert np.allclose(p32, p64, atol=1e-5)
+
+    def test_float64_knob_matches_training_trunk(self, rng):
+        """inference_dtype=float64 is the masters trunk, bit for bit."""
+        model = _make_model()
+        ids = rng.integers(1, 10, size=(8, 5))
+        reference = model.forward(ids, training=True)
+        model.set_inference_dtype(np.float64)
+        fused = model.forward(ids)
+        model.set_inference_dtype(np.float32)
+        for ref, got in zip(reference, fused):
+            assert np.array_equal(ref, got)
+
+
+class TestFusedCacheInvalidation:
+    def test_optimizer_step_invalidates_fused_caches(self, rng):
+        model = _make_model()
+        ids = rng.integers(1, 10, size=(16, 5))
+        before = model.log_prob(ids)  # builds every fused cache
+        optimizer = Adam(model.parameters(), lr=5e-2)
+        model.loss_and_backward(ids)
+        optimizer.step()
+        after = model.log_prob(ids)
+        assert not np.allclose(before, after), (
+            "fused caches served stale weights after an optimizer step"
+        )
+        # A fresh model restored from the stepped masters must agree
+        # bit for bit — the cache rebuild is exactly a fresh cast.
+        fresh = MADE.from_state(model.state())
+        assert np.array_equal(after, fresh.log_prob(ids))
+
+    def test_from_state_invalidates_caches(self, rng):
+        donor = _make_model(seed=3)
+        other = _make_model(seed=99)
+        ids = rng.integers(1, 10, size=(12, 5))
+        donor_lp = donor.log_prob(ids)
+        restored = MADE.from_state(donor.state())
+        restored.log_prob(ids)  # build caches from donor weights
+        # Overwrite the restored model's masters in place, as a
+        # checkpoint load into an existing model does.
+        for param, source in zip(
+            restored.parameters(), other.parameters()
+        ):
+            param.value[...] = source.value
+            param.bump_version()
+        assert np.array_equal(restored.log_prob(ids), other.log_prob(ids))
+        assert not np.array_equal(restored.log_prob(ids), donor_lp)
+
+
+class TestIncrementalSweep:
+    @pytest.mark.parametrize(
+        "residual", [False, True], ids=["made", "resmade"]
+    )
+    def test_sweep_matches_full_forward_every_position(self, residual, rng):
+        """Rank-embed_dim first-layer updates track the full forward."""
+        model = MADE(
+            var_vocabs=[0, 1, 0, 1, 0],
+            vocab_sizes=[40, 12],
+            embed_dim=8,
+            hidden_sizes=(48, 48),
+            residual=residual,
+            seed=5,
+        )
+        _fit_a_little(model, rng)
+        target = rng.integers(1, 10, size=(16, 5))
+        current = np.zeros_like(target)
+        sweep = model.begin_sweep(current)
+        for position in range(model.num_vars):
+            incremental = sweep.logits(position)
+            full = model.forward(current)[position]
+            assert np.allclose(incremental, full, rtol=1e-3, atol=1e-4), (
+                f"sweep diverged from the full forward at {position}"
+            )
+            probs = sweep.conditionals(position)
+            assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-5)
+            sweep.assign(position, target[:, position])
+            current[:, position] = target[:, position]
+
+    def test_logits_for_uses_assigned_prefix_only(self, rng):
+        """The sweep respects autoregressive masking: junk at future
+        positions cannot leak into an earlier position's logits."""
+        model = _make_model()
+        clean = np.zeros((6, 5), dtype=np.int64)
+        noisy = rng.integers(1, 10, size=(6, 5))
+        noisy[:, :2] = 0
+        assert np.allclose(
+            model.logits_for(clean, 2), model.logits_for(noisy, 2)
+        )
+
+
+class TestCheckpointMasters:
+    def test_state_roundtrip_preserves_float64_masters_exactly(
+        self, rng, tmp_path
+    ):
+        from repro.nn import load_made, save_made
+
+        model = _make_model()
+        _fit_a_little(model, rng)
+        path = tmp_path / "made.npz"
+        save_made(path, model)
+        restored = load_made(path)
+        for original, loaded in zip(
+            model.parameters(), restored.parameters()
+        ):
+            assert loaded.value.dtype == np.float64
+            assert np.array_equal(original.value, loaded.value), (
+                original.name
+            )
+        ids = rng.integers(1, 10, size=(10, 5))
+        assert np.array_equal(model.log_prob(ids), restored.log_prob(ids))
+
+
+class TestMemoryAccounting:
+    def test_footprint_counts_live_arrays(self, rng):
+        model = _make_model()
+        params = model.num_parameters()
+        layers = model.hidden_layers + [model.out_proj]
+        mask_bytes = sum(layer.mask.nbytes for layer in layers)
+        assert model.checkpoint_bytes() == params * 4
+        # Fresh model: float64 masters + their gradient accumulators +
+        # bool masks, no derived caches yet.
+        assert model.memory_bytes() == params * 16 + mask_bytes
+        ids = rng.integers(1, 10, size=(4, 5))
+        # First inference builds every fused float32 cache (casting via
+        # the float64 masked-weight buffers, which stay allocated for
+        # reuse by the training forward/backward), plus the contiguous
+        # transposed copy of each tied-projection table.
+        model.log_prob(ids)
+        masked_bytes = sum(
+            layer.weight.value.nbytes for layer in layers
+        )
+        table_t_bytes = 4 * sum(t.size for t in model.tables)
+        expected = (
+            params * 20 + mask_bytes + masked_bytes + table_t_bytes
+        )
+        assert model.memory_bytes() == expected
+        model.forward(ids, training=True)  # reuses the same buffers
+        assert model.memory_bytes() == expected
+
+
+class TestEmbedGather:
+    def test_block_gather_matches_per_position(self, rng):
+        """The grouped np.take embed equals the naive per-position one."""
+        model = _make_model()
+        ids = rng.integers(1, 10, size=(9, 5))
+        blocks = [
+            model.tables[model.var_vocabs[i]].value[ids[:, i]]
+            for i in range(model.num_vars)
+        ]
+        reference = np.concatenate(blocks, axis=1)
+        assert np.array_equal(model._embed(ids), reference)
+        fused = model._embed_fused(ids)
+        assert fused.dtype == np.float32
+        assert np.allclose(fused, reference.astype(np.float32))
