@@ -329,6 +329,7 @@ def test_store_throughput(report, tmp_path):
     # clients issuing the same single-query requests get micro-batched.
     # Both sides pay identical HTTP/parse costs, so the speedup
     # isolates what the serving subsystem adds.
+    import http.client
     import json as _json
     import threading
     import urllib.request
@@ -342,22 +343,39 @@ def test_store_throughput(report, tmp_path):
     ]
     service = EstimatorService(store, framework)
     serving_url = None
+    serving_addr = None
 
     def _request(text):
+        # urllib opens (and tears down) a TCP connection per request —
+        # the reconnecting-client baseline.
         body = _json.dumps({"queries": [text]}).encode("utf-8")
         with urllib.request.urlopen(
             urllib.request.Request(serving_url, data=body), timeout=120
         ) as response:
             return _json.load(response)["estimates"][0]
 
-    def _serving_phase(texts, clients, max_delay_ms):
+    def _request_keepalive(conn, text):
+        # One persistent HTTP/1.1 connection per client thread: no TCP
+        # handshake or slow-start per request (urllib never reuses
+        # connections, which is why this uses http.client directly).
+        body = _json.dumps({"queries": [text]}).encode("utf-8")
+        conn.request(
+            "POST",
+            "/estimate",
+            body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with conn.getresponse() as response:
+            return _json.load(response)["estimates"][0]
+
+    def _serving_phase(texts, clients, max_delay_ms, keep_alive=False):
         """(qps, scheduler stats) for one fresh server + scheduler.
 
         A fresh scheduler per phase keeps the recorded batch widths and
         latency percentiles specific to that phase instead of blending
         the sequential and concurrent workloads.
         """
-        nonlocal serving_url
+        nonlocal serving_url, serving_addr
         scheduler = BatchScheduler(
             framework.estimate_batch,
             max_batch=128,
@@ -370,16 +388,28 @@ def test_store_throughput(report, tmp_path):
         thread.start()
         host, port = server.server_address[:2]
         serving_url = f"http://{host}:{port}/estimate"
+        serving_addr = (host, port)
         _request(texts[0])  # warm up; excluded from phase stats below
         warm = scheduler.stats()["queries"]
-        if clients == 1:
+        if clients == 1 and not keep_alive:
             _, elapsed = _timed(lambda: [_request(t) for t in texts])
         else:
             shards = [texts[i::clients] for i in range(clients)]
 
-            def _client(shard):
-                for text in shard:
-                    _request(text)
+            if keep_alive:
+                def _client(shard):
+                    conn = http.client.HTTPConnection(
+                        host, port, timeout=120
+                    )
+                    try:
+                        for text in shard:
+                            _request_keepalive(conn, text)
+                    finally:
+                        conn.close()
+            else:
+                def _client(shard):
+                    for text in shard:
+                        _request(text)
 
             with ThreadPoolExecutor(max_workers=clients) as pool:
                 _, elapsed = _timed(
@@ -402,6 +432,13 @@ def test_store_throughput(report, tmp_path):
     batched_qps, serving_stats = _serving_phase(
         serving_texts, clients=clients, max_delay_ms=2.0
     )
+    keepalive_qps, _ = _serving_phase(
+        serving_texts,
+        clients=clients,
+        max_delay_ms=2.0,
+        keep_alive=True,
+    )
+    keepalive_speedup = keepalive_qps / batched_qps
     serving_speedup = batched_qps / sequential_qps
     latency = serving_stats.get("latency_ms", {})
     mean_batch = serving_stats["mean_batch"]
@@ -478,6 +515,9 @@ def test_store_throughput(report, tmp_path):
             "sequential_nodelay_qps": round(nodelay_qps, 1),
             "micro_batched_qps": round(batched_qps, 1),
             "micro_batch_speedup": round(serving_speedup, 2),
+            "reconnect_qps": round(batched_qps, 1),
+            "keepalive_qps": round(keepalive_qps, 1),
+            "keepalive_speedup": round(keepalive_speedup, 2),
             "mean_batch": mean_batch,
             "max_batch_seen": serving_stats["max_batch_seen"],
             "latency_p50_ms": latency.get("p50"),
@@ -581,6 +621,14 @@ def test_store_throughput(report, tmp_path):
                 [
                     "micro-batch speedup",
                     results["serving"]["micro_batch_speedup"],
+                ],
+                [
+                    f"serving q/s (keep-alive, {clients} clients)",
+                    results["serving"]["keepalive_qps"],
+                ],
+                [
+                    "keep-alive vs reconnect speedup",
+                    results["serving"]["keepalive_speedup"],
                 ],
                 [
                     "serving latency p50/p99 ms",

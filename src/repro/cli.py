@@ -20,9 +20,18 @@ Subcommands:
   ``GET /healthz``, ``GET /stats``); attaches to a store snapshot
   (``--snapshot DIR``), answers through an ``LMKG.save`` checkpoint
   (``--checkpoint DIR``) or deterministic startup-fit defaults, and
-  optionally shards estimation across worker processes that share the
-  snapshot read-only (``--workers N``), exactly as ``label`` workers
-  do.  Micro-batching knobs: ``--max-batch``, ``--max-delay-ms``,
+  optionally shards estimation across *supervised* worker processes
+  that share the snapshot read-only (``--workers N``): dead or hung
+  workers (``--request-timeout``) are restarted with exponential
+  backoff under ``--restart-budget`` and their in-flight requests
+  retried on siblings.  Model-path failures degrade onto the
+  independence baseline behind a circuit breaker
+  (``--breaker-threshold`` / ``--breaker-reset-s``; ``--no-fallback``
+  disables), uncovered query shapes are 422'd at parse time
+  (``--no-admission`` disables), and ``POST /admin/reload`` or SIGHUP
+  hot-swaps the checkpoint with zero downtime.  ``--faults`` injects
+  deterministic chaos (see :mod:`repro.serve.faults`).
+  Micro-batching knobs: ``--max-batch``, ``--max-delay-ms``,
   ``--max-queue``.
 
 Examples::
@@ -367,21 +376,41 @@ def cmd_snapshot_load(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import os
+    import signal
     import tempfile
+    import threading
     from pathlib import Path
 
+    from repro.baselines.independence import IndependenceEstimator
     from repro.serve import (
         BatchScheduler,
+        CircuitBreaker,
         EstimatorService,
+        FaultSpec,
+        FaultSpecError,
         FitDefaults,
+        ResilientBackend,
         ServiceError,
-        ServingPool,
-        ServingWorkerError,
+        ServingRuntime,
+        ShapeManifest,
+        SupervisedPool,
+        SupervisorError,
         make_server,
+        save_checkpoint,
     )
 
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    fault_spec = None
+    if args.faults:
+        text = args.faults
+        if os.path.isfile(text):
+            text = Path(text).read_text()
+        try:
+            fault_spec = FaultSpec.from_json(text)
+        except FaultSpecError as exc:
+            raise SystemExit(f"--faults: {exc}")
     fit_defaults = FitDefaults(
         queries_per_shape=args.fit_queries, epochs=args.fit_epochs
     )
@@ -393,7 +422,7 @@ def cmd_serve(args) -> int:
         raise SystemExit(str(exc))
     checkpoint_dir = args.checkpoint
     if args.save_checkpoint:
-        service.framework.save(args.save_checkpoint)
+        save_checkpoint(service.framework, args.save_checkpoint)
         checkpoint_dir = args.save_checkpoint
         print(f"checkpoint written to {args.save_checkpoint}")
     pool = None
@@ -407,21 +436,65 @@ def cmd_serve(args) -> int:
                     prefix="repro-serve-"
                 )
                 checkpoint_dir = Path(tempdir.name) / "checkpoint"
-                service.framework.save(checkpoint_dir)
+                save_checkpoint(service.framework, checkpoint_dir)
             try:
-                pool = ServingPool(
-                    args.snapshot, checkpoint_dir, args.workers
+                pool = SupervisedPool(
+                    args.snapshot,
+                    checkpoint_dir,
+                    args.workers,
+                    request_timeout=args.request_timeout,
+                    restart_budget=args.restart_budget,
+                    fault_spec=fault_spec,
                 )
-            except ServingWorkerError as exc:
+            except SupervisorError as exc:
                 raise SystemExit(str(exc))
-            backend = pool.estimate_batch
+            primary = pool.estimate_batch
+            backend_faults = None  # the workers inject their own
         else:
-            backend = service.framework.estimate_batch
+            primary = service.framework.estimate_batch
+            backend_faults = fault_spec
+        fallback = None
+        if not args.no_fallback:
+            fallback = IndependenceEstimator(service.store).estimate_batch
+        backend = ResilientBackend(
+            primary,
+            fallback=fallback,
+            breaker=CircuitBreaker(
+                failure_threshold=args.breaker_threshold,
+                reset_timeout_s=args.breaker_reset_s,
+            ),
+            faults=backend_faults,
+        )
         scheduler = BatchScheduler(
             backend,
             max_batch=args.max_batch,
             max_delay_ms=args.max_delay_ms,
             max_queue=args.max_queue,
+        )
+        if service.artifact is None and checkpoint_dir is not None:
+            # Startup-fit service whose framework we just checkpointed:
+            # adopt the freshly written artifact so /healthz reports its
+            # schema version from the start.
+            from repro.serve import load_artifact
+
+            service.artifact = load_artifact(checkpoint_dir)
+        admission = None
+        if not args.no_admission:
+            admission = (
+                service.artifact.shapes
+                if service.artifact is not None
+                and service.artifact.shapes is not None
+                else ShapeManifest.from_framework(service.framework)
+            )
+        runtime = ServingRuntime(
+            service,
+            scheduler,
+            backend,
+            pool=pool,
+            admission=admission,
+            artifact=service.artifact,
+            checkpoint_dir=checkpoint_dir,
+            admission_enabled=not args.no_admission,
         )
         server = make_server(
             service,
@@ -429,13 +502,41 @@ def cmd_serve(args) -> int:
             host=args.host,
             port=args.port,
             quiet=not args.verbose,
+            runtime=runtime,
         )
+        if hasattr(signal, "SIGHUP"):
+            def _reload_async() -> None:
+                try:
+                    summary = runtime.reload()
+                    print(
+                        "SIGHUP reload: now serving generation "
+                        f"{summary['generation']} from "
+                        f"{summary['checkpoint']}",
+                        flush=True,
+                    )
+                except Exception as exc:  # noqa: BLE001 — keep serving
+                    print(
+                        f"SIGHUP reload failed ({exc}); the previous "
+                        "checkpoint keeps serving",
+                        flush=True,
+                    )
+
+            signal.signal(
+                signal.SIGHUP,
+                lambda signum, frame: threading.Thread(
+                    target=_reload_async,
+                    name="repro-sighup-reload",
+                    daemon=True,
+                ).start(),
+            )
         host, port = server.server_address[:2]
         print(
             f"serving {len(service.store)} triples at "
             f"http://{host}:{port} ({args.workers} worker(s), "
             f"max_batch={args.max_batch}, "
-            f"max_delay={args.max_delay_ms} ms)",
+            f"max_delay={args.max_delay_ms} ms, "
+            f"fallback={'off' if args.no_fallback else 'independence'}, "
+            f"admission={'off' if args.no_admission else 'on'})",
             flush=True,
         )
         try:
@@ -674,6 +775,60 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=DEFAULT_FIT_EPOCHS,
         help="startup-fit training epochs (no --checkpoint)",
+    )
+    p_serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "seconds a worker may spend on one chunk before it is "
+            "declared hung and restarted (multi-worker mode)"
+        ),
+    )
+    p_serve.add_argument(
+        "--restart-budget",
+        type=int,
+        default=16,
+        help="total worker restarts allowed over the server's lifetime",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help=(
+            "consecutive model-path failures before the circuit "
+            "breaker opens and traffic degrades to the fallback"
+        ),
+    )
+    p_serve.add_argument(
+        "--breaker-reset-s",
+        type=float,
+        default=5.0,
+        help="seconds the breaker stays open before a half-open probe",
+    )
+    p_serve.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help=(
+            "disable graceful degradation onto the independence "
+            "baseline (model-path failures then surface as errors)"
+        ),
+    )
+    p_serve.add_argument(
+        "--no-admission",
+        action="store_true",
+        help=(
+            "disable parse-time admission control by trained shape "
+            "(uncovered shapes then 422 after reaching the backend)"
+        ),
+    )
+    p_serve.add_argument(
+        "--faults",
+        help=(
+            "chaos testing: a FaultSpec as inline JSON or a path to a "
+            'JSON file, e.g. \'{"kill_every": 50}\' (worker kills need '
+            "--workers > 1; in-process mode use fail_every/delay_ms)"
+        ),
     )
     p_serve.add_argument(
         "--verbose",

@@ -4,7 +4,7 @@ The execution-phase story of the paper at production shape: a query
 optimizer (here: any HTTP client) asks for cardinalities at high
 frequency, and the server answers through the same
 :class:`~repro.core.estimator.Estimator` protocol every library caller
-uses — ``estimate_batch(queries) -> np.ndarray`` — with three layers on
+uses — ``estimate_batch(queries) -> np.ndarray`` — with the layers on
 top:
 
 - :class:`EstimatorService` (:mod:`repro.serve.service`) — loads a
@@ -16,12 +16,44 @@ top:
   policy, with queue-full load shedding;
 - the HTTP endpoint (:mod:`repro.serve.http`) — a stdlib
   ``ThreadingHTTPServer`` exposing ``POST /estimate``,
-  ``GET /healthz``, and ``GET /stats``;
-- optionally :class:`ServingPool` (:mod:`repro.serve.pool`) — N worker
-  processes attached to the one shared snapshot, the same machinery the
-  parallel-labeling pool uses.
+  ``POST /admin/reload``, ``GET /healthz``, and ``GET /stats``;
+- the fault-tolerance layer (:mod:`repro.serve.supervisor`) —
+  :class:`SupervisedPool` (supervised workers with per-request
+  timeouts, backoff restarts, and sibling retry),
+  :class:`CircuitBreaker` + :class:`ResilientBackend` (graceful
+  degradation onto the independence baseline), and
+  :class:`ServingRuntime` (zero-downtime checkpoint hot-reload);
+- checkpoint integrity (:mod:`repro.serve.artifacts`) — schema-versioned
+  artifacts with a compatibility gate and per-file checksums;
+- admission control (:mod:`repro.serve.admission`) — the trained-shape
+  manifest that 422s uncovered query shapes at parse time;
+- chaos tooling (:mod:`repro.serve.faults`) — deterministic fault
+  injection (kills, hangs, delays, poison queries, checkpoint
+  corruption) for the chaos test suite;
+- optionally the unsupervised :class:`ServingPool`
+  (:mod:`repro.serve.pool`) — the minimal N-worker pool the supervised
+  one grew out of.
 """
 
+from repro.serve.admission import AdmissionError, ShapeManifest
+from repro.serve.artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    ArtifactError,
+    CheckpointArtifact,
+    load_artifact,
+    load_checkpoint,
+    save_checkpoint,
+    write_artifact,
+)
+from repro.serve.faults import (
+    CORRUPTION_MODES,
+    FaultInjector,
+    FaultSpec,
+    FaultSpecError,
+    InjectedFault,
+    corrupt_checkpoint,
+)
 from repro.serve.http import (
     EstimatorHTTPServer,
     make_server,
@@ -43,9 +75,24 @@ from repro.serve.service import (
     ServiceError,
     default_framework,
 )
+from repro.serve.supervisor import (
+    CircuitBreaker,
+    NoWorkersError,
+    ReloadError,
+    ResilientBackend,
+    ServingRuntime,
+    SupervisedPool,
+    SupervisorError,
+)
 
 __all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "AdmissionError",
+    "ArtifactError",
     "BatchScheduler",
+    "CORRUPTION_MODES",
+    "CheckpointArtifact",
+    "CircuitBreaker",
     "DEFAULT_FIT_EPOCHS",
     "DEFAULT_FIT_HIDDEN",
     "DEFAULT_FIT_QUERIES",
@@ -53,12 +100,29 @@ __all__ = [
     "DEFAULT_FIT_SHAPES",
     "EstimatorHTTPServer",
     "EstimatorService",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultSpecError",
     "FitDefaults",
+    "InjectedFault",
+    "NoWorkersError",
     "QueueFullError",
+    "ReloadError",
+    "ResilientBackend",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "SchedulerClosedError",
     "ServiceError",
     "ServingPool",
+    "ServingRuntime",
     "ServingWorkerError",
+    "ShapeManifest",
+    "SupervisedPool",
+    "SupervisorError",
+    "corrupt_checkpoint",
     "default_framework",
+    "load_artifact",
+    "load_checkpoint",
     "make_server",
+    "save_checkpoint",
+    "write_artifact",
 ]

@@ -6,11 +6,24 @@ handler parses its request and blocks on the shared
 concurrent requests into batched ``estimate_batch`` calls.  Routes:
 
 - ``POST /estimate`` — body ``{"queries": ["SELECT ... WHERE {...}"]}``;
-  answers ``{"estimates": [...], "count": N}``.  Malformed JSON, a
-  missing/empty/ill-typed ``queries`` field, or unparseable SPARQL is a
-  400 with ``{"error": ...}``; an unestimable query (no trained model
-  covers its shape) is a 422; a full scheduler queue is a 429.
-- ``GET /healthz`` — liveness plus the served graph/model summary.
+  answers ``{"estimates": [...], "count": N, "generation": G,
+  "degraded": bool}``.  Malformed JSON, a missing/empty/ill-typed
+  ``queries`` field, or unparseable SPARQL is a 400 with
+  ``{"error": ...}``; an unestimable query is a 422 — at parse time with
+  ``reason: "uncovered_shape"`` when admission control knows the shape
+  is untrained, else post-execution with ``reason:
+  "estimation_failed"``; a full scheduler queue is a 429 carrying a
+  ``Retry-After`` header and ``reason: "queue_full"``.
+- ``POST /admin/reload`` — body ``{}`` or ``{"checkpoint": "<dir>"}``;
+  hot-swaps the serving checkpoint with zero downtime (see
+  :class:`~repro.serve.supervisor.ServingRuntime.reload`).  A checkpoint
+  that fails the artifact gate is a 409 with the typed ``reason``
+  (``corrupt`` / ``checksum`` / ``incompatible`` / ...) and the old
+  checkpoint keeps serving; servers started without a runtime answer
+  501.
+- ``GET /healthz`` — liveness, the served graph/model summary, and (with
+  a runtime) the fault-tolerance surface: checkpoint generation + schema
+  version, per-worker liveness/restart counts, circuit-breaker state.
 - ``GET /stats`` — scheduler counters and latency percentiles.
 
 Everything else is a 404.  The server never dies on a bad request: all
@@ -24,17 +37,24 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
-from repro.core.framework import EstimationError
+from repro.core.framework import CheckpointError, EstimationError
 from repro.rdf.parser import ParseError
+from repro.serve.admission import AdmissionError
+from repro.serve.artifacts import ArtifactError
 from repro.serve.scheduler import (
     BatchScheduler,
     QueueFullError,
     SchedulerClosedError,
 )
-from repro.serve.service import EstimatorService
+from repro.serve.service import EstimatorService, ServiceError
+from repro.serve.supervisor import ReloadError, ServingRuntime
 
 #: request bodies beyond this are rejected (413) before being read.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: sentinel returned by ``_Handler._read_body`` after an error response
+#: (distinguishes "already answered" from a legitimately empty body).
+_BAD_BODY = object()
 
 
 class EstimatorHTTPServer(ThreadingHTTPServer):
@@ -52,17 +72,23 @@ class EstimatorHTTPServer(ThreadingHTTPServer):
         service: EstimatorService,
         scheduler: BatchScheduler,
         quiet: bool = True,
+        runtime: Optional[ServingRuntime] = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.scheduler = scheduler
         self.quiet = quiet
+        self.runtime = runtime
         self.started_at = time.monotonic()
 
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
+    # Headers and body flush as separate writes; without TCP_NODELAY the
+    # body segment stalls behind the peer's delayed ACK (~40ms) on every
+    # keep-alive request, capping a persistent connection at ~25 q/s.
+    disable_nagle_algorithm = True
     server: EstimatorHTTPServer
 
     # ------------------------------------------------------------------
@@ -78,6 +104,8 @@ class _Handler(BaseHTTPRequestHandler):
                 ),
             }
             payload.update(self.server.service.describe())
+            if self.server.runtime is not None:
+                payload.update(self.server.runtime.healthz_extras())
             self._send_json(200, payload)
         elif self.path == "/stats":
             self._send_json(200, self.server.scheduler.stats())
@@ -85,6 +113,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"no route {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802
+        if self.path == "/admin/reload":
+            self._handle_reload()
+            return
         if self.path != "/estimate":
             # The body stays unread, so the keep-alive stream is no
             # longer framed; drop the connection after answering.
@@ -100,13 +131,38 @@ class _Handler(BaseHTTPRequestHandler):
         except ParseError as exc:
             self._send_json(400, {"error": f"bad query: {exc}"})
             return
+        runtime = self.server.runtime
+        if runtime is not None and runtime.admission is not None:
+            try:
+                runtime.admission.admit_all(queries)
+            except AdmissionError as exc:
+                # Rejected at parse time: the doomed query never costs
+                # a queue slot or a worker round trip.
+                self._send_json(
+                    422,
+                    {
+                        "error": str(exc),
+                        "reason": exc.reason,
+                        "query_index": exc.query_index,
+                    },
+                )
+                return
         try:
-            values = self.server.scheduler.submit(queries)
+            values, meta = self.server.scheduler.submit_with_meta(
+                queries
+            )
         except QueueFullError as exc:
-            self._send_json(429, {"error": str(exc)})
+            self._send_json(
+                429,
+                {"error": str(exc), "reason": "queue_full"},
+                headers={"Retry-After": "1"},
+            )
             return
         except EstimationError as exc:
-            self._send_json(422, {"error": str(exc)})
+            self._send_json(
+                422,
+                {"error": str(exc), "reason": "estimation_failed"},
+            )
             return
         except SchedulerClosedError as exc:
             self._send_json(503, {"error": str(exc)})
@@ -120,34 +176,113 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send_json(
             200,
-            {"estimates": values.tolist(), "count": int(values.size)},
+            {
+                "estimates": values.tolist(),
+                "count": int(values.size),
+                "generation": meta.get("generation"),
+                "degraded": bool(meta.get("degraded", False)),
+            },
         )
+
+    def _handle_reload(self) -> None:
+        """``POST /admin/reload`` — zero-downtime checkpoint swap."""
+        runtime = self.server.runtime
+        body = self._read_body(allow_empty=True)
+        if body is _BAD_BODY:
+            return  # error response already sent
+        if runtime is None:
+            self._send_json(
+                501,
+                {
+                    "error": "this server was started without a "
+                    "ServingRuntime; hot-reload is unavailable"
+                },
+            )
+            return
+        checkpoint = None
+        if body:
+            try:
+                payload = json.loads(body)
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                self._send_json(
+                    400, {"error": f"invalid JSON: {exc}"}
+                )
+                return
+            if not isinstance(payload, dict):
+                self._send_json(
+                    400,
+                    {"error": 'body must be {} or {"checkpoint": dir}'},
+                )
+                return
+            checkpoint = payload.get("checkpoint")
+            if checkpoint is not None and not isinstance(
+                checkpoint, str
+            ):
+                self._send_json(
+                    400, {"error": '"checkpoint" must be a string'}
+                )
+                return
+        try:
+            summary = runtime.reload(checkpoint)
+        except ArtifactError as exc:
+            # Typed gate rejection; the old checkpoint keeps serving.
+            self._send_json(
+                409, {"error": str(exc), "reason": exc.reason}
+            )
+            return
+        except (CheckpointError, ServiceError) as exc:
+            self._send_json(
+                409, {"error": str(exc), "reason": "checkpoint_error"}
+            )
+            return
+        except ReloadError as exc:
+            self._send_json(
+                409, {"error": str(exc), "reason": "no_checkpoint"}
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 — a handler must answer
+            self._send_json(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+            return
+        summary = dict(summary)
+        summary["status"] = "reloaded"
+        self._send_json(200, summary)
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
 
-    def _read_queries(self) -> Optional[list]:
-        """Parse and validate the request body; None after an error
+    def _read_body(self, allow_empty: bool = False):
+        """Read the request body, or :data:`_BAD_BODY` after an error
         response."""
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
             length = -1
+        if allow_empty and length == 0:
+            return b""
         if length <= 0 or length > MAX_BODY_BYTES:
             # The body was never read, so the keep-alive stream is no
             # longer framed; drop the connection after answering.
             self.close_connection = True
         if length <= 0:
             self._send_json(400, {"error": "empty request body"})
-            return None
+            return _BAD_BODY
         if length > MAX_BODY_BYTES:
             self._send_json(
                 413,
                 {"error": f"body exceeds {MAX_BODY_BYTES} bytes"},
             )
+            return _BAD_BODY
+        return self.rfile.read(length)
+
+    def _read_queries(self) -> Optional[list]:
+        """Parse and validate the request body; None after an error
+        response."""
+        body = self._read_body()
+        if body is _BAD_BODY:
             return None
-        body = self.rfile.read(length)
         try:
             payload = json.loads(body)
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -174,11 +309,18 @@ class _Handler(BaseHTTPRequestHandler):
             return None
         return texts
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        headers: Optional[dict] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -193,11 +335,16 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 8310,
     quiet: bool = True,
+    runtime: Optional[ServingRuntime] = None,
 ) -> EstimatorHTTPServer:
     """Bind (but do not run) the estimation endpoint.
 
     ``port=0`` binds an ephemeral port (tests); the bound address is
     ``server.server_address``.  Call ``serve_forever()`` to run and
-    ``shutdown()`` from another thread to stop.
+    ``shutdown()`` from another thread to stop.  With a *runtime*,
+    ``POST /admin/reload`` and the fault-tolerance ``/healthz`` surface
+    are enabled.
     """
-    return EstimatorHTTPServer((host, port), service, scheduler, quiet)
+    return EstimatorHTTPServer(
+        (host, port), service, scheduler, quiet, runtime=runtime
+    )

@@ -60,6 +60,10 @@ class _Request:
     queries: List
     future: Future
     enqueued: float
+    #: backend metadata for the batch that answered this request
+    #: (checkpoint generation, degraded flag); filled by the worker
+    #: thread before the future resolves, read by submit_with_meta().
+    meta: Optional[Dict[str, object]] = None
 
     @property
     def size(self) -> int:
@@ -73,8 +77,9 @@ class _Counters:
     requests: int = 0
     queries: int = 0
     batches: int = 0
-    rejected: int = 0
+    rejected: int = 0  # load-shed submits (QueueFullError / HTTP 429)
     errors: int = 0
+    retries: int = 0  # requests re-run alone after a coalesced failure
     max_batch_seen: int = 0
     coalesced_requests: int = 0  # requests that shared a batch
     latencies: Deque[float] = field(
@@ -133,11 +138,14 @@ class BatchScheduler:
 
     def submit_async(self, queries: Sequence) -> Future:
         """Enqueue one request; the Future resolves to its estimates."""
+        return self._enqueue(queries).future
+
+    def _enqueue(self, queries: Sequence) -> _Request:
         queries = list(queries)
         future: Future = Future()
         if not queries:
             future.set_result(np.zeros(0, dtype=np.float64))
-            return future
+            return _Request(queries, future, time.monotonic(), meta={})
         with self._cv:
             if self._closed:
                 raise SchedulerClosedError("scheduler is closed")
@@ -154,20 +162,29 @@ class BatchScheduler:
                     f"pending, request adds {len(queries)}, "
                     f"capacity {self.max_queue}"
                 )
-            self._pending.append(
-                _Request(queries, future, time.monotonic())
-            )
+            request = _Request(queries, future, time.monotonic())
+            self._pending.append(request)
             self._pending_queries += len(queries)
             self._counters.requests += 1
             self._counters.queries += len(queries)
             self._cv.notify_all()
-        return future
+        return request
 
     def submit(
         self, queries: Sequence, timeout: Optional[float] = None
     ) -> np.ndarray:
         """Blocking form of :meth:`submit_async`."""
         return self.submit_async(queries).result(timeout)
+
+    def submit_with_meta(
+        self, queries: Sequence, timeout: Optional[float] = None
+    ):
+        """Like :meth:`submit`, also returning the backend's batch
+        metadata (``generation``, ``degraded``, ...) — empty dict when
+        the backend reports none."""
+        request = self._enqueue(queries)
+        values = request.future.result(timeout)
+        return values, dict(request.meta or {})
 
     def close(self, timeout: Optional[float] = 10.0) -> None:
         """Stop accepting requests, drain the queue, join the worker."""
@@ -192,7 +209,9 @@ class BatchScheduler:
                 "queries": c.queries,
                 "batches": c.batches,
                 "rejected": c.rejected,
+                "shed": c.rejected,  # alias: load-shed 429s
                 "errors": c.errors,
+                "retries": c.retries,
                 "queue_depth": self._pending_queries,
                 "max_batch_seen": c.max_batch_seen,
                 "coalesced_requests": c.coalesced_requests,
@@ -267,9 +286,7 @@ class BatchScheduler:
             return
         queries = [q for r in live for q in r.queries]
         try:
-            values = finalize_estimates(
-                self._fn(queries), len(queries), "serve-backend"
-            )
+            values, meta = self._call_backend(queries)
         except BaseException as exc:  # noqa: BLE001 — shipped to callers
             if len(live) > 1:
                 # One poisoned request must not fail its co-batched
@@ -296,22 +313,36 @@ class BatchScheduler:
                     finished - request.enqueued
                 )
         for request in live:
+            request.meta = meta
             request.future.set_result(
                 values[offset:offset + request.size].copy()
             )
             offset += request.size
 
+    def _call_backend(self, queries: List):
+        """Run the backend once; normalises its return to
+        ``(values, meta)`` whether or not it reports metadata (a plain
+        framework/pool returns just the array, a
+        :class:`~repro.serve.supervisor.ResilientBackend` returns the
+        ``(values, meta)`` pair)."""
+        raw = self._fn(queries)
+        meta: Dict[str, object] = {}
+        if isinstance(raw, tuple):
+            raw, meta = raw
+        return (
+            finalize_estimates(raw, len(queries), "serve-backend"),
+            meta,
+        )
+
     def _execute_individually(self, live: List[_Request]) -> None:
         """Isolation fallback after a failed coalesced batch: each
         request runs alone, so an exception reaches only the request
         that caused it."""
+        with self._cv:
+            self._counters.retries += len(live)
         for request in live:
             try:
-                values = finalize_estimates(
-                    self._fn(request.queries),
-                    request.size,
-                    "serve-backend",
-                )
+                values, meta = self._call_backend(request.queries)
             except BaseException as exc:  # noqa: BLE001
                 with self._cv:
                     self._counters.errors += 1
@@ -323,4 +354,5 @@ class BatchScheduler:
                 self._counters.latencies.append(
                     finished - request.enqueued
                 )
+            request.meta = meta
             request.future.set_result(values)

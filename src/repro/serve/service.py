@@ -97,6 +97,10 @@ class EstimatorService:
             )
         self.store = store
         self.framework = framework
+        #: the gate-checked checkpoint artifact this framework was
+        #: loaded from (None for startup-fitted frameworks); see
+        #: :mod:`repro.serve.artifacts`.
+        self.artifact = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -128,16 +132,26 @@ class EstimatorService:
                 "cannot be parsed (save the snapshot from a "
                 "dictionary-encoded store)"
             )
+        artifact = None
         if checkpoint_dir is not None:
+            from repro.serve.artifacts import (
+                ArtifactError,
+                load_checkpoint,
+            )
+
             try:
-                framework = LMKG.load(checkpoint_dir, store)
-            except CheckpointError as exc:
+                framework, artifact = load_checkpoint(
+                    checkpoint_dir, store
+                )
+            except (ArtifactError, CheckpointError) as exc:
                 raise ServiceError(
                     f"checkpoint load failed: {exc}"
                 ) from exc
         else:
             framework = default_framework(store, fit_defaults)
-        return cls(store, framework)
+        service = cls(store, framework)
+        service.artifact = artifact
+        return service
 
     # ------------------------------------------------------------------
     # Request surface

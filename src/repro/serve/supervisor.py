@@ -1,0 +1,1032 @@
+"""Worker supervision, graceful degradation, and zero-downtime reload.
+
+Three fault-tolerance layers for ``repro serve``, composable and each
+testable alone:
+
+- :class:`SupervisedPool` — the multi-worker estimation pool rebuilt for
+  failure: explicit worker processes over duplex pipes (not
+  ``multiprocessing.Pool``, which strands in-flight tasks when a worker
+  dies), a **per-request timeout** that catches hung workers, dead/hung
+  workers **killed and restarted with exponential backoff under a
+  restart budget**, and the stranded chunk **retried on sibling
+  workers** — so a worker crash under load yields zero failed client
+  requests.  A checkpoint swap is **blue-green**: a complete new worker
+  set is spawned against the new checkpoint while the old set keeps
+  serving, then the active set pointer flips between batches.
+- :class:`CircuitBreaker` + :class:`ResilientBackend` — graceful
+  degradation: after ``failure_threshold`` consecutive model-path
+  failures the breaker opens and traffic routes to a cheap
+  always-available fallback (the independence baseline), tagged
+  ``degraded: true``; the primary is re-probed on a half-open schedule
+  and the breaker closes again on the first success.  Infrastructure
+  failures (the whole pool down) fall back immediately — a dead model
+  path must read as degraded 200s, not 500s.
+- :class:`ServingRuntime` — the orchestrator the HTTP admin surface
+  drives: ``reload()`` gate-checks the new checkpoint artifact
+  (:mod:`repro.serve.artifacts`), loads it, and atomically swaps it in
+  while in-flight batches drain against the old framework (new arrivals
+  queue behind the scheduler as usual).  The swapped-in framework
+  carries fresh parameter version counters, so the PR 5 fused float32
+  inference caches rebuild on first use — there is no way to serve a
+  stale cache across a reload.  Every response carries the checkpoint
+  generation that computed it, and ``/healthz`` reports generation,
+  schema version, per-worker liveness/restarts, and breaker state.
+
+Chaos-testability is a design input: :class:`FaultInjector` hooks sit
+in the worker request loop and the in-process backend, so the test
+suite can kill/hang/poison deterministically and assert the guarantees
+above instead of trusting them.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+import traceback
+from collections import deque
+from multiprocessing.connection import wait as _conn_wait
+from pathlib import Path
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.framework import EstimationError
+from repro.rdf.parallel import resolve_context
+from repro.rdf.pattern import QueryPattern
+from repro.serve.admission import ShapeManifest
+from repro.serve.artifacts import CheckpointArtifact, load_checkpoint
+from repro.serve.faults import FaultInjector, FaultSpec
+from repro.serve.pool import ServingWorkerError
+
+
+class SupervisorError(RuntimeError):
+    """The supervised pool cannot serve (startup/restart failure)."""
+
+
+class NoWorkersError(SupervisorError):
+    """Every worker is dead and the restart budget is exhausted."""
+
+
+class ReloadError(RuntimeError):
+    """A hot-reload request cannot even be attempted (no checkpoint)."""
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+def _worker_main(
+    worker_id: int,
+    snapshot_dir: str,
+    checkpoint_dir: str,
+    conn,
+    fault_dict: Optional[dict],
+) -> None:
+    """Attach, handshake, then answer (offset, queries) requests forever.
+
+    Attach mirrors the labeling pool: ``verify=False`` /
+    ``load_dictionary=False`` because the parent verified the snapshot
+    and parsing happens parent-side.  The handshake (``("ready", ...)``
+    or ``("init-error", traceback)``) lets the supervisor distinguish a
+    broken checkpoint from a crashed process.
+    """
+    injector = FaultInjector(FaultSpec.from_dict(fault_dict))
+    try:
+        from repro.core.framework import LMKG
+        from repro.rdf.store import TripleStore
+
+        store = TripleStore.load_snapshot(
+            snapshot_dir,
+            verify=False,
+            read_only=True,
+            load_dictionary=False,
+        )
+        framework = LMKG.load(checkpoint_dir, store)
+    except BaseException:
+        try:
+            conn.send(("init-error", traceback.format_exc()))
+        except OSError:
+            pass
+        return
+    conn.send(("ready", worker_id))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if message[0] == "stop":
+            return
+        _, offset, queries = message
+        try:
+            injector.on_request(queries)  # may exit/hang/raise
+            values = framework.estimate_batch(queries)
+            payload = (offset, values.tolist(), None)
+        except EstimationError as exc:
+            payload = (offset, None, ("estimation", str(exc)))
+        except BaseException:
+            payload = (offset, None, ("error", traceback.format_exc()))
+        try:
+            conn.send(payload)
+        except OSError:
+            return
+
+
+# Worker slot states.
+_STARTING = "starting"
+_READY = "ready"
+_BUSY = "busy"
+_DEAD = "dead"      # awaiting restart (backoff/budget permitting)
+_FAILED = "failed"  # permanently out (restart budget exhausted)
+
+
+class _Worker:
+    """One supervised worker slot (process + pipe + lifecycle state)."""
+
+    __slots__ = (
+        "id",
+        "process",
+        "conn",
+        "state",
+        "restarts",
+        "consecutive_failures",
+        "not_before",
+        "deadline",
+        "task",
+        "last_error",
+    )
+
+    def __init__(self, worker_id: int) -> None:
+        self.id = worker_id
+        self.process = None
+        self.conn = None
+        self.state = _STARTING
+        self.restarts = 0
+        self.consecutive_failures = 0
+        self.not_before = 0.0
+        self.deadline = math.inf
+        self.task = None
+        self.last_error: Optional[str] = None
+
+    def kill(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            self.conn = None
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+        self.process = None
+
+
+class SupervisedPool:
+    """N supervised estimation workers over one shared snapshot.
+
+    The drop-in ``estimate_batch`` backend for the scheduler, like
+    :class:`~repro.serve.pool.ServingPool`, but built to keep answering
+    through worker crashes, hangs, and checkpoint swaps.
+
+    Args:
+        snapshot_dir: read-only memory-mapped snapshot every worker
+            attaches to.
+        checkpoint_dir: ``LMKG.save`` directory every worker loads.
+        workers: worker slot count (>= 1).
+        request_timeout: seconds a worker may spend on one chunk before
+            it is declared hung, killed, and its chunk retried on a
+            sibling.
+        restart_budget: total worker restarts allowed over the pool's
+            lifetime; beyond it a slot is permanently failed (and with
+            every slot failed, :class:`NoWorkersError` surfaces to the
+            caller — typically into the circuit breaker).
+        backoff_base / backoff_max: restart delay is
+            ``min(backoff_base * 2**(consecutive_failures - 1),
+            backoff_max)`` per slot, so a crash-looping worker does not
+            spin the supervisor.
+        fault_spec: optional :class:`FaultSpec` shipped to every worker
+            (chaos testing).
+    """
+
+    #: a chunk stranded by worker deaths is retried at most this many
+    #: times before the batch fails (backstop against a fault plan that
+    #: kills every worker on every request).
+    MAX_CHUNK_RETRIES = 16
+
+    def __init__(
+        self,
+        snapshot_dir: Union[str, Path],
+        checkpoint_dir: Union[str, Path],
+        workers: int,
+        request_timeout: float = 30.0,
+        restart_budget: int = 16,
+        backoff_base: float = 0.2,
+        backoff_max: float = 5.0,
+        fault_spec: Optional[FaultSpec] = None,
+        mp_context=None,
+        startup_timeout: float = 120.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if request_timeout <= 0:
+            raise ValueError("request_timeout must be > 0")
+        self.workers = workers
+        self.snapshot_dir = str(snapshot_dir)
+        self.checkpoint_dir = str(checkpoint_dir)
+        self.request_timeout = request_timeout
+        self.restart_budget = restart_budget
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.fault_spec = fault_spec
+        self.startup_timeout = startup_timeout
+        # Spawn, not fork: restarts and blue-green reloads create
+        # workers from the supervisor thread while scheduler/HTTP
+        # threads are live, and a fork taken then can inherit held
+        # locks (import lock, BLAS internals) and deadlock inside the
+        # checkpoint load — as well as inheriting the listening socket
+        # and sibling pipe fds.  A spawned worker starts from a clean
+        # interpreter with only its own pipe.
+        self._context = resolve_context(
+            mp_context if mp_context is not None else "spawn"
+        )
+        #: serializes estimate_batch callers and reload's set swap.
+        self._dispatch_lock = threading.Lock()
+        #: guards worker slot state; supervisor thread waits on it.
+        self._state_cv = threading.Condition()
+        self._closed = False
+        self._set_generation = 1
+        self._restarts_used = 0
+        self._deaths = 0
+        self._timeouts = 0
+        self._chunk_retries = 0
+        self._workers = self._spawn_set(self.checkpoint_dir)
+        self._supervisor = threading.Thread(
+            target=self._supervise,
+            name="repro-pool-supervisor",
+            daemon=True,
+        )
+        self._supervisor.start()
+
+    # ------------------------------------------------------------------
+    # Worker set lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn_worker(
+        self, worker: _Worker, checkpoint_dir: str
+    ) -> None:
+        """Start *worker*'s process; state stays ``_STARTING`` until the
+        handshake is consumed by :meth:`_await_handshake`."""
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                worker.id,
+                self.snapshot_dir,
+                checkpoint_dir,
+                child_conn,
+                self.fault_spec.to_dict() if self.fault_spec else None,
+            ),
+            name=f"repro-serve-worker-{worker.id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker.process = process
+        worker.conn = parent_conn
+        worker.state = _STARTING
+
+    def _await_handshake(
+        self, worker: _Worker, timeout: float
+    ) -> Optional[str]:
+        """Consume the ready/init-error handshake; returns the error
+        traceback (None on success)."""
+        try:
+            if not worker.conn.poll(timeout):
+                return "worker did not complete startup handshake"
+            kind, detail = worker.conn.recv()
+        except (EOFError, OSError):
+            return "worker died during startup"
+        if kind == "ready":
+            return None
+        return str(detail)
+
+    def _spawn_set(self, checkpoint_dir: str) -> List[_Worker]:
+        """Spawn and handshake a complete worker set (startup/reload).
+
+        All-or-nothing: any attach failure kills the partial set and
+        raises, so a reload against a broken checkpoint leaves the
+        serving set untouched.
+        """
+        workers = [_Worker(i) for i in range(self.workers)]
+        try:
+            for worker in workers:
+                self._spawn_worker(worker, checkpoint_dir)
+            deadline = time.monotonic() + self.startup_timeout
+            for worker in workers:
+                error = self._await_handshake(
+                    worker, max(0.1, deadline - time.monotonic())
+                )
+                if error is not None:
+                    raise SupervisorError(
+                        f"serving worker {worker.id} failed to start "
+                        f"against {checkpoint_dir}:\n{error}"
+                    )
+                worker.state = _READY
+        except BaseException:
+            for worker in workers:
+                worker.kill()
+            raise
+        return workers
+
+    def _stop_set(self, workers: List[_Worker]) -> None:
+        for worker in workers:
+            if worker.conn is not None:
+                try:
+                    worker.conn.send(("stop",))
+                except OSError:
+                    pass
+        for worker in workers:
+            if worker.process is not None:
+                worker.process.join(timeout=2.0)
+            worker.kill()
+
+    # ------------------------------------------------------------------
+    # Supervision (restart thread)
+    # ------------------------------------------------------------------
+
+    def _supervise(self) -> None:
+        """Restart dead workers as their backoff deadlines arrive."""
+        while True:
+            with self._state_cv:
+                if self._closed:
+                    return
+                # Liveness-check idle workers: a worker killed between
+                # requests would otherwise stay "ready" until the next
+                # batch tripped over its corpse.
+                for worker in self._workers:
+                    if worker.state == _READY and (
+                        worker.process is None
+                        or not worker.process.is_alive()
+                    ):
+                        self._declare_dead(
+                            worker, "worker process died while idle"
+                        )
+                now = time.monotonic()
+                due = [
+                    w
+                    for w in self._workers
+                    if w.state == _DEAD and w.not_before <= now
+                ]
+                for worker in due:
+                    if self._restarts_used >= self.restart_budget:
+                        worker.state = _FAILED
+                        continue
+                    self._restarts_used += 1
+                    worker.restarts += 1
+                    worker.state = _STARTING
+                checkpoint_dir = self.checkpoint_dir
+            for worker in due:
+                if worker.state != _STARTING:
+                    continue
+                try:
+                    self._spawn_worker(worker, checkpoint_dir)
+                    error = self._await_handshake(worker, 60.0)
+                except BaseException:
+                    error = traceback.format_exc()
+                with self._state_cv:
+                    if error is None:
+                        worker.state = _READY
+                        worker.last_error = None
+                    else:
+                        worker.kill()
+                        worker.consecutive_failures += 1
+                        worker.not_before = (
+                            time.monotonic()
+                            + self._backoff(worker.consecutive_failures)
+                        )
+                        worker.state = _DEAD
+                        worker.last_error = error
+                    self._state_cv.notify_all()
+            with self._state_cv:
+                if self._closed:
+                    return
+                self._state_cv.wait(0.05)
+
+    def _backoff(self, consecutive_failures: int) -> float:
+        return min(
+            self.backoff_base * (2 ** max(consecutive_failures - 1, 0)),
+            self.backoff_max,
+        )
+
+    def _declare_dead(self, worker: _Worker, reason: str) -> None:
+        """Kill + mark a worker dead (state lock held by caller)."""
+        worker.kill()
+        worker.consecutive_failures += 1
+        worker.not_before = time.monotonic() + self._backoff(
+            worker.consecutive_failures
+        )
+        worker.deadline = math.inf
+        worker.task = None
+        worker.state = _DEAD
+        worker.last_error = reason
+        self._deaths += 1
+        if "timeout" in reason:
+            self._timeouts += 1
+        self._state_cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # Estimation (dispatch loop)
+    # ------------------------------------------------------------------
+
+    def estimate_batch(
+        self, queries: Sequence[QueryPattern]
+    ) -> np.ndarray:
+        """Estimates in input order, surviving worker deaths mid-batch.
+
+        Chunks are scattered over ready workers; a chunk stranded by a
+        crash or timeout re-queues onto a sibling (bounded by
+        :data:`MAX_CHUNK_RETRIES`).  Raises :class:`NoWorkersError` only
+        when every slot is permanently failed — the layer above routes
+        that to the fallback estimator.
+        """
+        queries = list(queries)
+        if not queries:
+            return np.zeros(0, dtype=np.float64)
+        with self._dispatch_lock:
+            return self._dispatch(queries)
+
+    def _dispatch(self, queries: List[QueryPattern]) -> np.ndarray:
+        workers = self._workers
+        chunk_size = max(1, math.ceil(len(queries) / len(workers)))
+        tasks: Deque[Tuple[int, List[QueryPattern], int]] = deque(
+            (offset, queries[offset:offset + chunk_size], 0)
+            for offset in range(0, len(queries), chunk_size)
+        )
+        values = np.empty(len(queries), dtype=np.float64)
+        outstanding: Dict[int, _Worker] = {}  # offset -> worker
+        pending_error: Optional[BaseException] = None
+
+        def requeue(worker: _Worker, reason: str) -> None:
+            nonlocal pending_error
+            offset, chunk, retries = worker.task
+            outstanding.pop(offset, None)
+            self._declare_dead(worker, reason)
+            self._chunk_retries += 1
+            if retries + 1 > self.MAX_CHUNK_RETRIES:
+                pending_error = pending_error or SupervisorError(
+                    f"chunk at offset {offset} failed "
+                    f"{retries + 1} times; last worker error: {reason}"
+                )
+            elif pending_error is None:
+                tasks.append((offset, chunk, retries + 1))
+
+        while tasks or outstanding:
+            # Assign queued chunks to ready workers.
+            with self._state_cv:
+                for worker in workers:
+                    if not tasks or pending_error is not None:
+                        break
+                    if worker.state != _READY:
+                        continue
+                    task = tasks.popleft()
+                    worker.task = task
+                    worker.deadline = (
+                        time.monotonic() + self.request_timeout
+                    )
+                    worker.state = _BUSY
+                    try:
+                        worker.conn.send(
+                            ("estimate", task[0], task[1])
+                        )
+                    except OSError:
+                        requeue(worker, "send failed (worker gone)")
+                        continue
+                    outstanding[task[0]] = worker
+                if pending_error is not None and not outstanding:
+                    break
+                if not outstanding:
+                    # Nothing in flight and nothing assignable: either
+                    # every slot is permanently failed, or restarts are
+                    # pending — wait for the supervisor.
+                    if all(w.state == _FAILED for w in workers):
+                        raise NoWorkersError(
+                            "all serving workers are dead and the "
+                            f"restart budget ({self.restart_budget}) "
+                            "is exhausted"
+                        )
+                    self._state_cv.wait(0.1)
+                    continue
+            busy = list(outstanding.values())
+            ready_conns = set(
+                _conn_wait([w.conn for w in busy], timeout=0.05)
+            )
+            now = time.monotonic()
+            with self._state_cv:
+                for worker in busy:
+                    if worker.conn in ready_conns:
+                        try:
+                            offset, chunk_values, error = (
+                                worker.conn.recv()
+                            )
+                        except (EOFError, OSError):
+                            requeue(worker, "worker process crashed")
+                            continue
+                        outstanding.pop(offset, None)
+                        worker.task = None
+                        worker.deadline = math.inf
+                        worker.consecutive_failures = 0
+                        worker.state = _READY
+                        self._state_cv.notify_all()
+                        if error is not None:
+                            kind, text = error
+                            if pending_error is None:
+                                if kind == "estimation":
+                                    pending_error = EstimationError(
+                                        text
+                                    )
+                                else:
+                                    pending_error = ServingWorkerError(
+                                        "estimation worker failed on "
+                                        f"chunk at offset {offset}:\n"
+                                        f"{text}"
+                                    )
+                        else:
+                            values[
+                                offset:offset + len(chunk_values)
+                            ] = chunk_values
+                    elif worker.deadline < now:
+                        requeue(
+                            worker,
+                            f"request timeout "
+                            f"({self.request_timeout:.1f}s) — worker "
+                            "hung",
+                        )
+                    elif (
+                        worker.process is None
+                        or not worker.process.is_alive()
+                    ):
+                        requeue(worker, "worker process died")
+        if pending_error is not None:
+            raise pending_error
+        return values
+
+    # ------------------------------------------------------------------
+    # Hot reload (blue-green worker set swap)
+    # ------------------------------------------------------------------
+
+    def reload(self, checkpoint_dir: Union[str, Path]) -> int:
+        """Swap every worker onto *checkpoint_dir* with zero downtime.
+
+        A complete new set is spawned and handshaked while the old set
+        keeps serving; the active-set pointer then flips between
+        batches (under the dispatch lock), and the old set is stopped.
+        Any new-worker failure aborts the swap with the old set
+        untouched.  Returns the new worker-set generation.
+        """
+        new_workers = self._spawn_set(str(checkpoint_dir))
+        with self._dispatch_lock:
+            with self._state_cv:
+                old_workers = self._workers
+                self._workers = new_workers
+                self.checkpoint_dir = str(checkpoint_dir)
+                self._set_generation += 1
+                generation = self._set_generation
+                self._state_cv.notify_all()
+        self._stop_set(old_workers)
+        return generation
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._state_cv:
+            return {
+                "workers": [
+                    {
+                        "id": w.id,
+                        "state": w.state,
+                        "alive": w.state in (_READY, _BUSY, _STARTING),
+                        "restarts": w.restarts,
+                        "last_error": (
+                            w.last_error.splitlines()[-1]
+                            if w.last_error
+                            else None
+                        ),
+                    }
+                    for w in self._workers
+                ],
+                "worker_set_generation": self._set_generation,
+                "restarts_used": self._restarts_used,
+                "restart_budget": self.restart_budget,
+                "deaths": self._deaths,
+                "timeouts": self._timeouts,
+                "chunk_retries": self._chunk_retries,
+                "request_timeout_s": self.request_timeout,
+            }
+
+    def close(self) -> None:
+        with self._state_cv:
+            if self._closed:
+                return
+            self._closed = True
+            workers = self._workers
+            self._state_cv.notify_all()
+        self._supervisor.join(timeout=5.0)
+        self._stop_set(workers)
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation
+# ----------------------------------------------------------------------
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe schedule.
+
+    CLOSED counts consecutive primary failures; at
+    ``failure_threshold`` it OPENs and stays open for
+    ``reset_timeout_s``, after which the next request becomes the
+    HALF_OPEN probe: its success closes the breaker, its failure
+    re-opens it for another full window.  ``clock`` is injectable so
+    tests drive the schedule deterministically.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout_s < 0:
+            raise ValueError("reset_timeout_s must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._opens = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def is_open(self) -> bool:
+        return self.state != BREAKER_CLOSED
+
+    def route(self) -> str:
+        """``"primary"`` or ``"fallback"`` for the next request."""
+        with self._lock:
+            if self._state == BREAKER_CLOSED:
+                return "primary"
+            if (
+                self._state == BREAKER_OPEN
+                and not self._probe_in_flight
+                and self._clock() - self._opened_at
+                >= self.reset_timeout_s
+            ):
+                self._state = BREAKER_HALF_OPEN
+                self._probe_in_flight = True
+                return "primary"  # the half-open probe
+            return "fallback"
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = BREAKER_CLOSED
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            was_probe = self._probe_in_flight
+            self._probe_in_flight = False
+            if (
+                was_probe
+                or self._state == BREAKER_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                if self._state != BREAKER_OPEN:
+                    self._opens += 1
+                self._state = BREAKER_OPEN
+                self._opened_at = self._clock()
+
+    def reset(self) -> None:
+        self.record_success()
+
+    def state_dict(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout_s": self.reset_timeout_s,
+                "opens": self._opens,
+            }
+
+
+#: failure types meaning "the primary serving path itself is down" —
+#: fall back immediately instead of burning requests on 500s while the
+#: breaker counts to its threshold.
+_INFRASTRUCTURE_ERRORS = (SupervisorError, ServingWorkerError)
+
+
+class ResilientBackend:
+    """The scheduler-facing backend with degradation and generations.
+
+    Wraps a primary ``estimate_batch`` callable (a framework or a
+    :class:`SupervisedPool`) and an optional fallback.  Calls return
+    ``(values, meta)`` where ``meta`` records the checkpoint
+    ``generation`` that computed the batch, whether it was ``degraded``
+    (fallback-served), and which ``backend`` ran — captured atomically
+    with the callable, so hot-reload can never mislabel an in-flight
+    batch.
+
+    Failure policy:
+
+    - :class:`~repro.core.framework.EstimationError` passes through
+      untouched (it is a per-query 422, not a model-path failure);
+    - infrastructure errors (pool dead) fall back immediately;
+    - other primary failures propagate while the breaker is closed —
+      the scheduler's per-request isolation then contains poison
+      queries — and each one feeds the breaker; once it opens, all
+      traffic is served by the fallback (``degraded: true``) until a
+      half-open probe succeeds.
+    """
+
+    def __init__(
+        self,
+        primary: Callable[[List], np.ndarray],
+        fallback: Optional[Callable[[List], np.ndarray]] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        faults: Optional[FaultSpec] = None,
+        generation: int = 1,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._primary = primary
+        self._fallback = fallback
+        self.breaker = breaker or CircuitBreaker()
+        self._injector = (
+            FaultInjector(faults) if faults and faults.enabled else None
+        )
+        self._generation = generation
+        self._active: Dict[int, int] = {}  # id(fn) -> in-flight calls
+        self._primary_batches = 0
+        self._degraded_batches = 0
+
+    @property
+    def generation(self) -> int:
+        with self._lock:
+            return self._generation
+
+    # -- call path ------------------------------------------------------
+
+    def __call__(
+        self, queries: Sequence[QueryPattern]
+    ) -> Tuple[np.ndarray, dict]:
+        with self._lock:
+            fn = self._primary
+            generation = self._generation
+        route = (
+            self.breaker.route()
+            if self._fallback is not None
+            else "primary"
+        )
+        if route != "primary":
+            return self._run_fallback(queries, generation, cause=None)
+        try:
+            self._track(fn, +1)
+            try:
+                if self._injector is not None:
+                    self._injector.on_request(queries)
+                values = fn(queries)
+            finally:
+                self._track(fn, -1)
+        except EstimationError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — classified below
+            self.breaker.record_failure()
+            if self._fallback is None:
+                raise
+            if (
+                isinstance(exc, _INFRASTRUCTURE_ERRORS)
+                or self.breaker.is_open
+            ):
+                return self._run_fallback(
+                    queries, generation, cause=exc
+                )
+            raise
+        self.breaker.record_success()
+        with self._lock:
+            self._primary_batches += 1
+        return values, {
+            "generation": generation,
+            "degraded": False,
+            "backend": "primary",
+        }
+
+    def _run_fallback(
+        self,
+        queries: Sequence[QueryPattern],
+        generation: int,
+        cause: Optional[BaseException],
+    ) -> Tuple[np.ndarray, dict]:
+        try:
+            values = self._fallback(queries)
+        except Exception:
+            if cause is not None:
+                raise cause
+            raise
+        with self._lock:
+            self._degraded_batches += 1
+        return values, {
+            "generation": generation,
+            "degraded": True,
+            "backend": "fallback",
+        }
+
+    def _track(self, fn, delta: int) -> None:
+        with self._lock:
+            key = id(fn)
+            count = self._active.get(key, 0) + delta
+            if count <= 0:
+                self._active.pop(key, None)
+            else:
+                self._active[key] = count
+
+    # -- reload support -------------------------------------------------
+
+    def swap_primary(self, fn: Callable) -> Callable:
+        """Atomically install a new primary; bumps the generation and
+        closes the breaker (a fresh checkpoint earns a fresh chance).
+        Returns the previous primary for draining."""
+        with self._lock:
+            old = self._primary
+            self._primary = fn
+            self._generation += 1
+        self.breaker.reset()
+        return old
+
+    def wait_idle(self, fn: Callable, timeout: float = 30.0) -> bool:
+        """Block until no in-flight call uses *fn* (drain-before-close);
+        True when drained, False on timeout."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self._active.get(id(fn), 0) == 0:
+                    return True
+            time.sleep(0.01)
+        with self._lock:
+            return self._active.get(id(fn), 0) == 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            snapshot = {
+                "generation": self._generation,
+                "primary_batches": self._primary_batches,
+                "degraded_batches": self._degraded_batches,
+                "fallback_available": self._fallback is not None,
+            }
+        snapshot["circuit_breaker"] = self.breaker.state_dict()
+        return snapshot
+
+
+# ----------------------------------------------------------------------
+# Runtime orchestrator (what /admin/reload and /healthz talk to)
+# ----------------------------------------------------------------------
+
+class ServingRuntime:
+    """Ties service, scheduler, backend, pool, and artifacts together.
+
+    The HTTP layer delegates here for everything beyond a plain
+    estimate: hot-reload, admission, and fault-tolerance introspection.
+    """
+
+    def __init__(
+        self,
+        service,
+        scheduler,
+        backend: ResilientBackend,
+        pool: Optional[SupervisedPool] = None,
+        admission: Optional[ShapeManifest] = None,
+        artifact: Optional[CheckpointArtifact] = None,
+        checkpoint_dir: Union[str, Path, None] = None,
+        admission_enabled: bool = True,
+    ) -> None:
+        self.service = service
+        self.scheduler = scheduler
+        self.backend = backend
+        self.pool = pool
+        self.artifact = artifact
+        self.admission_enabled = admission_enabled
+        self.admission = admission if admission_enabled else None
+        self.checkpoint_dir = (
+            str(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self._reload_lock = threading.Lock()
+        self.reloads = 0
+
+    @property
+    def generation(self) -> int:
+        return self.backend.generation
+
+    # -- hot reload -----------------------------------------------------
+
+    def reload(
+        self, checkpoint_dir: Union[str, Path, None] = None
+    ) -> dict:
+        """Atomically swap the serving checkpoint; returns a summary.
+
+        Gate order: artifact schema/checksum check and a full parent
+        load first (typed :class:`~repro.serve.artifacts.ArtifactError`
+        / :class:`~repro.core.framework.CheckpointError` rejection with
+        the old framework untouched), then the worker-set/backend swap.
+        In-flight batches drain against the old framework; requests
+        submitted after this method returns are answered by the new
+        generation.
+        """
+        with self._reload_lock:
+            path = (
+                str(checkpoint_dir)
+                if checkpoint_dir is not None
+                else self.checkpoint_dir
+            )
+            if path is None:
+                raise ReloadError(
+                    "no checkpoint directory to reload from; start "
+                    "the server with --checkpoint/--save-checkpoint "
+                    'or POST {"checkpoint": "<dir>"}'
+                )
+            framework, artifact = load_checkpoint(
+                path, self.service.store
+            )
+            if self.pool is not None:
+                self.pool.reload(path)
+                new_fn = self.pool.estimate_batch
+            else:
+                new_fn = framework.estimate_batch
+            self.backend.swap_primary(new_fn)
+            self.service.framework = framework
+            self.artifact = artifact
+            if self.admission_enabled:
+                self.admission = artifact.shapes
+            self.checkpoint_dir = path
+            self.reloads += 1
+            return {
+                "generation": self.generation,
+                "checkpoint": path,
+                "schema_version": artifact.schema_version,
+            }
+
+    # -- introspection --------------------------------------------------
+
+    def healthz_extras(self) -> dict:
+        breaker = self.backend.breaker.state_dict()
+        payload = {
+            "checkpoint_generation": self.generation,
+            "checkpoint_schema_version": (
+                self.artifact.schema_version
+                if self.artifact is not None
+                else None
+            ),
+            "degraded": breaker["state"] != BREAKER_CLOSED,
+            "circuit_breaker": breaker,
+            "backend": self.backend.stats(),
+            "reloads": self.reloads,
+        }
+        if self.admission is not None:
+            payload["admitted_shapes"] = self.admission.to_dict()
+        if self.pool is not None:
+            payload["pool"] = self.pool.stats()
+        else:
+            payload["pool"] = {"mode": "in-process"}
+        return payload
+
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.close()

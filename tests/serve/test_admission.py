@@ -1,0 +1,85 @@
+"""Admission control: trained-shape manifest, parse-time rejection."""
+
+import pytest
+
+from repro.sampling import generate_workload
+from repro.serve.admission import AdmissionError, ShapeManifest
+
+
+@pytest.fixture(scope="module")
+def manifest(service):
+    return ShapeManifest.from_framework(service.framework)
+
+
+def _queries(store, shape, size, n=3, seed=23):
+    workload = generate_workload(store, shape, size, n, seed=seed)
+    return [record.query for record in workload]
+
+
+class TestManifest:
+    def test_probes_actual_routing(self, manifest):
+        # conftest fits star:2 and chain:2; the probe must find exactly
+        # the shapes the framework's grouping would route.
+        assert 2 in manifest.covered.get("star", frozenset())
+        assert 2 in manifest.covered.get("chain", frozenset())
+
+    def test_dict_roundtrip(self, manifest):
+        payload = manifest.to_dict()
+        rebuilt = ShapeManifest.from_dict(payload)
+        assert rebuilt.covered == manifest.covered
+        # JSON-ready: sizes are sorted lists
+        assert all(
+            sizes == sorted(sizes) for sizes in payload.values()
+        )
+
+    def test_empty_manifest_rejects_everything(self, service):
+        empty = ShapeManifest()
+        queries = _queries(service.store, "star", 2)
+        reason = empty.rejection_reason(queries[0])
+        assert reason is not None
+        assert "star:2" in reason
+
+
+class TestAdmit:
+    def test_covered_shape_admitted(self, manifest, star_queries):
+        manifest.admit_all(star_queries[:5])  # must not raise
+
+    def test_single_triple_always_admitted(self, manifest, service):
+        queries = _queries(service.store, "star", 2)
+        single = queries[0].triples[:1]
+        from repro.rdf.pattern import QueryPattern
+
+        manifest.admit_all([QueryPattern(single)])
+
+    def test_uncovered_size_rejected(self, manifest, service):
+        queries = _queries(service.store, "star", 3)
+        with pytest.raises(AdmissionError) as excinfo:
+            manifest.admit_all(queries)
+        assert excinfo.value.reason == "uncovered_shape"
+        assert excinfo.value.query_index == 0
+
+    def test_query_index_points_at_offender(
+        self, manifest, service, star_queries
+    ):
+        bad = _queries(service.store, "star", 3, n=1)
+        batch = star_queries[:2] + bad
+        with pytest.raises(AdmissionError) as excinfo:
+            manifest.admit_all(batch)
+        assert excinfo.value.query_index == 2
+
+    def test_admitted_queries_actually_estimate(
+        self, manifest, service, star_queries
+    ):
+        """Soundness: what admission admits, the framework answers."""
+        manifest.admit_all(star_queries)
+        values = service.framework.estimate_batch(star_queries)
+        assert values.shape == (len(star_queries),)
+
+    def test_rejected_queries_actually_fail(self, manifest, service):
+        """The rejected query would have raised downstream anyway."""
+        from repro.core.framework import EstimationError
+
+        queries = _queries(service.store, "chain", 4, n=1)
+        assert manifest.rejection_reason(queries[0]) is not None
+        with pytest.raises(EstimationError):
+            service.framework.estimate_batch(queries)

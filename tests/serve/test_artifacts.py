@@ -1,0 +1,166 @@
+"""Versioned checkpoint artifacts: schema gate, checksums, typed errors."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.serve.artifacts import (
+    ARTIFACT_FILENAME,
+    ARTIFACT_SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    ArtifactError,
+    load_artifact,
+    load_checkpoint,
+    save_checkpoint,
+    write_artifact,
+)
+from repro.serve.faults import CORRUPTION_MODES, corrupt_checkpoint
+
+
+@pytest.fixture()
+def artifact_ckpt(service, tmp_path):
+    """A fresh save_checkpoint directory (framework + artifact.json)."""
+    path = tmp_path / "ckpt"
+    save_checkpoint(service.framework, path)
+    return path
+
+
+class TestWriteAndLoad:
+    def test_save_checkpoint_writes_artifact(self, artifact_ckpt):
+        assert (artifact_ckpt / ARTIFACT_FILENAME).is_file()
+        payload = json.loads(
+            (artifact_ckpt / ARTIFACT_FILENAME).read_text()
+        )
+        assert payload["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert "manifest.json" in payload["file_checksums"]
+        assert payload["trained_shapes"]  # star:2 / chain:2 fitted
+
+    def test_load_artifact_roundtrip(self, artifact_ckpt):
+        artifact = load_artifact(artifact_ckpt)
+        assert artifact.schema_version == ARTIFACT_SCHEMA_VERSION
+        assert not artifact.legacy
+        assert artifact.shapes is not None
+        assert artifact.shapes.covered  # non-empty coverage
+        # every checksummed file exists
+        for name in artifact.file_checksums:
+            assert (artifact_ckpt / name).is_file()
+
+    def test_load_checkpoint_returns_live_framework(
+        self, artifact_ckpt, service, star_queries
+    ):
+        framework, artifact = load_checkpoint(
+            artifact_ckpt, service.store
+        )
+        values = framework.estimate_batch(star_queries[:4])
+        assert values.shape == (4,)
+        assert artifact.shapes is not None
+
+    def test_write_artifact_requires_saved_framework(
+        self, service, tmp_path
+    ):
+        with pytest.raises(ArtifactError) as excinfo:
+            write_artifact(service.framework, tmp_path / "nowhere")
+        assert excinfo.value.reason == "missing"
+
+
+class TestLegacyV1:
+    def test_pre_artifact_checkpoint_reads_as_v1(
+        self, checkpoint_dir
+    ):
+        # checkpoint_dir fixture is a bare framework.save (PR-4 era).
+        artifact = load_artifact(checkpoint_dir)
+        assert artifact.schema_version == 1
+        assert artifact.legacy
+        assert artifact.shapes is None
+        assert artifact.file_checksums == {}
+
+    def test_v1_supported_and_shapes_backfilled(
+        self, checkpoint_dir, service
+    ):
+        assert 1 in SUPPORTED_SCHEMA_VERSIONS
+        framework, artifact = load_checkpoint(
+            checkpoint_dir, service.store
+        )
+        assert artifact.schema_version == 1
+        # load_checkpoint rebuilds the shape manifest from the loaded
+        # framework so admission works on legacy checkpoints too.
+        assert artifact.shapes is not None
+        assert artifact.shapes.covered
+
+
+class TestGate:
+    def test_missing_checkpoint(self, tmp_path):
+        with pytest.raises(ArtifactError) as excinfo:
+            load_artifact(tmp_path / "void")
+        assert excinfo.value.reason == "missing"
+
+    def test_truncated_model_fails_checksum(
+        self, artifact_ckpt, tmp_path
+    ):
+        target = tmp_path / "damaged"
+        shutil.copytree(artifact_ckpt, target)
+        corrupt_checkpoint(target, "truncate-model")
+        with pytest.raises(ArtifactError) as excinfo:
+            load_artifact(target)
+        assert excinfo.value.reason == "checksum"
+
+    def test_garbage_artifact_is_corrupt(
+        self, artifact_ckpt, tmp_path
+    ):
+        target = tmp_path / "damaged"
+        shutil.copytree(artifact_ckpt, target)
+        corrupt_checkpoint(target, "garbage-artifact")
+        with pytest.raises(ArtifactError) as excinfo:
+            load_artifact(target)
+        assert excinfo.value.reason == "corrupt"
+
+    def test_garbage_manifest_on_legacy_is_corrupt(
+        self, checkpoint_dir, tmp_path
+    ):
+        target = tmp_path / "damaged"
+        shutil.copytree(checkpoint_dir, target)
+        corrupt_checkpoint(target, "garbage-manifest")
+        with pytest.raises(ArtifactError) as excinfo:
+            load_artifact(target)
+        assert excinfo.value.reason == "corrupt"
+
+    def test_future_schema_is_incompatible(
+        self, artifact_ckpt, tmp_path
+    ):
+        target = tmp_path / "damaged"
+        shutil.copytree(artifact_ckpt, target)
+        corrupt_checkpoint(target, "future-schema")
+        with pytest.raises(ArtifactError) as excinfo:
+            load_artifact(target)
+        assert excinfo.value.reason == "incompatible"
+
+    def test_missing_checksummed_file(self, artifact_ckpt, tmp_path):
+        target = tmp_path / "damaged"
+        shutil.copytree(artifact_ckpt, target)
+        next(target.glob("model_*.npz")).unlink()
+        with pytest.raises(ArtifactError) as excinfo:
+            load_artifact(target)
+        assert excinfo.value.reason == "checksum"
+
+    def test_all_corruption_modes_rejected(
+        self, artifact_ckpt, tmp_path
+    ):
+        """Every chaos corruption mode yields a typed rejection."""
+        for mode in CORRUPTION_MODES:
+            target = tmp_path / f"damaged-{mode}"
+            shutil.copytree(artifact_ckpt, target)
+            corrupt_checkpoint(target, mode)
+            with pytest.raises(ArtifactError):
+                load_artifact(target)
+
+    def test_load_checkpoint_gates_before_weights(
+        self, artifact_ckpt, tmp_path, service
+    ):
+        target = tmp_path / "damaged"
+        shutil.copytree(artifact_ckpt, target)
+        corrupt_checkpoint(target, "truncate-model")
+        # The typed gate error fires, not a np.load parse explosion.
+        with pytest.raises(ArtifactError) as excinfo:
+            load_checkpoint(target, service.store)
+        assert excinfo.value.reason == "checksum"

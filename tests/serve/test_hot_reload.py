@@ -1,0 +1,194 @@
+"""Zero-downtime checkpoint hot-reload through POST /admin/reload."""
+
+import json
+import shutil
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.baselines.independence import IndependenceEstimator
+from repro.serve import (
+    BatchScheduler,
+    ResilientBackend,
+    ServingRuntime,
+    ShapeManifest,
+    make_server,
+)
+from repro.serve.artifacts import load_artifact, save_checkpoint
+from repro.serve.faults import corrupt_checkpoint
+
+QUERY = (
+    "SELECT ?x ?y WHERE { ?x <ub:advisor> ?y . "
+    "?x <ub:takesCourse> ?z . }"
+)
+
+
+@pytest.fixture(scope="module")
+def v2_checkpoint(service, tmp_path_factory):
+    path = tmp_path_factory.mktemp("reload") / "ckpt-v2"
+    save_checkpoint(service.framework, path)
+    return path
+
+
+@pytest.fixture()
+def stack(service, v2_checkpoint):
+    """A full runtime-backed server (in-process primary, no pool)."""
+    backend = ResilientBackend(
+        service.framework.estimate_batch,
+        fallback=IndependenceEstimator(service.store).estimate_batch,
+    )
+    scheduler = BatchScheduler(backend, max_batch=32, max_delay_ms=1.0)
+    runtime = ServingRuntime(
+        service,
+        scheduler,
+        backend,
+        admission=ShapeManifest.from_framework(service.framework),
+        artifact=load_artifact(v2_checkpoint),
+        checkpoint_dir=v2_checkpoint,
+    )
+    server = make_server(service, scheduler, port=0, runtime=runtime)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", runtime
+    server.shutdown()
+    server.server_close()
+    scheduler.close()
+    thread.join(5.0)
+
+
+def post(url, body=None):
+    data = (
+        json.dumps(body).encode("utf-8") if body is not None else b""
+    )
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.load(response)
+
+
+class TestReloadEndpoint:
+    def test_reload_bumps_generation(self, stack):
+        base_url, runtime = stack
+        generation = runtime.generation
+        status, payload = post(f"{base_url}/admin/reload")
+        assert status == 200, payload
+        assert payload["status"] == "reloaded"
+        assert payload["generation"] == generation + 1
+        assert payload["schema_version"] == 2
+        # responses immediately carry the new generation
+        status, answer = post(
+            f"{base_url}/estimate", {"queries": [QUERY]}
+        )
+        assert status == 200
+        assert answer["generation"] == generation + 1
+        assert answer["degraded"] is False
+
+    def test_reload_explicit_checkpoint_body(
+        self, stack, v2_checkpoint, tmp_path
+    ):
+        base_url, runtime = stack
+        target = tmp_path / "other"
+        shutil.copytree(v2_checkpoint, target)
+        status, payload = post(
+            f"{base_url}/admin/reload", {"checkpoint": str(target)}
+        )
+        assert status == 200, payload
+        assert payload["checkpoint"] == str(target)
+        assert runtime.checkpoint_dir == str(target)
+
+    def test_healthz_reflects_reload(self, stack):
+        base_url, runtime = stack
+        post(f"{base_url}/admin/reload")
+        status, payload = get(f"{base_url}/healthz")
+        assert status == 200
+        assert payload["checkpoint_generation"] == runtime.generation
+        assert payload["checkpoint_schema_version"] == 2
+        assert payload["reloads"] == 1
+        assert payload["degraded"] is False
+
+    @pytest.mark.parametrize(
+        ("mode", "reason"),
+        [
+            ("truncate-model", "checksum"),
+            ("garbage-artifact", "corrupt"),
+            ("future-schema", "incompatible"),
+        ],
+    )
+    def test_damaged_checkpoint_typed_409_old_keeps_serving(
+        self, stack, v2_checkpoint, tmp_path, mode, reason
+    ):
+        base_url, runtime = stack
+        damaged = tmp_path / f"damaged-{mode}"
+        shutil.copytree(v2_checkpoint, damaged)
+        corrupt_checkpoint(damaged, mode)
+        generation = runtime.generation
+        status, payload = post(
+            f"{base_url}/admin/reload", {"checkpoint": str(damaged)}
+        )
+        assert status == 409, payload
+        assert payload["reason"] == reason
+        # the old checkpoint keeps serving, generation untouched
+        assert runtime.generation == generation
+        status, answer = post(
+            f"{base_url}/estimate", {"queries": [QUERY]}
+        )
+        assert status == 200
+        assert answer["generation"] == generation
+
+    def test_missing_checkpoint_dir_409(self, stack, tmp_path):
+        base_url, _ = stack
+        status, payload = post(
+            f"{base_url}/admin/reload",
+            {"checkpoint": str(tmp_path / "void")},
+        )
+        assert status == 409
+        assert payload["reason"] == "missing"
+
+
+class TestReloadWithoutRuntime:
+    def test_501_when_runtime_absent(self, service):
+        scheduler = BatchScheduler(
+            service.framework.estimate_batch, max_delay_ms=1.0
+        )
+        server = make_server(service, scheduler, port=0)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            status, payload = post(
+                f"http://{host}:{port}/admin/reload"
+            )
+            assert status == 501
+        finally:
+            server.shutdown()
+            server.server_close()
+            scheduler.close()
+            thread.join(5.0)
+
+
+class TestRuntimeNoPath:
+    def test_reload_error_without_any_checkpoint(self, service):
+        from repro.serve import ReloadError
+
+        backend = ResilientBackend(service.framework.estimate_batch)
+        scheduler = BatchScheduler(backend, max_delay_ms=1.0)
+        runtime = ServingRuntime(service, scheduler, backend)
+        try:
+            with pytest.raises(ReloadError):
+                runtime.reload()
+        finally:
+            scheduler.close()
