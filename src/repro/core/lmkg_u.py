@@ -39,6 +39,116 @@ from repro.sampling.random_walk import sample_instances
 _NODE_VOCAB = 0
 _PRED_VOCAB = 1
 
+#: Version of the batched sweep's Gumbel noise stream.  v1 drew
+#: ``standard_exponential`` matrices from one fresh Philox generator per
+#: (query, position) — thousands of generator setups per batch plus a
+#: log/negate pass over every (particle, vocab) element.  v2 (current)
+#: slices per-(query, position, particle) windows out of one seed-keyed
+#: Gumbel table, window bases derived by a splitmix64 mix of the same
+#: substream key, so a block's noise costs one contiguous gather.  A
+#: window is consumed one of two ways, decided by the query's (purely
+#: mask-dependent) divergence state at that position: a diverged
+#: query's particle reads the whole window as vocab-wide Gumbel noise
+#: for the streamed argmax competition, while an undiverged particle
+#: maps the window's first entry through the Gumbel CDF into the
+#: U(0,1] draw of the shared-prefix inverse-CDF sampler
+#: (:meth:`GumbelStream.uniforms`).  The substream keying (global
+#: query index x num_positions + position) is unchanged from v1,
+#: keeping estimates invariant to block width; the draws themselves
+#: differ from v1 — any further change to them must bump this
+#: constant.
+GUMBEL_STREAM_VERSION = 2
+
+#: entries in the shared Gumbel table; windows may overlap between
+#: particles (each particle's draws stay marginally standard Gumbel, so
+#: the particle-mean estimate remains unbiased)
+_GUMBEL_TABLE_SIZE = 1 << 21
+
+#: float32 ``exp`` underflow margin: once every real value's logit sits
+#: this far below the reserved id's, each renormalised conditional
+#: rounds to 0.0 in the fused float32 sweep — the "dead conditional"
+#: the seed's CDF sampler detected as an all-zero probability row.
+_DEAD_LOG_MARGIN = np.float32(-104.0)
+
+
+def _splitmix64(keys: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser (uint64 in, uint64 out)."""
+    x = keys.astype(np.uint64, copy=True)
+    x += np.uint64(0x9E3779B97F4A7C15)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+class GumbelStream:
+    """Shared Gumbel noise for the batched particle sweep (stream v2).
+
+    One seed-keyed table of standard-Gumbel variates; every
+    (query, position, particle) triple reads the window that starts at
+    its splitmix64-derived base.  A row's draws depend only on its
+    global query index, position, and particle — never on how the batch
+    is blocked — which is exactly the chunk-width invariance contract
+    the per-(query, position) Philox substreams of stream v1 gave.
+    """
+
+    def __init__(
+        self, seed: int, num_positions: int, max_vocab: int
+    ) -> None:
+        gen = np.random.Generator(
+            np.random.Philox(key=[seed + 9, GUMBEL_STREAM_VERSION])
+        )
+        table = gen.standard_exponential(
+            _GUMBEL_TABLE_SIZE + max_vocab, dtype=np.float32
+        )
+        # Exp(1) can round to 0 in float32; clamp to the smallest
+        # positive subnormal so the log stays finite.
+        np.maximum(table, np.float32(1e-45), out=table)
+        np.log(table, out=table)
+        np.negative(table, out=table)
+        self.table = table
+        self.num_positions = num_positions
+        self._salt = _splitmix64(np.array([seed + 9], dtype=np.uint64))[0]
+
+    def bases(
+        self,
+        query_indices: np.ndarray,
+        position: int,
+        particles: int,
+    ) -> np.ndarray:
+        """Window base per (query, particle), query-major order."""
+        sub = (
+            np.asarray(query_indices, dtype=np.uint64)[:, None]
+            * np.uint64(self.num_positions)
+            + np.uint64(position)
+        )
+        keys = sub * np.uint64(particles) + np.arange(
+            particles, dtype=np.uint64
+        )[None, :]
+        mixed = _splitmix64(keys ^ self._salt)
+        return (
+            (mixed % np.uint64(_GUMBEL_TABLE_SIZE))
+            .astype(np.int64)
+            .ravel()
+        )
+
+    def uniforms(
+        self,
+        query_indices: np.ndarray,
+        position: int,
+        particles: int,
+    ) -> np.ndarray:
+        """U(0,1] draw per (query, particle), query-major order.
+
+        The first entry ``g`` of the particle's keyed window mapped
+        through its own CDF, ``u = exp(-exp(-g))`` — exact standard
+        uniforms from the same stream state the Gumbel windows use.
+        """
+        g = self.table[self.bases(query_indices, position, particles)]
+        return np.exp(-np.exp(-g.astype(np.float64)))
+
 
 def likelihood_weighted_probability(
     model: MADE,
@@ -87,6 +197,129 @@ def likelihood_weighted_probability(
     return float(weights.mean())
 
 
+def sweep_probability_block(
+    model: MADE,
+    constraints: np.ndarray,
+    particles: int,
+    noise: GumbelStream,
+    offset: int,
+) -> np.ndarray:
+    """Mean particle weight per query for one block of constraints.
+
+    One incremental sweep serves the whole block: per position the
+    trunk runs once over the full ``(queries x particles)`` row block
+    while the vocab-sized head streams in cache-sized column chunks
+    (:meth:`MADESweep.head_lse_pick` / :meth:`head_gumbel_argmax` /
+    :meth:`head_categorical_sample`), so the ``(rows, vocab)`` logit
+    matrix is never materialised.
+
+    Until a query reaches its first unbound position all its particles
+    share one identical prefix, so the head runs on a single
+    representative row per such query — conditionals broadcast across
+    its particles, and unbound draws come from the shared-prefix
+    inverse-CDF sampler instead of a per-particle Gumbel competition.
+    The full-width head only ever pays for rows that have actually
+    diverged.  *constraints* holds the bound value per
+    (query, position), ``-1`` where unbound.  *offset* is the block's
+    first query index within the batch; it keys the per-(query,
+    position) noise substreams, so results are invariant to how the
+    batch is blocked.  Shared by :class:`LMKGU` and
+    :class:`~repro.core.lmkg_u_universal.UniversalLMKGU`.
+    """
+    num_queries, num_positions = constraints.shape
+    rows = num_queries * particles
+    sweep = model.begin_sweep(
+        np.zeros((rows, num_positions), dtype=np.int64)
+    )
+    weights = np.ones((num_queries, particles))
+    diverged = np.zeros(num_queries, dtype=bool)
+    arange_p = np.arange(particles, dtype=np.int64)
+    column = np.empty((num_queries, particles), dtype=np.int64)
+    last = num_positions - 1
+    for position in range(num_positions):
+        values = constraints[:, position]
+        bound = values >= 0
+        if bound.any():
+            # Bound: multiply in the conditional of the bound value.
+            q_rep = np.flatnonzero(bound & ~diverged)
+            q_all = np.flatnonzero(bound & diverged)
+            head_rows = np.concatenate([
+                q_rep * particles,
+                (q_all[:, None] * particles + arange_p).ravel(),
+            ])
+            head_vals = np.concatenate([
+                values[q_rep],
+                np.repeat(values[q_all], particles),
+            ])
+            lse, picked = sweep.head_lse_pick(
+                position, head_rows, head_vals
+            )
+            logw = picked - lse
+            n_rep = q_rep.shape[0]
+            if n_rep:
+                weights[q_rep] *= np.exp(logw[:n_rep])[:, None]
+            if q_all.shape[0]:
+                weights[q_all] *= np.exp(
+                    logw[n_rep:].reshape(q_all.shape[0], particles)
+                )
+            column[bound] = values[bound, None]
+        unbound = ~bound
+        if unbound.any():
+            # Unbound: sample from the conditional with the reserved id
+            # excluded.  Undiverged queries share one prefix across all
+            # particles, so their draws come from the shared-prefix
+            # inverse-CDF sampler (one head row per query); diverged
+            # queries run the per-particle streamed Gumbel competition.
+            q_rep = np.flatnonzero(unbound & ~diverged)
+            q_all = np.flatnonzero(unbound & diverged)
+            n_rep = q_rep.shape[0]
+            n_all = q_all.shape[0]
+            if n_rep:
+                u = noise.uniforms(
+                    q_rep + offset, position, particles
+                ).reshape(n_rep, particles)
+                choice, rest_peak, first_logit = (
+                    sweep.head_categorical_sample(
+                        position, q_rep * particles, u
+                    )
+                )
+                column[q_rep] = choice
+                # Dead conditional: all remaining float32 mass sits on
+                # the reserved unbound id 0 (never seen in training) —
+                # the sampled particle carries weight 0, as the seed's
+                # CDF sampler did.
+                dead = (rest_peak - first_logit) <= _DEAD_LOG_MARGIN
+                dead_q = q_rep[dead]
+                if dead_q.size:
+                    column[dead_q] = 1
+                    weights[dead_q] = 0.0
+            if n_all:
+                head_rows = (
+                    q_all[:, None] * particles + arange_p
+                ).ravel()
+                bases = noise.bases(q_all + offset, position, particles)
+                choice, rest_peak, first_logit = (
+                    sweep.head_gumbel_argmax(
+                        position, head_rows, noise.table, bases
+                    )
+                )
+                column[q_all] = choice.reshape(n_all, particles)
+                dead_all = (
+                    (rest_peak - first_logit) <= _DEAD_LOG_MARGIN
+                ).reshape(n_all, particles)
+                if dead_all.any():
+                    sub = column[q_all]
+                    sub[dead_all] = 1
+                    column[q_all] = sub
+                    sub = weights[q_all]
+                    sub[dead_all] = 0.0
+                    weights[q_all] = sub
+            diverged |= unbound
+        if position != last:
+            sweep.assign(position, column.reshape(rows))
+    return weights.mean(axis=1)
+
+
 @dataclass(frozen=True)
 class LMKGUConfig:
     """Hyperparameters of one autoregressive model.
@@ -107,16 +340,18 @@ class LMKGUConfig:
     particles: int = 256
     sample_method: str = "exact"  # "exact" | "rw"
     seed: int = 0
-    #: element budget (block_rows * vocab) of one conditional-logit
-    #: matrix in the batched particle sweep; None auto-tunes on the
-    #: first estimate by timing a few candidate widths.  Estimates are
-    #: invariant to the choice (per-query noise substreams), so the
-    #: knob is purely a throughput lever.
+    #: row budget (``queries x particles``) of one sweep block in the
+    #: batched estimator; None auto-tunes on the first estimate by
+    #: timing a few candidate widths.  The vocab-sized head streams in
+    #: fixed column chunks regardless, so the budget is independent of
+    #: vocabulary size, and estimates are invariant to the choice
+    #: (per-query noise substreams) — the knob is purely a throughput
+    #: lever.
     chunk_budget: Optional[int] = None
 
 
-#: candidate element budgets tried by the first-estimate calibration
-_CHUNK_BUDGETS = (175_000, 350_000, 1_400_000)
+#: candidate row budgets tried by the first-estimate calibration
+_CHUNK_BUDGETS = (16_384, 65_536, 262_144)
 
 
 class LMKGU(Estimator):
@@ -157,6 +392,7 @@ class LMKGU(Estimator):
         #: pinned to a narrow first-batch winner.
         self._tuned_chunk: Optional[int] = None
         self._tuned_cover: int = 0
+        self._noise: Optional[GumbelStream] = None
 
     def build_model(self) -> MADE:
         """Instantiate the (untrained) ResMADE for this shape.
@@ -283,14 +519,15 @@ class LMKGU(Estimator):
     def _estimate_batch(self, queries) -> np.ndarray:
         """Batched likelihood-weighted estimation.
 
-        All queries share one particle sweep: the per-position
-        conditional forward runs once for a ``block x particles`` row
-        block on the fused float32 trunk (incremental first layer, see
-        :meth:`MADE.begin_sweep`), chunked so the logit tensor stays
-        cache-resident.  Sampling noise comes from one counter-based
-        Philox substream per (query, position), so results do not depend
-        on the chunk width — individual numbers still differ from the
-        per-query :meth:`estimate` within sampling noise.
+        All queries share one particle sweep: the per-position trunk
+        forward runs once for a ``block x particles`` row block on the
+        fused float32 trunk (incremental first layer, see
+        :meth:`MADE.begin_sweep`), while the vocab-sized head streams
+        in fixed cache-sized column chunks — the block width is set by
+        a row budget independent of vocabulary size.  Sampling noise
+        comes from one substream per (query, position), so results do
+        not depend on the chunk width — individual numbers still differ
+        from the per-query :meth:`estimate` within sampling noise.
         """
         if self.model is None or self.universe is None:
             raise RuntimeError("estimate() before fit()")
@@ -317,8 +554,13 @@ class LMKGU(Estimator):
     # ------------------------------------------------------------------
 
     def _queries_per_block(self, budget: int) -> int:
-        per_query = max(self.config.particles * max(self._vocab_sizes), 1)
-        return max(int(budget) // per_query, 1)
+        # The budget counts sweep rows (queries x particles): the trunk
+        # state is all that scales with the block, because the head
+        # streams the vocab dimension in fixed cache-sized chunks.
+        # (The seed budgeted by particles x vocab — with a 34k-node
+        # vocabulary every candidate collapsed to one query per block
+        # and the trunk re-ran per query.)
+        return max(int(budget) // max(self.config.particles, 1), 1)
 
     def _block_chunk(
         self, constraints: np.ndarray, out: np.ndarray
@@ -390,115 +632,36 @@ class LMKGU(Estimator):
     # Particle sweep
     # ------------------------------------------------------------------
 
-    def _gumbel_noise(
-        self,
-        query_indices: np.ndarray,
-        position: int,
-        particles: int,
-        vocab: int,
-    ) -> np.ndarray:
-        """Standard-Gumbel noise from per-(query, position) substreams.
-
-        Each (query, position) pair owns a counter-based Philox stream
-        keyed by its index, so the draws a query sees are independent of
-        how the batch is chunked — the block width is a pure throughput
-        knob.  Gumbel variates come from ``-log(Exp(1))`` (one log, no
-        inverse-CDF cumsum).
-        """
-        out = np.empty(
-            (len(query_indices), particles, vocab), dtype=np.float32
-        )
-        base = (self.config.seed + 9) & 0xFFFFFFFFFFFFFFFF
-        for row, qi in enumerate(query_indices):
-            key = [int(qi) * self.num_positions + position, base]
-            gen = np.random.Generator(np.random.Philox(key=key))
-            out[row] = gen.standard_exponential(
-                (particles, vocab), dtype=np.float32
+    def _noise_stream(self) -> GumbelStream:
+        """Lazily-built shared noise table (seed- and shape-keyed)."""
+        if self._noise is None:
+            self._noise = GumbelStream(
+                self.config.seed,
+                self.num_positions,
+                max(self._vocab_sizes),
             )
-        # Exp(1) can round to 0 in float32; clamp to the smallest
-        # positive subnormal so the log stays finite.
-        np.maximum(out, np.float32(1e-45), out=out)
-        np.log(out, out=out)
-        np.negative(out, out=out)
-        return out
+        return self._noise
 
     def _probability_block(
         self, constraints: np.ndarray, offset: int
     ) -> np.ndarray:
         """Mean particle weight per query for one block of constraints.
 
-        *offset* is the block's first query index within the batch; it
-        keys the per-query noise substreams (chunk-width invariance).
-
-        One incremental sweep serves the whole block: per position the
-        fused trunk yields masked logits, bound positions multiply the
-        particle weight by the conditional of the bound value, unbound
-        positions sample by Gumbel-max directly on the logits (the
-        reserved id 0 masked to -inf) — no exp/normalise/cumsum
-        materialisation.  A particle whose conditional collapsed onto
-        the reserved id carries weight 0, exactly as the seed's CDF
-        sampler did.
+        Delegates to :func:`sweep_probability_block`: one incremental
+        sweep over the whole block, vocab-streamed head, representative
+        rows for not-yet-diverged queries.  *offset* is the block's
+        first query index within the batch; it keys the per-query noise
+        substreams (chunk-width invariance).
         """
         model = self.model
         assert model is not None
-        num_queries = constraints.shape[0]
-        particles = self.config.particles
-        rows = num_queries * particles
-        sweep = model.begin_sweep(
-            np.zeros((rows, self.num_positions), dtype=np.int64)
+        return sweep_probability_block(
+            model,
+            constraints,
+            self.config.particles,
+            self._noise_stream(),
+            offset,
         )
-        weights = np.ones((num_queries, particles))
-        last = self.num_positions - 1
-        for position in range(self.num_positions):
-            logits = sweep.logits(position).reshape(
-                num_queries, particles, -1
-            )
-            values = constraints[:, position]
-            bound = values >= 0
-            # Per-particle log normaliser (the sweep's only exp pass).
-            peak = logits.max(axis=2)
-            lse = peak + np.log(
-                np.exp(logits - peak[:, :, None]).sum(axis=2)
-            )
-            column = np.empty((num_queries, particles), dtype=np.int64)
-            if bound.any():
-                picked = np.take_along_axis(
-                    logits[bound], values[bound][:, None, None], axis=2
-                )[:, :, 0]
-                weights[bound] *= np.exp(
-                    (picked - lse[bound]).astype(np.float64)
-                )
-                column[bound] = values[bound, None]
-            unbound = ~bound
-            if unbound.any():
-                masked = logits[unbound]
-                # Dead conditional: all remaining float32 mass sits on
-                # the reserved unbound id 0 (never seen in training).
-                rest_peak = masked[:, :, 1:].max(axis=2)
-                dead = (
-                    np.exp(
-                        (rest_peak - lse[unbound]).astype(np.float32)
-                    )
-                    == 0.0
-                )
-                masked[:, :, 0] = -np.inf
-                noise = self._gumbel_noise(
-                    np.flatnonzero(unbound) + offset,
-                    position,
-                    particles,
-                    masked.shape[2],
-                )
-                masked += noise
-                choice = masked.argmax(axis=2)
-                if dead.any():
-                    choice[dead] = 1
-                    sub = weights[unbound]
-                    sub[dead] = 0.0
-                    weights[unbound] = sub
-                column[unbound] = choice
-            if position != last:
-                sweep.assign(position, column.reshape(rows))
-        return weights.mean(axis=1)
 
     def _probability(
         self, constraints: Sequence[Optional[int]]
@@ -561,6 +724,15 @@ class LMKGU(Estimator):
         # without pickling.
         arrays["_meta_universe"] = np.array([str(self.universe)])
         arrays["_meta_particles"] = np.array([self.config.particles])
+        # Sampler identity beyond the weights: the seed keys the noise
+        # substreams, so dropping it would make a non-default-seed model
+        # silently return different estimates after reload; the block
+        # row budget rides along (-1 = auto-tune).
+        budget = self.config.chunk_budget
+        arrays["_meta_sampler"] = np.array(
+            [self.config.seed, -1 if budget is None else budget],
+            dtype=np.int64,
+        )
         save_arrays(path, arrays)
 
     @classmethod
@@ -572,11 +744,19 @@ class LMKGU(Estimator):
         arrays = load_arrays(path)
         size, is_star = arrays["_meta_shape"]
         made = MADE.from_state(arrays)
+        seed, budget = 0, -1
+        if "_meta_sampler" in arrays:
+            seed, budget = (int(v) for v in arrays["_meta_sampler"])
         config = LMKGUConfig(
             embed_dim=made.embed_dim,
             hidden_sizes=tuple(made.hidden_sizes),
             residual=made.residual,
             particles=int(arrays["_meta_particles"][0]),
+            # Legacy (pre-sampler-meta) checkpoints default to seed 0 —
+            # the old loader's silent behaviour, now only for files that
+            # genuinely carry no seed.
+            seed=seed,
+            chunk_budget=None if budget < 0 else budget,
         )
         model = cls(
             store,

@@ -29,8 +29,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.estimator import Estimator
-from repro.core.lmkg_u import LMKGUConfig, likelihood_weighted_probability
+from repro.core.estimator import Estimator, finalize_estimates
+from repro.core.lmkg_u import (
+    _CHUNK_BUDGETS,
+    GumbelStream,
+    LMKGUConfig,
+    likelihood_weighted_probability,
+    sweep_probability_block,
+)
 from repro.nn.masked import MADE
 from repro.rdf.pattern import QueryPattern, Topology
 from repro.rdf.store import TripleStore
@@ -93,6 +99,7 @@ class UniversalLMKGU(Estimator):
         self.universes: Dict[Shape, int] = {}
         self.total_universe: int = 0
         self.history: List[float] = []
+        self._noise: Optional[GumbelStream] = None
 
     # ------------------------------------------------------------------
     # Training
@@ -216,12 +223,72 @@ class UniversalLMKGU(Estimator):
         )
         return constraints
 
+    def estimate(self, query: QueryPattern) -> float:
+        """Estimated cardinality via likelihood-weighted sampling.
+
+        Overrides the protocol's derived form for the same reason
+        :meth:`LMKGU.estimate` does: the per-query sweep draws from a
+        fresh RNG stream, paper draw-for-draw, while
+        ``estimate_batch`` shares one noise table across the batch
+        (identical within sampling noise, not bitwise).
+        """
+        return float(
+            finalize_estimates(
+                [self._estimate_one(query)], 1, self.name
+            )[0]
+        )
+
     def _estimate_one(self, query: QueryPattern) -> float:
         """Estimated cardinality via likelihood-weighted sampling."""
         if self.model is None or not self.total_universe:
             raise RuntimeError("estimate() before fit()")
         constraints = self._query_constraints(query)
         return float(self.total_universe * self._probability(constraints))
+
+    def _estimate_batch(self, queries) -> np.ndarray:
+        """Batched likelihood weighting on the shared block sweep.
+
+        The per-query loop of the protocol's default is replaced by
+        :func:`~repro.core.lmkg_u.sweep_probability_block`: one
+        incremental trunk per block of ``queries x particles`` rows
+        with the vocab-streamed head, exactly as :class:`LMKGU`'s
+        batch path.  Pad positions are bound to the reserved id 0, so
+        they ride the bound-value branch of the sweep unchanged.
+        """
+        if self.model is None or not self.total_universe:
+            raise RuntimeError("estimate() before fit()")
+        queries = list(queries)
+        constraints = np.full(
+            (len(queries), self.num_positions), -1, dtype=np.int64
+        )
+        for i, query in enumerate(queries):
+            for j, value in enumerate(self._query_constraints(query)):
+                if value is not None:
+                    constraints[i, j] = value
+        budget = self.config.chunk_budget
+        if budget is None:
+            budget = _CHUNK_BUDGETS[len(_CHUNK_BUDGETS) // 2]
+        chunk = max(int(budget) // max(self.config.particles, 1), 1)
+        out = np.empty(len(queries), dtype=np.float64)
+        for lo in range(0, len(queries), chunk):
+            out[lo: lo + chunk] = sweep_probability_block(
+                self.model,
+                constraints[lo: lo + chunk],
+                self.config.particles,
+                self._noise_stream(),
+                lo,
+            )
+        return float(self.total_universe) * out
+
+    def _noise_stream(self) -> GumbelStream:
+        """Lazily-built shared noise table (seed- and shape-keyed)."""
+        if self._noise is None:
+            self._noise = GumbelStream(
+                self.config.seed,
+                self.num_positions,
+                max(self._vocab_sizes),
+            )
+        return self._noise
 
     def _probability(
         self, constraints: Sequence[Optional[int]]
@@ -286,8 +353,13 @@ class UniversalLMKGU(Estimator):
                 for shape in self.shapes
             ]
         )
+        budget = self.config.chunk_budget
         arrays["_meta_universal"] = np.array(
-            [self.config.particles, self.config.seed]
+            [
+                self.config.particles,
+                self.config.seed,
+                -1 if budget is None else budget,
+            ]
         )
         save_arrays(path, arrays)
 
@@ -302,8 +374,14 @@ class UniversalLMKGU(Estimator):
         for raw in arrays["_meta_shapes"]:
             topology, size = bytes(raw).decode().split(":")
             shapes.append((topology, int(size)))
-        particles, seed = (int(v) for v in arrays["_meta_universal"])
-        config = LMKGUConfig(particles=particles, seed=seed)
+        meta = [int(v) for v in arrays["_meta_universal"]]
+        # Pre-chunk_budget checkpoints carry [particles, seed] only.
+        budget = meta[2] if len(meta) > 2 else -1
+        config = LMKGUConfig(
+            particles=meta[0],
+            seed=meta[1],
+            chunk_budget=None if budget < 0 else budget,
+        )
         model = cls(store, shapes, config)
         model.model = MADE.from_state(arrays)
         model.universes = {

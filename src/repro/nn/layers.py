@@ -76,7 +76,14 @@ class Layer:
 
 
 class Linear(Layer):
-    """Fully connected layer ``y = x W + b``."""
+    """Fully connected layer ``y = x W + b``.
+
+    Besides the float64 training weights, the layer keeps a fused
+    inference cast from :meth:`fused` — the masters cast once to the
+    inference dtype and cached against the parameter version counters,
+    the same discipline as
+    :meth:`repro.nn.masked.MaskedLinear.fused`.
+    """
 
     def __init__(
         self,
@@ -95,6 +102,23 @@ class Linear(Layer):
         self.weight = Parameter(f"{name}.weight", weights)
         self.bias = Parameter(f"{name}.bias", np.zeros(out_features))
         self._input: Optional[np.ndarray] = None
+        self._fused: Optional[tuple] = None
+        self._fused_key: Optional[tuple] = None
+
+    def fused(self, dtype=np.float32) -> tuple:
+        """``(weight, bias)`` at the inference dtype, version-cached.
+
+        Rebuilt only when an optimiser step or checkpoint restore bumps
+        a parameter version — the inference hot path never casts.
+        """
+        key = (self.weight.version, self.bias.version, np.dtype(dtype))
+        if self._fused_key != key:
+            self._fused = (
+                self.weight.value.astype(key[2]),
+                self.bias.value.astype(key[2]),
+            )
+            self._fused_key = key
+        return self._fused
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._input = x
@@ -181,6 +205,26 @@ class Sequential(Layer):
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         for layer in self.layers:
             x = layer.forward(x, training=training)
+        return x
+
+    def forward_fused(self, x: np.ndarray, dtype=np.float32) -> np.ndarray:
+        """Inference-only forward on the fused parameter casts.
+
+        Dense layers run one GEMM against their version-cached
+        :meth:`Linear.fused` weights; Dropout is an identity at
+        inference; the element-wise activations preserve the inference
+        dtype on their own.  No backward state is recorded.
+        """
+        x = np.asarray(x, dtype=dtype)
+        for layer in self.layers:
+            if isinstance(layer, Linear):
+                weight, bias = layer.fused(dtype)
+                x = x @ weight
+                x += bias
+            elif isinstance(layer, Dropout):
+                continue
+            else:
+                x = layer.forward(x, training=False)
         return x
 
     def backward(self, grad: np.ndarray) -> np.ndarray:

@@ -149,6 +149,21 @@ def _output_mask(
     return out_degrees[None, :] > in_degrees[:, None]
 
 
+#: Row-tile and vocab-column-chunk of the streamed head.  The
+#: ``(tile, chunk)`` float32 scratch (16 MB) is the measured sweet spot
+#: on the serving container across a {128..8192} x {1024..full-vocab}
+#: grid; the *column* grid is fixed in vocab space (never derived from
+#: the row count), so per-row reductions visit chunks in the same order
+#: no matter how a batch is blocked.
+_HEAD_ROW_TILE = 512
+_HEAD_COL_CHUNK = 8192
+
+#: Row tile of the shared-prefix categorical sampler: its float64 CDF
+#: scratch is ``tile x vocab`` (a few tens of MB at graph vocabularies),
+#: bounded regardless of how many rows the caller passes.
+_HEAD_SAMPLE_ROW_TILE = 128
+
+
 class MADESweep:
     """Incremental inference state for a position-by-position sweep.
 
@@ -179,6 +194,7 @@ class MADESweep:
         weight, bias = first.fused(model.inference_dtype)
         self._h1_pre = self._embedded @ weight
         self._h1_pre += bias
+        self._trunk_h: Optional[np.ndarray] = None
 
     def assign(self, position: int, values: np.ndarray) -> None:
         """Set *position* to *values* (one id per row) and update h1."""
@@ -193,9 +209,16 @@ class MADESweep:
         self._h1_pre += delta @ weight[lo:hi, :]
         self._embedded[:, lo:hi] = new_block
         self.ids[:, position] = values
+        self._trunk_h = None
 
     def _trunk(self) -> np.ndarray:
-        """Hidden state after the full trunk, from the cached h1."""
+        """Hidden state after the full trunk, from the cached h1.
+
+        Cached between assignments so the bound and unbound head passes
+        of one position share a single deep-layer forward.
+        """
+        if self._trunk_h is not None:
+            return self._trunk_h
         model = self.model
         h = np.maximum(self._h1_pre, 0.0)
         for li in range(1, len(model.hidden_layers)):
@@ -208,20 +231,275 @@ class MADESweep:
             h = post + h if (
                 model.residual and post.shape[1] == h.shape[1]
             ) else post
+        self._trunk_h = h
         return h
 
-    def logits(self, position: int) -> np.ndarray:
-        """Logits of *position* given the currently assigned ids."""
+    def _head_operands(
+        self, position: int, rows: Optional[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(ones-augmented out block, biased head table)`` of *position*.
+
+        The out block is the per-row embed-dim projection for the given
+        row subset (all rows when *rows* is None), with a trailing ones
+        column; multiplied against :meth:`MADE._fused_head_table` one
+        GEMM produces biased logits — no per-tile bias pass.
+        """
         model = self.model
         h = self._trunk()
+        if rows is not None:
+            h = h[rows]
         lo = position * model.embed_dim
         hi = lo + model.embed_dim
         weight, bias = model.out_proj.fused(model.inference_dtype)
-        block = h @ weight[:, lo:hi]
-        block += bias[lo:hi]
-        head = block @ model._fused_table_t(model.var_vocabs[position])
-        head += model._fused_out_bias(position)
-        return head
+        block = np.empty(
+            (h.shape[0], model.embed_dim + 1), dtype=model.inference_dtype
+        )
+        np.matmul(h, weight[:, lo:hi], out=block[:, :-1])
+        block[:, :-1] += bias[lo:hi]
+        block[:, -1] = 1.0
+        return block, model._fused_head_table(position)
+
+    def logits(self, position: int) -> np.ndarray:
+        """Logits of *position* given the currently assigned ids."""
+        block, head_t = self._head_operands(position, None)
+        return block @ head_t
+
+    def head_lse_pick(
+        self,
+        position: int,
+        rows: np.ndarray,
+        values: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Streamed per-row log-normaliser and bound-value logit.
+
+        For the given row subset computes ``lse[r] = log sum_v
+        exp(logits[r, v])`` and ``picked[r] = logits[r, values[r]]``
+        without materialising the ``(rows, vocab)`` logit matrix: the
+        head streams in fixed vocab-column chunks over cache-sized row
+        tiles, keeping a running maximum and a rescaled running sum per
+        row.  The column grid lives in vocab space, so each row's
+        reduction order — hence its result — is independent of which
+        other rows share the call.  Returns float64 ``(lse, picked)``.
+        """
+        model = self.model
+        block, head_t = self._head_operands(position, rows)
+        values = np.asarray(values, dtype=np.int64)
+        n = block.shape[0]
+        vocab = head_t.shape[1]
+        # The bound-value logit is one rank-embed_dim dot per row against
+        # a contiguous table row — no chunk bookkeeping needed.
+        table = model._fused_table(model.var_vocabs[position])
+        picked = np.einsum(
+            "re,re->r", block[:, :-1], np.take(table, values, axis=0)
+        ).astype(np.float64)
+        picked += model._fused_out_bias(position)[values]
+        run_max = np.full(n, -np.inf, dtype=np.float32)
+        run_sum = np.zeros(n, dtype=np.float64)
+        scratch = np.empty(
+            (min(n, _HEAD_ROW_TILE), min(vocab, _HEAD_COL_CHUNK)),
+            dtype=model.inference_dtype,
+        )
+        for r0 in range(0, n, _HEAD_ROW_TILE):
+            r1 = min(r0 + _HEAD_ROW_TILE, n)
+            rows_block = block[r0:r1]
+            for c0 in range(0, vocab, _HEAD_COL_CHUNK):
+                c1 = min(c0 + _HEAD_COL_CHUNK, vocab)
+                tile = scratch[: r1 - r0, : c1 - c0]
+                np.matmul(rows_block, head_t[:, c0:c1], out=tile)
+                new_max = np.maximum(run_max[r0:r1], tile.max(axis=1))
+                np.subtract(tile, new_max[:, None], out=tile)
+                np.exp(tile, out=tile)
+                run_sum[r0:r1] *= np.exp(
+                    (run_max[r0:r1] - new_max).astype(np.float64)
+                )
+                # Pairwise float32 within the chunk, float64 across
+                # chunks — the cross-chunk accumulator is what the
+                # running maximum rescales.
+                run_sum[r0:r1] += tile.sum(axis=1)
+                run_max[r0:r1] = new_max
+        lse = run_max.astype(np.float64) + np.log(run_sum)
+        return lse, picked
+
+    def head_gumbel_argmax(
+        self,
+        position: int,
+        rows: np.ndarray,
+        noise_table: np.ndarray,
+        bases: np.ndarray,
+        row_map: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Streamed Gumbel-max over the head, reserved id 0 excluded.
+
+        Samples ``argmax_{v >= 1} (logits[head(j), v] + g[j, v])`` per
+        competition row *j* without materialising logits or noise: the
+        head streams in the same fixed vocab-column chunks as
+        :meth:`head_lse_pick`, against a running (best value, best
+        column) pair.  Noise for competition row *j* over columns
+        ``[c0, c1)`` is the window ``noise_table[bases[j] + c0 :
+        bases[j] + c1]`` — the caller owns the keying of *bases*.
+        *row_map* (non-decreasing) maps competition rows onto head rows
+        so many particles that share an identical prefix can reuse one
+        head row's GEMM while still drawing their own noise.
+
+        Returns ``(choice, rest_peak, first_logit)``: the winning column
+        per competition row, plus per **head** row the maximum logit
+        over ``v >= 1`` and the reserved id's logit — the two operands
+        of dead-conditional detection.
+        """
+        model = self.model
+        block, head_t = self._head_operands(position, rows)
+        bases = np.asarray(bases, dtype=np.int64)
+        n_head = block.shape[0]
+        vocab = head_t.shape[1]
+        if row_map is None:
+            comp_to_head = np.arange(n_head, dtype=np.int64)
+        else:
+            comp_to_head = np.asarray(row_map, dtype=np.int64)
+        n_comp = comp_to_head.shape[0]
+        if bases.shape[0] != n_comp:
+            raise ValueError(
+                f"{n_comp} competition rows but {bases.shape[0]} noise bases"
+            )
+        first_logit = block @ head_t[:, 0]
+        rest_peak = np.full(n_head, -np.inf, dtype=np.float32)
+        best_val = np.full(n_comp, -np.inf, dtype=np.float32)
+        choice = np.zeros(n_comp, dtype=np.int64)
+        scratch = np.empty(
+            (min(n_comp, _HEAD_ROW_TILE), min(vocab, _HEAD_COL_CHUNK)),
+            dtype=model.inference_dtype,
+        )
+        # Noise windows are copied row-by-row into one reused buffer:
+        # a fancy-indexed window gather would allocate (and page-fault)
+        # a fresh tile-sized array per chunk.
+        noise_buf = np.empty_like(scratch)
+        for r0 in range(0, n_comp, _HEAD_ROW_TILE):
+            r1 = min(r0 + _HEAD_ROW_TILE, n_comp)
+            h_lo = int(comp_to_head[r0])
+            h_hi = int(comp_to_head[r1 - 1]) + 1
+            head_rows = block[h_lo:h_hi]
+            n_tile = r1 - r0
+            n_heads = h_hi - h_lo
+            local = comp_to_head[r0:r1] - h_lo
+            identity = n_heads == n_tile and bool(
+                (local == np.arange(n_tile)).all()
+            )
+            # A tile of equal-sized particle groups (the undiverged
+            # rep layout) broadcasts each head row over its group
+            # in place of materialising an expanded copy.
+            group = 0 if identity else n_tile // n_heads
+            uniform = (
+                not identity
+                and group * n_heads == n_tile
+                and bool(
+                    (
+                        local
+                        == np.repeat(
+                            np.arange(n_heads, dtype=np.int64), group
+                        )
+                    ).all()
+                )
+            )
+            tile_bases = bases[r0:r1].tolist()
+            for c0 in range(0, vocab, _HEAD_COL_CHUNK):
+                c1 = min(c0 + _HEAD_COL_CHUNK, vocab)
+                width = c1 - c0
+                tile = scratch[:n_heads, :width]
+                np.matmul(head_rows, head_t[:, c0:c1], out=tile)
+                if c0 == 0:
+                    # The reserved id is excluded from both the
+                    # competition and the rest-of-vocab peak.
+                    tile[:, 0] = -np.inf
+                np.maximum(
+                    rest_peak[h_lo:h_hi],
+                    tile.max(axis=1),
+                    out=rest_peak[h_lo:h_hi],
+                )
+                noisy = noise_buf[:n_tile, :width]
+                for i, base in enumerate(tile_bases):
+                    noisy[i] = noise_table[base + c0: base + c1]
+                if identity:
+                    noisy += tile
+                elif uniform:
+                    view = noisy.reshape(n_heads, group, width)
+                    view += tile[:, None, :]
+                else:
+                    noisy += tile[local]
+                loc = noisy.argmax(axis=1)
+                val = np.take_along_axis(
+                    noisy, loc[:, None], axis=1
+                ).ravel()
+                # Strict '>' keeps the earliest chunk on exact ties,
+                # matching a full-matrix argmax.
+                upd = val > best_val[r0:r1]
+                sel = np.flatnonzero(upd)
+                if sel.size:
+                    choice[r0 + sel] = loc[sel] + c0
+                    best_val[r0:r1][upd] = val[upd]
+        return choice, rest_peak, first_logit
+
+    def head_categorical_sample(
+        self,
+        position: int,
+        rows: np.ndarray,
+        uniforms: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Inverse-CDF draws from shared head rows, reserved id excluded.
+
+        For each head row *r* (a prefix shared by a whole particle
+        group) draws ``uniforms.shape[1]`` independent samples from
+        ``softmax(logits[r, 1:])`` by inverting the row's CDF in vocab
+        order: draw *j* picks the smallest ``v >= 1`` with
+        ``sum_{w <= v} exp(l_w - m_r) >= u[r, j] * Z_r``.  One GEMM and
+        one float64 scan per *head* row replaces a per-*particle*
+        vocab-wide Gumbel competition, which is what makes undiverged
+        queries cheap.  The CDF is materialised one
+        :data:`_HEAD_SAMPLE_ROW_TILE` row tile at a time — never the
+        full ``(rows, vocab)`` matrix — and is a pure per-row function
+        of the logits and the uniforms, so draws are independent of how
+        the batch was blocked.
+
+        Returns ``(choice, rest_peak, first_logit)``: choices shaped
+        like *uniforms*, plus the two dead-conditional operands per
+        head row.  Dead rows (``Z == 0`` in float64 terms never occurs;
+        the caller tests ``rest_peak - first_logit``) still get
+        well-defined draws from the renormalised row.
+        """
+        model = self.model
+        block, head_t = self._head_operands(position, rows)
+        uniforms = np.asarray(uniforms, dtype=np.float64)
+        n = block.shape[0]
+        vocab = head_t.shape[1]
+        if uniforms.shape[0] != n:
+            raise ValueError(
+                f"{n} head rows but {uniforms.shape[0]} uniform rows"
+            )
+        choice = np.empty(uniforms.shape, dtype=np.int64)
+        rest_peak = np.empty(n, dtype=np.float32)
+        first_logit = np.empty(n, dtype=np.float32)
+        tile_rows = min(n, _HEAD_SAMPLE_ROW_TILE)
+        scratch = np.empty(
+            (tile_rows, vocab), dtype=model.inference_dtype
+        )
+        cdf = np.empty((tile_rows, vocab), dtype=np.float64)
+        for r0 in range(0, n, _HEAD_SAMPLE_ROW_TILE):
+            r1 = min(r0 + _HEAD_SAMPLE_ROW_TILE, n)
+            k = r1 - r0
+            tile = scratch[:k]
+            np.matmul(block[r0:r1], head_t, out=tile)
+            first_logit[r0:r1] = tile[:, 0]
+            tile[:, 0] = -np.inf
+            peak = tile.max(axis=1)
+            rest_peak[r0:r1] = peak
+            row_cdf = cdf[:k]
+            np.subtract(tile, peak[:, None], out=tile)
+            np.exp(tile, out=tile)
+            np.cumsum(tile, axis=1, dtype=np.float64, out=row_cdf)
+            targets = uniforms[r0:r1] * row_cdf[:, -1:]
+            for i in range(k):
+                choice[r0 + i] = np.searchsorted(
+                    row_cdf[i], targets[i], side="left"
+                )
+        return choice, rest_peak, first_logit
 
     def conditionals(self, position: int) -> np.ndarray:
         """Probabilities ``P(x_position | assigned x_<position)``."""
@@ -322,6 +600,10 @@ class MADE:
         self._table_t_shadow_keys: Dict[int, Tuple[int, np.dtype]] = {}
         self._out_bias_shadows: Dict[int, np.ndarray] = {}
         self._out_bias_shadow_keys: Dict[int, Tuple[int, np.dtype]] = {}
+        self._head_shadows: Dict[int, np.ndarray] = {}
+        self._head_shadow_keys: Dict[
+            int, Tuple[int, int, np.dtype]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Parameters / size
@@ -361,6 +643,7 @@ class MADE:
         total += sum(a.nbytes for a in self._table_shadows.values())
         total += sum(a.nbytes for a in self._table_t_shadows.values())
         total += sum(a.nbytes for a in self._out_bias_shadows.values())
+        total += sum(a.nbytes for a in self._head_shadows.values())
         return total
 
     def checkpoint_bytes(self) -> int:
@@ -407,6 +690,28 @@ class MADE:
             self._out_bias_shadows[position] = param.value.astype(key[1])
             self._out_bias_shadow_keys[position] = key
         return self._out_bias_shadows[position]
+
+    def _fused_head_table(self, position: int) -> np.ndarray:
+        """``(embed + 1, vocab)`` head operand with the bias folded in.
+
+        The transposed embedding table with the position's output bias
+        appended as a final row: multiplied against a ones-augmented
+        out block, one GEMM yields biased logits, replacing a separate
+        vocab-wide bias-add pass over every streamed head tile.
+        """
+        table_p = self.tables[self.var_vocabs[position]]
+        bias_p = self.out_bias[position]
+        key = (table_p.version, bias_p.version, self.inference_dtype)
+        if self._head_shadow_keys.get(position) != key:
+            self._head_shadows[position] = np.concatenate(
+                [
+                    self._fused_table_t(self.var_vocabs[position]),
+                    self._fused_out_bias(position)[None, :],
+                ],
+                axis=0,
+            )
+            self._head_shadow_keys[position] = key
+        return self._head_shadows[position]
 
     # ------------------------------------------------------------------
     # Forward / backward

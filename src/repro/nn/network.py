@@ -113,12 +113,22 @@ class Regressor:
         return history
 
     def predict(self, features: np.ndarray) -> np.ndarray:
-        """Forward pass without dropout; returns a flat array."""
+        """Forward pass without dropout; returns a flat float64 array.
+
+        Runs on the fused float32 inference path
+        (:meth:`~repro.nn.layers.Sequential.forward_fused`) — the same
+        dtype policy as the masked networks: float64 masters for
+        training, version-cached float32 casts for serving.
+        """
         features = np.asarray(features, dtype=np.float64)
         single = features.ndim == 1
         if single:
             features = features[None, :]
-        out = self.network.forward(features, training=False).ravel()
+        out = (
+            self.network.forward_fused(features)
+            .astype(np.float64)
+            .ravel()
+        )
         return out[0:1] if single else out
 
     def num_parameters(self) -> int:

@@ -29,10 +29,7 @@ top:
   manifest that 422s uncovered query shapes at parse time;
 - chaos tooling (:mod:`repro.serve.faults`) — deterministic fault
   injection (kills, hangs, delays, poison queries, checkpoint
-  corruption) for the chaos test suite;
-- optionally the unsupervised :class:`ServingPool`
-  (:mod:`repro.serve.pool`) — the minimal N-worker pool the supervised
-  one grew out of.
+  corruption) for the chaos test suite.
 """
 
 from repro.serve.admission import AdmissionError, ShapeManifest
@@ -58,7 +55,6 @@ from repro.serve.http import (
     EstimatorHTTPServer,
     make_server,
 )
-from repro.serve.pool import ServingPool, ServingWorkerError
 from repro.serve.scheduler import (
     BatchScheduler,
     QueueFullError,
@@ -81,6 +77,7 @@ from repro.serve.supervisor import (
     ReloadError,
     ResilientBackend,
     ServingRuntime,
+    ServingWorkerError,
     SupervisedPool,
     SupervisorError,
 )
@@ -112,7 +109,6 @@ __all__ = [
     "SUPPORTED_SCHEMA_VERSIONS",
     "SchedulerClosedError",
     "ServiceError",
-    "ServingPool",
     "ServingRuntime",
     "ServingWorkerError",
     "ShapeManifest",

@@ -94,7 +94,7 @@ class BatchScheduler:
         estimate_batch: the batched estimator —
             ``(queries) -> np.ndarray`` — typically
             ``LMKG.estimate_batch`` or a
-            :class:`~repro.serve.pool.ServingPool`.
+            :class:`~repro.serve.supervisor.SupervisedPool`.
         max_batch: stop coalescing once this many queries are pending in
             the forming batch (a single larger request still runs whole).
         max_delay_ms: longest a request waits for co-batching company.

@@ -66,11 +66,20 @@ from repro.rdf.pattern import QueryPattern
 from repro.serve.admission import ShapeManifest
 from repro.serve.artifacts import CheckpointArtifact, load_checkpoint
 from repro.serve.faults import FaultInjector, FaultSpec
-from repro.serve.pool import ServingWorkerError
 
 
 class SupervisorError(RuntimeError):
     """The supervised pool cannot serve (startup/restart failure)."""
+
+
+class ServingWorkerError(RuntimeError):
+    """An estimation worker failed; carries the worker traceback.
+
+    Historically raised by the minimal unsupervised ``ServingPool``
+    (removed once :class:`SupervisedPool` replaced it); kept as the
+    worker-infrastructure error type the degradation layer falls back
+    on immediately.
+    """
 
 
 class NoWorkersError(SupervisorError):
@@ -192,9 +201,9 @@ class _Worker:
 class SupervisedPool:
     """N supervised estimation workers over one shared snapshot.
 
-    The drop-in ``estimate_batch`` backend for the scheduler, like
-    :class:`~repro.serve.pool.ServingPool`, but built to keep answering
-    through worker crashes, hangs, and checkpoint swaps.
+    The drop-in ``estimate_batch`` backend for the scheduler, built to
+    keep answering through worker crashes, hangs, and checkpoint
+    swaps.
 
     Args:
         snapshot_dir: read-only memory-mapped snapshot every worker

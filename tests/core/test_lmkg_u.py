@@ -145,6 +145,64 @@ class TestIntrospection:
         assert ll < 0.0
 
 
+class TestCheckpointSampler:
+    """Sampler identity across save/load: the seed keys the noise
+    substreams, so a reloaded model must reproduce its estimates."""
+
+    CONFIG = LMKGUConfig(
+        embed_dim=8,
+        hidden_sizes=(32,),
+        epochs=1,
+        training_samples=1_000,
+        particles=32,
+        seed=7,
+        chunk_budget=200_000,
+    )
+
+    def test_round_trip_with_non_default_seed(self, lubm_store, tmp_path):
+        model = LMKGU(lubm_store, "star", 2, self.CONFIG)
+        model.fit()
+        workload = generate_workload(lubm_store, "star", 2, 12, seed=43)
+        queries = [r.query for r in workload]
+        before = model.estimate_batch(queries)
+        path = tmp_path / "seeded.npz"
+        model.save(path)
+        fresh = LMKGU.load(path, lubm_store)
+        assert fresh.config.seed == 7
+        assert fresh.config.chunk_budget == 200_000
+        assert np.array_equal(before, fresh.estimate_batch(queries)), (
+            "reloaded model drew from differently-keyed noise streams"
+        )
+
+    def test_legacy_checkpoint_defaults_gracefully(
+        self, lubm_store, tmp_path
+    ):
+        """Pre-sampler-meta checkpoints (no ``_meta_sampler`` entry)
+        load with seed 0 and auto-tuned blocking — the old loader's
+        behaviour — instead of crashing."""
+        import dataclasses
+
+        from repro.nn.serialization import load_arrays, save_arrays
+
+        config = dataclasses.replace(self.CONFIG, seed=0)
+        model = LMKGU(lubm_store, "star", 2, config)
+        model.fit()
+        path = tmp_path / "modern.npz"
+        model.save(path)
+        arrays = load_arrays(path)
+        assert "_meta_sampler" in arrays
+        del arrays["_meta_sampler"]
+        legacy_path = tmp_path / "legacy.npz"
+        save_arrays(legacy_path, arrays)
+        legacy = LMKGU.load(legacy_path, lubm_store)
+        assert legacy.config.seed == 0
+        assert legacy.config.chunk_budget is None
+        workload = generate_workload(lubm_store, "star", 2, 6, seed=47)
+        estimates = legacy.estimate_batch([r.query for r in workload])
+        assert np.isfinite(estimates).all()
+        assert (estimates >= 0.0).all()
+
+
 class TestInferenceTrunk:
     """The fused float32 sweep: block-width invariance, float64 parity,
     and fused-cache invalidation through continued training."""
@@ -237,6 +295,41 @@ class TestInferenceTrunk:
             "stale fused caches survived continued training"
         )
         assert not np.array_equal(before, after)
+
+    def test_invariant_when_vocab_exceeds_column_chunk(
+        self, star_model, lubm_store, monkeypatch
+    ):
+        """Row-budget invariance must hold in the streamed-head regime:
+        with the column chunk forced below the vocabulary size every
+        head pass takes the multi-chunk path, and the fixed vocab-space
+        column grid keeps each row's reduction order — hence each
+        query's draws — independent of the row blocking."""
+        import dataclasses
+
+        import repro.nn.masked as masked
+
+        vocab = max(star_model.model.vocab_sizes)
+        assert vocab > 257  # the monkeypatched chunk must actually split
+        monkeypatch.setattr(masked, "_HEAD_COL_CHUNK", 257)
+        workload = generate_workload(lubm_store, "star", 2, 12, seed=37)
+        queries = [r.query for r in workload]
+        original = star_model.config
+        try:
+            star_model.config = dataclasses.replace(
+                original, chunk_budget=10**9
+            )
+            wide = star_model.estimate_batch(queries)
+            star_model.config = dataclasses.replace(
+                original, chunk_budget=1
+            )
+            narrow = star_model.estimate_batch(queries)
+        finally:
+            star_model.config = original
+        rel = np.abs(wide - narrow) / np.maximum(
+            np.maximum(wide, narrow), 1.0
+        )
+        assert np.median(rel) < 1e-5
+        assert np.mean(rel < 1e-4) >= 0.9
 
     def test_block_width_autotuned_and_cached(self, star_model, lubm_store):
         from repro.core.lmkg_u import _CHUNK_BUDGETS

@@ -167,6 +167,154 @@ class TestIncrementalSweep:
         )
 
 
+class TestStreamedHead:
+    """The vocab-streamed head reductions against dense full-matrix
+    references computed from the same float32 logits."""
+
+    def _sweep(self, rng, rows=24, fit=True):
+        model = _make_model()
+        if fit:
+            _fit_a_little(model, rng)
+        ids = rng.integers(0, 10, size=(rows, model.num_vars))
+        return model, model.begin_sweep(ids)
+
+    def _shrink_tiles(self, monkeypatch):
+        """Force multi-tile, multi-chunk streaming at test vocabularies."""
+        import repro.nn.masked as masked
+
+        monkeypatch.setattr(masked, "_HEAD_ROW_TILE", 7)
+        monkeypatch.setattr(masked, "_HEAD_COL_CHUNK", 16)
+        monkeypatch.setattr(masked, "_HEAD_SAMPLE_ROW_TILE", 5)
+
+    def test_lse_pick_matches_dense(self, rng, monkeypatch):
+        self._shrink_tiles(monkeypatch)
+        model, sweep = self._sweep(rng)
+        position = 2
+        vocab = model.vocab_sizes[model.var_vocabs[position]]
+        rows = np.arange(24, dtype=np.int64)
+        values = rng.integers(0, vocab, size=24)
+        lse, picked = sweep.head_lse_pick(position, rows, values)
+        dense = sweep.logits(position).astype(np.float64)
+        ref_lse = np.log(
+            np.exp(dense - dense.max(axis=1, keepdims=True)).sum(axis=1)
+        ) + dense.max(axis=1)
+        assert np.allclose(lse, ref_lse, rtol=1e-5, atol=1e-5)
+        ref_picked = dense[rows, values]
+        assert np.allclose(picked, ref_picked, rtol=1e-4, atol=1e-5)
+
+    def test_gumbel_argmax_matches_dense(self, rng, monkeypatch):
+        self._shrink_tiles(monkeypatch)
+        model, sweep = self._sweep(rng)
+        position = 2
+        vocab = model.vocab_sizes[model.var_vocabs[position]]
+        table = rng.gumbel(size=4096 + vocab).astype(np.float32)
+        # Rep layout: 4 head rows x 6 particles each, via row_map.
+        head_rows = np.array([0, 6, 12, 18], dtype=np.int64)
+        row_map = np.repeat(np.arange(4, dtype=np.int64), 6)
+        bases = rng.integers(0, 4096, size=row_map.shape[0])
+        choice, rest_peak, first_logit = sweep.head_gumbel_argmax(
+            position, head_rows, table, bases, row_map
+        )
+        dense = sweep.logits(position)[head_rows]
+        noise = np.stack(
+            [table[b: b + vocab] for b in bases]
+        )
+        noisy = noise + dense[row_map]
+        noisy[:, 0] = -np.inf
+        assert np.array_equal(choice, noisy.argmax(axis=1))
+        masked_dense = dense.copy()
+        masked_dense[:, 0] = -np.inf
+        assert np.array_equal(rest_peak, masked_dense.max(axis=1))
+        assert np.allclose(first_logit, dense[:, 0], rtol=1e-5, atol=1e-6)
+
+    def test_gumbel_argmax_identity_map(self, rng, monkeypatch):
+        """Diverged layout: one competition row per head row."""
+        self._shrink_tiles(monkeypatch)
+        model, sweep = self._sweep(rng)
+        position = 0
+        vocab = model.vocab_sizes[model.var_vocabs[position]]
+        table = rng.gumbel(size=4096 + vocab).astype(np.float32)
+        rows = np.arange(24, dtype=np.int64)
+        bases = rng.integers(0, 4096, size=24)
+        choice, _, _ = sweep.head_gumbel_argmax(
+            position, rows, table, bases
+        )
+        dense = sweep.logits(position)
+        noisy = np.stack([table[b: b + vocab] for b in bases]) + dense
+        noisy[:, 0] = -np.inf
+        assert np.array_equal(choice, noisy.argmax(axis=1))
+
+    def test_categorical_sample_matches_dense(self, rng):
+        model, sweep = self._sweep(rng)
+        position = 2
+        rows = np.arange(24, dtype=np.int64)
+        uniforms = rng.random((24, 8))
+        choice, rest_peak, first_logit = sweep.head_categorical_sample(
+            position, rows, uniforms
+        )
+        dense = sweep.logits(position)
+        ref = np.empty_like(choice)
+        for i, logit_row in enumerate(dense):
+            row = logit_row.copy()
+            first = row[0]
+            row[0] = -np.inf
+            peak = row.max()
+            assert rest_peak[i] == np.float32(peak)
+            assert first_logit[i] == np.float32(first)
+            mass = np.exp(row - peak)  # float32, reserved id -> 0
+            cdf = np.cumsum(mass, dtype=np.float64)
+            ref[i] = np.searchsorted(
+                cdf, uniforms[i] * cdf[-1], side="left"
+            )
+        assert np.array_equal(choice, ref)
+        assert (choice >= 1).all()
+
+    def test_categorical_sample_blocking_invariant(
+        self, rng, monkeypatch
+    ):
+        """Draws are a pure per-row function of logits and uniforms —
+        row-tile size cannot change them."""
+        import repro.nn.masked as masked
+
+        model, sweep = self._sweep(rng)
+        uniforms = rng.random((24, 8))
+        rows = np.arange(24, dtype=np.int64)
+        wide, _, _ = sweep.head_categorical_sample(2, rows, uniforms)
+        monkeypatch.setattr(masked, "_HEAD_SAMPLE_ROW_TILE", 1)
+        narrow, _, _ = sweep.head_categorical_sample(2, rows, uniforms)
+        assert np.array_equal(wide, narrow)
+
+    def test_dead_conditional_operands(self, rng):
+        """A head whose real-id mass collapsed relative to the reserved
+        id reports rest_peak far below first_logit on both unbound
+        samplers — the operands the sweep turns into weight 0."""
+        model = _make_model()
+        # Reserved id 0 towers over every real id at position 0.
+        bias = model.out_bias[0]
+        bias.value[:] = -300.0
+        bias.value[0] = 300.0
+        bias.bump_version()
+        sweep = model.begin_sweep(
+            np.zeros((12, model.num_vars), dtype=np.int64)
+        )
+        rows = np.arange(12, dtype=np.int64)
+        vocab = model.vocab_sizes[model.var_vocabs[0]]
+        table = rng.gumbel(size=4096 + vocab).astype(np.float32)
+        bases = rng.integers(0, 4096, size=12)
+        g_choice, g_peak, g_first = sweep.head_gumbel_argmax(
+            0, rows, table, bases
+        )
+        c_choice, c_peak, c_first = sweep.head_categorical_sample(
+            0, rows, rng.random((12, 4))
+        )
+        for peak, first in ((g_peak, g_first), (c_peak, c_first)):
+            assert ((peak - first) <= np.float32(-104.0)).all()
+        assert np.array_equal(g_peak, c_peak)
+        assert np.allclose(g_first, c_first, rtol=1e-6, atol=1e-6)
+        # Choices stay in the real-id range even on dead rows.
+        assert (g_choice >= 1).all() and (c_choice >= 1).all()
+
+
 class TestCheckpointMasters:
     def test_state_roundtrip_preserves_float64_masters_exactly(
         self, rng, tmp_path
