@@ -77,8 +77,9 @@ class StarBayesNet:
         # Presence counts: how many subjects emit p, and emit both p, q.
         single: Dict[int, int] = defaultdict(int)
         pair: Dict[Tuple[int, int], int] = defaultdict(int)
+        backend = store.backend
         for s in subjects:
-            preds = sorted(store.out_predicates(s))
+            preds = backend.out_predicates(s).tolist()
             for i, p in enumerate(preds):
                 single[p] += 1
                 for q in preds[i + 1:]:
@@ -179,8 +180,9 @@ class ChainHistogram:
         self._pred_counts: Dict[int, int] = {
             p: store.predicate_count(p) for p in store.predicates()
         }
+        backend = store.backend
         for s, p, o in store:
-            for q, _o2 in store.out_edges(o):
+            for q in backend.out_slice(o)[0].tolist():
                 self._joins[(p, q)] += 1
         self._joins = dict(self._joins)
 
@@ -259,7 +261,7 @@ class BayesNetEstimator(CardinalityEstimator):
                 if pred_total == 0:
                     return 0.0
                 matches = float(
-                    len(self.store.subjects_of(tp.p, tp.o))
+                    self.store.backend.count_po(tp.p, tp.o)
                 )
                 expected *= matches / max(emitting, 1)
             else:
@@ -281,11 +283,11 @@ class BayesNetEstimator(CardinalityEstimator):
         first, last = query.triples[0], query.triples[-1]
         if is_bound(first.s):
             base = self.store.predicate_count(first.p)
-            matched = len(self.store.objects_of(first.s, first.p))
+            matched = self.store.backend.count_sp(first.s, first.p)
             estimate *= matched / max(base, 1)
         if is_bound(last.o):
             base = self.store.predicate_count(last.p)
-            matched = len(self.store.subjects_of(last.p, last.o))
+            matched = self.store.backend.count_po(last.p, last.o)
             estimate *= matched / max(base, 1)
         return estimate
 

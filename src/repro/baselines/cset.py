@@ -52,7 +52,7 @@ class CharacteristicSets(CardinalityEstimator):
         # One pass over the SPO permutation: each subject's distinct
         # predicates with their fan-outs give every characteristic set
         # and its occurrence counts without per-subject lookups.
-        col = self.store.columnar
+        col = self.store.backend
         for preds, fanouts in col.subject_predicate_groups():
             cset = frozenset(preds)
             self._count[cset] += 1
@@ -87,11 +87,13 @@ class CharacteristicSets(CardinalityEstimator):
             # Bound subject: its characteristic set answers directly.
             product = 1.0
             for tp in query.triples:
-                objs = self.store.objects_of(centre, tp.p)
+                backend = self.store.backend
                 if is_bound(tp.o):
-                    product *= 1.0 if tp.o in objs else 0.0
+                    product *= (
+                        1.0 if backend.contains(centre, tp.p, tp.o) else 0.0
+                    )
                 else:
-                    product *= float(len(objs))
+                    product *= float(backend.count_sp(centre, tp.p))
             return product
         wanted = set(predicates)
         total = 0.0
@@ -112,7 +114,7 @@ class CharacteristicSets(CardinalityEstimator):
         triples_p = self._pred_triples.get(p, 0)
         if triples_p == 0:
             return 0.0
-        matching = len(self.store.subjects_of(p, o))
+        matching = self.store.backend.count_po(p, o)
         return matching / triples_p
 
     def _estimate_chain(self, query: QueryPattern) -> float:

@@ -79,23 +79,29 @@ class Impr(CardinalityEstimator):
         start = self._nodes[int(self._rng.integers(n))]
         probability = 1.0 / n
         triples: List[Tuple[int, int, int]] = []
+        backend = self.store.backend
         if topo is Topology.STAR:
-            edges = self.store.out_edges(start)
-            if not edges:
+            preds, objs = backend.out_slice(start)
+            degree = int(preds.size)
+            if degree == 0:
                 return None
             for _ in range(size):
-                p, o = edges[int(self._rng.integers(len(edges)))]
-                probability *= 1.0 / len(edges)
-                triples.append((start, p, o))
+                pick = int(self._rng.integers(degree))
+                probability *= 1.0 / degree
+                triples.append(
+                    (start, int(preds[pick]), int(objs[pick]))
+                )
         else:
             node = start
             for _ in range(size):
-                edges = self.store.out_edges(node)
-                if not edges:
+                preds, objs = backend.out_slice(node)
+                degree = int(preds.size)
+                if degree == 0:
                     return None
-                p, o = edges[int(self._rng.integers(len(edges)))]
-                probability *= 1.0 / len(edges)
-                triples.append((node, p, o))
+                pick = int(self._rng.integers(degree))
+                probability *= 1.0 / degree
+                o = int(objs[pick])
+                triples.append((node, int(preds[pick]), o))
                 node = o
         return probability, triples
 

@@ -40,7 +40,7 @@ class JSUB(CardinalityEstimator):
         self._rng = np.random.default_rng(seed)
         self._max_out: Dict[int, int] = {}
         self._max_in: Dict[int, int] = {}
-        col = store.columnar
+        col = store.backend
         for p in store.predicates():
             _, out_fanouts = col.predicate_subject_stats(p)
             _, in_fanouts = col.predicate_object_stats(p)

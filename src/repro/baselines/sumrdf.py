@@ -25,6 +25,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.baselines.base import CardinalityEstimator
 from repro.rdf.matcher import iter_bindings
 from repro.rdf.pattern import QueryPattern
@@ -49,10 +51,12 @@ class SumRDF(CardinalityEstimator):
         self._build()
 
     def _signature(self, node: int) -> int:
-        preds = tuple(sorted(self.store.out_predicates(node)))
-        in_preds = tuple(
-            sorted({p for _, p in self.store.in_edges(node)})
-        )
+        backend = self.store.backend
+        # out_predicates is already sorted-distinct; the in-predicate
+        # set is one np.unique over the incoming slice's predicate
+        # column.
+        preds = tuple(backend.out_predicates(node).tolist())
+        in_preds = tuple(np.unique(backend.in_slice(node)[1]).tolist())
         return hash((preds, in_preds)) % self.target_buckets
 
     def _build(self) -> None:

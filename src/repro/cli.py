@@ -342,13 +342,22 @@ def cmd_plan(args) -> int:
 
 
 def cmd_snapshot_save(args) -> int:
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     store = _load_store(args)
     start = time.perf_counter()
-    manifest = store.save_snapshot(args.out)
+    manifest = store.save_snapshot(
+        args.out, shards=args.shards, shard_by=args.shard_by
+    )
     elapsed = time.perf_counter() - start
+    layout = (
+        f"{args.shards} shard(s) by {args.shard_by}"
+        if args.shards is not None
+        else "single snapshot"
+    )
     print(
         f"{len(store)} triples snapshotted to {args.out} "
-        f"in {elapsed * 1000:.1f} ms"
+        f"({layout}) in {elapsed * 1000:.1f} ms"
     )
     print(f"manifest: {manifest}")
     return 0
@@ -402,6 +411,8 @@ def cmd_serve(args) -> int:
 
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit(f"--shards must be >= 1, got {args.shards}")
     fault_spec = None
     if args.faults:
         text = args.faults
@@ -414,11 +425,49 @@ def cmd_serve(args) -> int:
     fit_defaults = FitDefaults(
         queries_per_shape=args.fit_queries, epochs=args.fit_epochs
     )
+    snapshot_dir = args.snapshot
+    shard_tempdir = None
+    if args.shards is not None:
+        from repro.rdf.backend import SnapshotError, snapshot_format
+
+        # Re-shard the snapshot into a scratch directory so the service
+        # and every pool worker attach the sharded layout.  A snapshot
+        # that is already sharded the right way is served in place.
+        try:
+            already = snapshot_format(args.snapshot) == "repro-sharded"
+        except SnapshotError as exc:
+            raise SystemExit(f"snapshot inspection failed: {exc}")
+        resharded = True
+        if already:
+            from repro.rdf.backend import read_sharded_manifest
+
+            manifest = read_sharded_manifest(args.snapshot)
+            resharded = manifest["num_shards"] != args.shards
+        if resharded:
+            shard_tempdir = tempfile.TemporaryDirectory(
+                prefix="repro-shards-"
+            )
+            snapshot_dir = str(Path(shard_tempdir.name) / "snapshot")
+            try:
+                TripleStore.load_snapshot(
+                    args.snapshot, verify=False
+                ).save_snapshot(
+                    snapshot_dir, record_source=False, shards=args.shards
+                )
+            except SnapshotError as exc:
+                shard_tempdir.cleanup()
+                raise SystemExit(f"re-sharding failed: {exc}")
+            print(
+                f"re-sharded {args.snapshot} into {args.shards} "
+                f"shard(s) at {snapshot_dir}"
+            )
     try:
         service = EstimatorService.from_snapshot(
-            args.snapshot, args.checkpoint, fit_defaults
+            snapshot_dir, args.checkpoint, fit_defaults
         )
     except ServiceError as exc:
+        if shard_tempdir is not None:
+            shard_tempdir.cleanup()
         raise SystemExit(str(exc))
     checkpoint_dir = args.checkpoint
     if args.save_checkpoint:
@@ -439,7 +488,7 @@ def cmd_serve(args) -> int:
                 save_checkpoint(service.framework, checkpoint_dir)
             try:
                 pool = SupervisedPool(
-                    args.snapshot,
+                    snapshot_dir,
                     checkpoint_dir,
                     args.workers,
                     request_timeout=args.request_timeout,
@@ -551,6 +600,8 @@ def cmd_serve(args) -> int:
             pool.close()
         if tempdir is not None:
             tempdir.cleanup()
+        if shard_tempdir is not None:
+            shard_tempdir.cleanup()
     return 0
 
 
@@ -684,6 +735,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_snap_save.add_argument(
         "--out", required=True, help="snapshot directory to write"
     )
+    p_snap_save.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "split the snapshot into this many shard directories "
+            "(default: one flat columnar snapshot)"
+        ),
+    )
+    p_snap_save.add_argument(
+        "--shard-by",
+        choices=["subject", "predicate"],
+        default="subject",
+        help="shard routing key (only meaningful with --shards)",
+    )
     p_snap_save.set_defaults(func=cmd_snapshot_save)
     p_snap_load = snap_sub.add_parser(
         "load",
@@ -739,6 +805,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "estimation worker processes sharing the snapshot "
             "(1 = in-process)"
+        ),
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "re-shard the snapshot into this many shards before "
+            "serving (default: serve the snapshot as saved)"
         ),
     )
     p_serve.add_argument(

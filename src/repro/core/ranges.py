@@ -612,7 +612,7 @@ def _random_constraints(
 
 def self_objects(store: TripleStore, predicate: int):
     """(subject, object) pairs of one predicate (columnar slice)."""
-    s_arr, o_arr = store.columnar.pred_slice(predicate)
+    s_arr, o_arr = store.backend.pred_slice(predicate)
     yield from zip(s_arr.tolist(), o_arr.tolist())
 
 

@@ -594,6 +594,19 @@ class ColumnarIndex:
         """Boolean mask: does (s, p, o) exist, for an array of subjects."""
         return in_sorted(self.subjects_of(p, o), subjects)
 
+    def sp_objects(
+        self, subjects: np.ndarray, p: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenated (s, p) object runs for an array of subjects.
+
+        Returns ``(objects, lengths)`` where ``lengths[i]`` is the
+        fan-out of ``subjects[i]`` and ``objects`` holds the per-subject
+        object runs back to back in input-subject order, each run sorted.
+        """
+        lo, hi = self.sp_ranges(subjects, p)
+        lengths = hi - lo
+        return self.pso_o[expand_ranges(lo, lengths)], lengths
+
     # ------------------------------------------------------------------
     # Size accounting
     # ------------------------------------------------------------------

@@ -5,8 +5,9 @@ with their true cardinality.  The generic backtracking matcher
 (:mod:`repro.rdf.matcher`) enumerates solutions, so its cost grows with
 the answer size; for the two topologies LMKG supports there are
 closed-form/DP counters whose cost is independent of the result
-cardinality, and both run as **array reductions over the columnar
-store** (:mod:`repro.rdf.columnar`) with no per-triple Python work:
+cardinality, and both run as **array reductions over the store
+backend** (:mod:`repro.rdf.backend`) with no per-triple Python work —
+identically on a single columnar index or a sharded store:
 
 - **Star** (?s shared, objects distinct variables or bound): the count is
   ``sum over candidate subjects of the product over triples of the
@@ -23,10 +24,11 @@ store** (:mod:`repro.rdf.columnar`) with no per-triple Python work:
 Both are *exact* and are validated against the generic matcher in the
 test suite (including hypothesis property tests on random graphs).
 Counts are accumulated in int64; when the float shadow of a partial
-result nears the int64 range, the counter falls back to the original
+result nears the int64 range, the counter falls back to scalar-probe
 arbitrary-precision Python implementations (``_count_star_python`` /
-``_count_chain_python``), which are also kept as the dict-era reference
-for `benchmarks/bench_store_throughput.py`.  :func:`count_query`
+``_count_chain_python``), which double as the per-triple reference that
+`benchmarks/bench_store_throughput.py` measures the vectorized path
+against.  :func:`count_query`
 dispatches to the fast path when the query shape allows it and falls
 back to :func:`repro.rdf.matcher.count_bgp` otherwise.
 """
@@ -38,7 +40,6 @@ from typing import Dict, Iterable, Optional
 import numpy as np
 
 from repro.rdf import matcher
-from repro.rdf.columnar import expand_ranges
 from repro.rdf.pattern import QueryPattern, Topology
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import Variable, is_bound
@@ -85,7 +86,7 @@ def count_star(store: TripleStore, query: QueryPattern) -> Optional[int]:
     if not _star_applicable(query):
         return None
     centre = query.triples[0].s
-    col = store.columnar
+    col = store.backend
 
     best = None
     best_counts = None
@@ -182,7 +183,7 @@ def count_chain(store: TripleStore, query: QueryPattern) -> Optional[int]:
     """
     if not _chain_applicable(query):
         return None
-    col = store.columnar
+    col = store.backend
     triples = query.triples
 
     first = triples[0]
@@ -213,16 +214,13 @@ def count_chain(store: TripleStore, query: QueryPattern) -> Optional[int]:
     for tp in triples:
         if nodes.size == 0:
             return 0
-        lo, hi = col.sp_ranges(nodes, tp.p)
-        lengths = hi - lo
+        objs, lengths = col.sp_objects(nodes, tp.p)
+        if objs.size == 0:
+            return 0
         keep = lengths > 0
         if not keep.all():
-            lo, lengths = lo[keep], lengths[keep]
+            lengths = lengths[keep]
             ways, shadow = ways[keep], shadow[keep]
-        if ways.size == 0:
-            return 0
-        idx = expand_ranges(lo, lengths)
-        objs = col.pso_o[idx]
         if is_bound(tp.o):
             # Only walks stepping exactly onto the bound object survive;
             # membership per frontier node is one searchsorted pass.
@@ -256,56 +254,56 @@ def count_chain(store: TripleStore, query: QueryPattern) -> Optional[int]:
 
 
 # ----------------------------------------------------------------------
-# Reference implementations (dict-era, arbitrary-precision)
+# Reference implementations (scalar-probe, arbitrary-precision)
 # ----------------------------------------------------------------------
 
 
 def _count_star_python(
     store: TripleStore, query: QueryPattern
 ) -> Optional[int]:
-    """The original per-subject Python star counter.
+    """Per-subject scalar-probe star counter (arbitrary precision).
 
-    Exact with arbitrary-precision ints; serves as the overflow fallback
-    of :func:`count_star` and as the dict-era reference that
-    ``bench_store_throughput`` measures the vectorized path against.
+    Exact with Python ints, so it cannot overflow; serves as the
+    overflow fallback of :func:`count_star` and as the per-triple-probe
+    reference that ``bench_store_throughput`` measures the vectorized
+    path against.  Every probe is a scalar backend call — one binary
+    search each — mirroring the original per-subject loop's work
+    profile.
     """
     if not _star_applicable(query):
         return None
-    # Read through the legacy dict-of-dict-of-set indexes so this is a
-    # faithful replica of the seed implementation's work profile.
-    spo, pos = store._spo, store._pos
+    backend = store.backend
     centre = query.triples[0].s
     if is_bound(centre):
-        candidates: Iterable[int] = (centre,)
+        candidates: Iterable[int] = (int(centre),)
     else:
         best = min(
             query.triples,
             key=lambda tp: (
-                len(pos.get(tp.p, {}).get(tp.o, ()))
+                backend.count_po(tp.p, tp.o)
                 if is_bound(tp.o)
-                else store.predicate_count(tp.p)
+                else backend.predicate_count(tp.p)
             ),
         )
         if is_bound(best.o):
-            candidates = pos.get(best.p, {}).get(best.o, set())
+            candidates = backend.subjects_of(best.p, best.o).tolist()
         else:
-            candidates = store._pso.get(best.p, {}).keys()
+            candidates = backend.predicate_subject_stats(best.p)[0].tolist()
 
     total = 0
     for s in candidates:
         product = 1
-        by_pred = spo.get(s, {})
         for tp in query.triples:
-            objs = by_pred.get(tp.p, set())
             if is_bound(tp.o):
-                if tp.o not in objs:
+                if not backend.contains(s, tp.p, tp.o):
                     product = 0
                     break
             else:
-                if not objs:
+                fanout = backend.count_sp(s, tp.p)
+                if fanout == 0:
                     product = 0
                     break
-                product *= len(objs)
+                product *= fanout
         total += product
     return total
 
@@ -313,31 +311,33 @@ def _count_star_python(
 def _count_chain_python(
     store: TripleStore, query: QueryPattern
 ) -> Optional[int]:
-    """The original dict-frontier Python chain DP (see
+    """Dict-frontier scalar-probe chain DP (see
     :func:`_count_star_python` for why it is kept)."""
     if not _chain_applicable(query):
         return None
-    spo = store._spo
+    backend = store.backend
     triples = query.triples
     first = triples[0]
     frontier: Dict[int, int] = {}
     if is_bound(first.s):
-        frontier[first.s] = 1
+        frontier[int(first.s)] = 1
     else:
-        for s in spo.keys():
+        for s in backend.subjects().tolist():
             frontier[s] = 1
 
     for tp in triples:
         new_frontier: Dict[int, int] = {}
         for node, ways in frontier.items():
-            objs = spo.get(node, {}).get(tp.p, ())
-            if not objs:
+            objs = backend.objects_of(node, tp.p)
+            if objs.size == 0:
                 continue
             if is_bound(tp.o):
-                if tp.o in objs:
+                # objs is sorted: scalar membership is one bisect.
+                pos = int(np.searchsorted(objs, tp.o))
+                if pos < objs.size and int(objs[pos]) == tp.o:
                     new_frontier[tp.o] = new_frontier.get(tp.o, 0) + ways
             else:
-                for o in objs:
+                for o in objs.tolist():
                     new_frontier[o] = new_frontier.get(o, 0) + ways
         frontier = new_frontier
         if not frontier:

@@ -7,114 +7,35 @@ number exactly with a backtracking join whose next pattern is always the
 one with the fewest candidate triples under the current bindings (a greedy
 selectivity-first join order, the standard approach in RDF engines).
 
-The backtracking join is pure pointer chasing — hundreds of thousands of
-tiny single-pattern probes per query — so it reads the store's
-generation-cached **dict indexes** (`TripleStore._legacy_indexes`), which
-answer a probe by reference; the columnar permutations that serve the
-vectorized counters would pay a binary search per probe here.  Both views
-are snapshots of the same generation, so the results are identical.
+Single-pattern probes go through the store facade
+(:meth:`TripleStore.match_pattern` / :meth:`TripleStore.count_pattern`),
+which routes each bound-position shape to the best permutation slice of
+the committed :class:`~repro.rdf.backend.StoreBackend` — so the join is
+backend-agnostic: it produces identical bindings over a single columnar
+index and over a sharded store.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.rdf.pattern import QueryPattern
 from repro.rdf.store import TripleStore
-from repro.rdf.terms import Triple, TriplePattern, Variable, is_bound
+from repro.rdf.terms import Triple, TriplePattern, Variable
 
 Bindings = Dict[Variable, int]
-
-_EMPTY: dict = {}
 
 
 def _match_single(
     store: TripleStore, tp: TriplePattern
 ) -> Iterator[Triple]:
-    """Triples matching one pattern, via the dict indexes.
-
-    Equivalent to ``store.match_pattern`` (including repeated-variable
-    filtering) but tuned for the join's inner loop.
-    """
-    same_so = isinstance(tp.s, Variable) and tp.s == tp.o
-    same_sp = isinstance(tp.s, Variable) and tp.s == tp.p
-    same_po = isinstance(tp.p, Variable) and tp.p == tp.o
-    for triple in _candidates(store, tp):
-        s, p, o = triple
-        if same_so and s != o:
-            continue
-        if same_sp and s != p:
-            continue
-        if same_po and p != o:
-            continue
-        yield triple
-
-
-def _candidates(
-    store: TripleStore, tp: TriplePattern
-) -> Iterator[Triple]:
-    """Best dict index for the bound positions of one pattern."""
-    spo, pos, osp, _ = store._legacy_indexes()
-    s_b, p_b, o_b = is_bound(tp.s), is_bound(tp.p), is_bound(tp.o)
-    if s_b and p_b and o_b:
-        triple = tp.as_triple()
-        if triple in store:
-            yield triple
-        return
-    if s_b and p_b:
-        for o in spo.get(tp.s, _EMPTY).get(tp.p, ()):
-            yield (tp.s, tp.p, o)
-        return
-    if p_b and o_b:
-        for s in pos.get(tp.p, _EMPTY).get(tp.o, ()):
-            yield (s, tp.p, tp.o)
-        return
-    if s_b and o_b:
-        for p in osp.get(tp.o, _EMPTY).get(tp.s, ()):
-            yield (tp.s, p, tp.o)
-        return
-    if s_b:
-        for p, objs in spo.get(tp.s, _EMPTY).items():
-            for o in objs:
-                yield (tp.s, p, o)
-        return
-    if p_b:
-        for o, subjects in pos.get(tp.p, _EMPTY).items():
-            for s in subjects:
-                yield (s, tp.p, o)
-        return
-    if o_b:
-        for s, preds in osp.get(tp.o, _EMPTY).items():
-            for p in preds:
-                yield (s, p, tp.o)
-        return
-    yield from store
+    """Triples matching one pattern (repeated variables honoured)."""
+    return store.match_pattern(tp)
 
 
 def _count_single(store: TripleStore, tp: TriplePattern) -> int:
-    """Exact single-pattern count via the dict indexes."""
-    variables = tp.variables
-    if len(variables) != len(set(variables)):
-        return sum(1 for _ in _match_single(store, tp))
-    spo, pos, osp, pso = store._legacy_indexes()
-    s_b, p_b, o_b = is_bound(tp.s), is_bound(tp.p), is_bound(tp.o)
-    if s_b and p_b and o_b:
-        return 1 if tp.as_triple() in store else 0
-    if s_b and p_b:
-        return len(spo.get(tp.s, _EMPTY).get(tp.p, ()))
-    if p_b and o_b:
-        return len(pos.get(tp.p, _EMPTY).get(tp.o, ()))
-    if s_b and o_b:
-        return len(osp.get(tp.o, _EMPTY).get(tp.s, ()))
-    if s_b:
-        return sum(len(objs) for objs in spo.get(tp.s, _EMPTY).values())
-    if p_b:
-        return sum(len(objs) for objs in pso.get(tp.p, _EMPTY).values())
-    if o_b:
-        return sum(
-            len(preds) for preds in osp.get(tp.o, _EMPTY).values()
-        )
-    return len(store)
+    """Exact single-pattern count, as a pure range width when possible."""
+    return store.count_pattern(tp)
 
 
 def _extend(

@@ -67,7 +67,7 @@ def gini(values: np.ndarray) -> float:
 
 def compute_stats(store: TripleStore, name: str = "graph") -> GraphStats:
     """Compute the Table I statistics for *store*."""
-    col = store.columnar
+    col = store.backend
     _, out_degrees = col.subject_degrees()
     _, in_degrees = col.object_degrees()
     return GraphStats(
@@ -86,7 +86,7 @@ def compute_stats(store: TripleStore, name: str = "graph") -> GraphStats:
 
 def predicate_histogram(store: TripleStore) -> Dict[int, int]:
     """Triple count per predicate — the base synopsis of naive estimators."""
-    preds, counts = store.columnar.predicate_triple_counts()
+    preds, counts = store.backend.predicate_triple_counts()
     return dict(zip(preds.tolist(), counts.tolist()))
 
 
@@ -100,7 +100,7 @@ def predicate_cooccurrence(store: TripleStore) -> Counter:
     (s, p) pairs of the SPO permutation.
     """
     cooc: Counter = Counter()
-    for group, _ in store.columnar.subject_predicate_groups():
+    for group, _ in store.backend.subject_predicate_groups():
         # Predicates are already sorted within the subject.
         for i, p1 in enumerate(group):
             for p2 in group[i + 1:]:
@@ -114,7 +114,7 @@ def correlation_factor(store: TripleStore, p1: int, p2: int) -> float:
     Values ≫ 1 mean the predicates are positively correlated, i.e. the
     independence assumption underestimates their conjunction.
     """
-    col = store.columnar
+    col = store.backend
     n = col.subjects().size
     if n == 0:
         return 1.0
@@ -133,6 +133,6 @@ def correlation_factor(store: TripleStore, p1: int, p2: int) -> float:
 
 def degree_distribution(store: TripleStore) -> List[Tuple[int, int]]:
     """(degree, node count) pairs of the out-degree distribution, sorted."""
-    _, out_degrees = store.columnar.subject_degrees()
+    _, out_degrees = store.backend.subject_degrees()
     degrees, counts = np.unique(out_degrees, return_counts=True)
     return list(zip(degrees.tolist(), counts.tolist()))

@@ -1,40 +1,47 @@
-"""An indexed RDF triple store over a columnar numpy backend.
+"""An indexed RDF triple store over pluggable array-native backends.
 
-Triples are dictionary-encoded and kept as a **committed**
-:class:`~repro.rdf.columnar.ColumnarIndex` — four sorted ``int64``
-permutations (SPO, POS, OSP, PSO) answering every single-triple-pattern
-access path — plus two small write-side structures: a *delta set* of
-triples inserted one at a time and a list of *pending bulk batches*
-ingested through the array-native :meth:`TripleStore.add_all`.  Each
-arriving batch is deduplicated on the spot — against itself, the
-committed columns (packed-key binary search, no index rebuild), and
-the batches already pending — so the staged parts stay mutually
-disjoint and chunked ingest stays amortized: the four permutation
-sorts run once, at the next read, not once per batch.  Reads
-consolidate lazily: the first snapshot access after a mutation folds
-delta and pending rows into a fresh committed index, so steady-state
-queries always run against a dozen flat arrays with no per-triple
-Python overhead.
+Triples are dictionary-encoded and kept in a **committed**
+:class:`~repro.rdf.backend.StoreBackend` — by default a
+:class:`~repro.rdf.backend.ColumnarBackend` wrapping four sorted
+``int64`` permutations (SPO, POS, OSP, PSO) that answer every
+single-triple-pattern access path; a
+:class:`~repro.rdf.backend.ShardedBackend` splits the same graph across
+N snapshot directories when it outgrows one index — plus two small
+write-side structures: a *delta set* of triples inserted one at a time
+and a list of *pending bulk batches* ingested through the array-native
+:meth:`TripleStore.add_all`.  Each arriving batch is deduplicated on
+the spot — against itself, the committed backend
+(:meth:`~repro.rdf.backend.StoreBackend.isin_rows`, packed-key binary
+search, no index rebuild), and the batches already pending — so the
+staged parts stay mutually disjoint and chunked ingest stays amortized:
+the permutation sorts run once, at the next read, not once per batch.
+Reads consolidate lazily: the first backend access after a mutation
+folds delta and pending rows into a fresh committed backend (same
+backend type, same shard layout), so steady-state queries always run
+against flat arrays with no per-triple Python overhead.
 
 :class:`TripleStore` is a *facade*: its mutation and accessor API is
 unchanged from the original dict-of-dict-of-set implementation, so the
-matcher, the baselines, and all existing callers keep working.  Every
-derived structure — the columnar snapshot, the legacy dict indexes, the
-flattened adjacency lists, the materialised triple set — is cached
-lazily and stamped with the store's **generation counter**, which every
-mutation bumps (``add`` per new triple, ``add_all`` exactly once per
-batch that added anything); a cache built before a mutation can
-therefore never be served afterwards.
+matcher, the baselines, and all existing callers keep working.  The
+legacy set/list accessors (:meth:`objects_of`, :meth:`out_edges`, ...)
+are now thin shims over the backend's sorted-ndarray equivalents —
+internal hot paths read :attr:`TripleStore.backend` directly.  Every
+derived structure is cached lazily and stamped with the store's
+**generation counter**, which every mutation bumps (``add`` per new
+triple, ``add_all`` exactly once per batch that added anything); a
+cache built before a mutation can therefore never be served afterwards.
 
 Stores round-trip to disk: :meth:`TripleStore.save_snapshot` writes the
-permutation columns as ``.npy`` files next to a versioned manifest (and
-the term dictionaries, when present), and
-:meth:`TripleStore.load_snapshot` maps them back as read-only memmaps —
-no per-triple deserialisation, pages shared across worker processes;
-the default checksum verification is one sequential CRC32 pass over the
-columns, skippable via ``verify=False`` for a truly O(1) load.  A
-memmap-backed store is demoted to in-memory arrays on its first
-mutation; the on-disk snapshot is never written through.
+backend's columns as ``.npy`` files next to a versioned manifest (and
+the term dictionaries, when present) — pass ``shards=N`` to write a
+sharded snapshot instead — and :meth:`TripleStore.load_snapshot` maps
+either format back as read-only memmaps (``shard_ids=[...]`` attaches a
+shard subset of a sharded snapshot); no per-triple deserialisation,
+pages shared across worker processes; the default checksum verification
+is one sequential CRC32 pass over the columns, skippable via
+``verify=False`` for a truly O(1) load.  A memmap-backed store is
+demoted to in-memory arrays on its first mutation; the on-disk snapshot
+is never written through.
 
 The store is the substrate under everything else: ground-truth
 cardinality computation (:mod:`repro.rdf.matcher`), random-walk
@@ -45,10 +52,8 @@ estimator.
 from __future__ import annotations
 
 import json
-from collections import defaultdict
 from pathlib import Path
 from typing import (
-    Dict,
     Iterable,
     Iterator,
     List,
@@ -61,13 +66,17 @@ from typing import (
 
 import numpy as np
 
+from repro.rdf.backend import (
+    ColumnarBackend,
+    ShardedBackend,
+    StoreBackend,
+    load_backend,
+)
 from repro.rdf.columnar import (
     ColumnarIndex,
     SnapshotError,
     coerce_rows,
-    in_sorted,
     pack_rows,
-    read_manifest,
 )
 from repro.rdf.dictionary import GraphDictionary
 from repro.rdf.terms import Triple, TriplePattern, Variable, is_bound
@@ -99,7 +108,7 @@ def _coerce_batch(triples) -> np.ndarray:
 
 
 class TripleStore:
-    """Triple store with full permutation indexes and bulk ingest.
+    """Triple store facade over a pluggable array-native backend.
 
     Attributes:
         dictionary: the node/predicate dictionaries when the store was built
@@ -121,10 +130,8 @@ class TripleStore:
         # (see :attr:`snapshot_source`).
         self._snapshot_path: Optional[Path] = None
         self._snapshot_generation: int = -1
-        # Committed snapshot + write-side staging (see module docstring).
-        self._committed: ColumnarIndex = ColumnarIndex.from_array(
-            np.empty((0, 3), dtype=np.int64)
-        )
+        # Committed backend + write-side staging (see module docstring).
+        self._committed: StoreBackend = ColumnarBackend.empty()
         self._delta: Set[Triple] = set()
         self._pending: List[np.ndarray] = []
         self._pending_rows: int = 0
@@ -132,10 +139,9 @@ class TripleStore:
         # probes; invalidated whenever pending changes.
         self._pending_probe: Optional[Set[Triple]] = None
         # Generation-stamped caches: (generation, payload).
-        self._columnar_cache: Optional[Tuple[int, ColumnarIndex]] = None
+        self._backend_cache: Optional[Tuple[int, StoreBackend]] = None
+        self._merged_cache: Optional[Tuple[int, ColumnarIndex]] = None
         self._set_cache: Optional[Tuple[int, Set[Triple]]] = None
-        self._legacy_cache: Optional[Tuple[int, tuple]] = None
-        self._adjacency_cache: Optional[Tuple[int, dict, dict]] = None
         self._nodes_cache: Optional[Tuple[int, List[int]]] = None
 
     # ------------------------------------------------------------------
@@ -180,7 +186,7 @@ class TripleStore:
 
         Accepts an ``(N, 3)`` int array or any iterable of ``(s, p, o)``
         triples.  The batch is deduplicated with vectorized packed-row
-        operations and merged against the existing snapshot — no
+        operations and merged against the existing backend — no
         per-triple Python work — and the generation is bumped **once**
         for the whole batch (not at all when every row was a duplicate).
         A memmap-backed snapshot is never mutated in place: new rows
@@ -214,37 +220,28 @@ class TripleStore:
     @staticmethod
     def _dedupe_batch(
         rows: np.ndarray,
-        existing: Optional[ColumnarIndex],
+        existing: Optional[StoreBackend],
         pending: Sequence[np.ndarray] = (),
     ) -> np.ndarray:
         """Unique rows of *rows* absent from *existing* and *pending*.
 
         Fast path: when all ids are non-negative and the combined value
         ranges fit, each row packs into one ordered int64 key
-        (``(s * Rp + p) * Ro + o``); the packing is monotone in SPO
-        order, so the existing index's lexsorted columns pack into an
-        already-sorted key array and membership is a single
-        ``searchsorted`` — no index rebuild, so chunked ingest stays
-        amortized.  Arbitrary ids fall back to bytewise void records
-        (correct for equality, slower to sort).
+        (``(s * Rp + p) * Ro + o``), uniqued with an explicit sort +
+        neighbour-diff (np.sort takes the SIMD path for int64,
+        np.unique does not, ~20x).  Arbitrary ids fall back to bytewise
+        void records (correct for equality, slower to sort).  Membership
+        against the committed data is one backend
+        :meth:`~repro.rdf.backend.StoreBackend.isin_rows` pass — a
+        packed binary search on the columnar backend, per-owning-shard
+        searches on the sharded one; never an index rebuild, so chunked
+        ingest stays amortized.
         """
         lo = [int(rows[:, i].min()) for i in range(3)]
         hi = [int(rows[:, i].max()) for i in range(3)]
         for batch in pending:
             lo = [min(a, int(b)) for a, b in zip(lo, batch.min(axis=0))]
             hi = [max(a, int(b)) for a, b in zip(hi, batch.max(axis=0))]
-        if existing is not None and existing.size:
-            # The permutations are sorted, so extrema are at the ends.
-            lo = [
-                min(lo[0], int(existing.spo_s[0])),
-                min(lo[1], int(existing.pso_p[0])),
-                min(lo[2], int(existing.osp_o[0])),
-            ]
-            hi = [
-                max(hi[0], int(existing.spo_s[-1])),
-                max(hi[1], int(existing.pso_p[-1])),
-                max(hi[2], int(existing.osp_o[-1])),
-            ]
         radix_p = hi[1] + 1
         radix_o = hi[2] + 1
         packable = (
@@ -258,20 +255,11 @@ class TripleStore:
                 ) * radix_o + np.asarray(o)
 
             keys = pack(rows[:, 0], rows[:, 1], rows[:, 2])
-            # Explicit sort + neighbour-diff instead of np.unique: np.sort
-            # takes the SIMD path for int64, np.unique does not (~20x).
             keys.sort()
             head = np.ones(1, dtype=bool)
             unique_keys = keys[
                 np.concatenate((head, keys[1:] != keys[:-1]))
             ]
-            if existing is not None and existing.size:
-                existing_keys = pack(
-                    existing.spo_s, existing.spo_p, existing.spo_o
-                )
-                unique_keys = unique_keys[
-                    ~in_sorted(existing_keys, unique_keys)
-                ]
             if pending:
                 pending_keys = np.concatenate(
                     [pack(b[:, 0], b[:, 1], b[:, 2]) for b in pending]
@@ -281,31 +269,31 @@ class TripleStore:
                 ]
             subjects, rest = np.divmod(unique_keys, radix_p * radix_o)
             predicates, objects = np.divmod(rest, radix_o)
-            return np.column_stack((subjects, predicates, objects))
-        packed = pack_rows(rows)
-        _, keep = np.unique(packed, return_index=True)
-        unique_rows = rows[keep]
-        if existing is not None and existing.size:
-            mask = ~np.isin(
-                pack_rows(unique_rows), pack_rows(existing.rows())
-            )
-            unique_rows = unique_rows[mask]
-        if pending:
-            mask = ~np.isin(
-                pack_rows(unique_rows),
-                pack_rows(np.concatenate(list(pending))),
-            )
-            unique_rows = unique_rows[mask]
+            unique_rows = np.column_stack((subjects, predicates, objects))
+        else:
+            packed = pack_rows(rows)
+            _, keep = np.unique(packed, return_index=True)
+            unique_rows = rows[keep]
+            if pending:
+                mask = ~np.isin(
+                    pack_rows(unique_rows),
+                    pack_rows(np.concatenate(list(pending))),
+                )
+                unique_rows = unique_rows[mask]
+        if existing is not None and existing.size and unique_rows.size:
+            unique_rows = unique_rows[~existing.isin_rows(unique_rows)]
         return unique_rows
 
     def _consolidate(self) -> None:
-        """Fold pending batches and the delta set into the committed index.
+        """Fold pending batches and the delta set into the committed backend.
 
         All parts are mutually disjoint and internally deduplicated by
         construction, so consolidation is one concatenation plus the
-        index build — never a set round-trip.  A memmap-backed committed
-        index is replaced (its pages copied into fresh in-memory
-        arrays), never written through.
+        backend rebuild — never a set round-trip.  The rebuild preserves
+        the backend's representation (a sharded backend stays sharded,
+        same layout).  A memmap-backed committed backend is replaced
+        (its pages copied into fresh in-memory arrays), never written
+        through.
         """
         if not self._pending and not self._delta:
             return
@@ -320,44 +308,67 @@ class TripleStore:
         rows = np.concatenate(parts) if parts else np.empty(
             (0, 3), dtype=np.int64
         )
-        self._committed = ColumnarIndex.from_array(rows)
+        self._committed = self._committed.rebuild(rows)
         self._delta = set()
         self._pending = []
         self._pending_rows = 0
         self._pending_probe = None
 
     # ------------------------------------------------------------------
-    # Columnar snapshot
+    # Backend access
     # ------------------------------------------------------------------
 
     @property
-    def columnar(self) -> ColumnarIndex:
-        """The sorted-permutation snapshot of the current generation.
+    def backend(self) -> StoreBackend:
+        """The committed array-native backend of the current generation.
 
         Built lazily on first access after a mutation; all vectorized
-        paths (fast counters, samplers, stats) read through this.
+        paths (fast counters, samplers, stats, baselines) read through
+        this.  The returned backend carries the store's generation as
+        its :attr:`~repro.rdf.backend.StoreBackend.generation` stamp.
         """
-        cache = self._columnar_cache
+        cache = self._backend_cache
         if cache is None or cache[0] != self.generation:
             self._consolidate()
-            self._columnar_cache = (self.generation, self._committed)
-        return self._columnar_cache[1]
+            self._committed.generation = self.generation
+            self._backend_cache = (self.generation, self._committed)
+        return self._backend_cache[1]
+
+    @property
+    def columnar(self) -> ColumnarIndex:
+        """A single sorted-permutation index of the current generation.
+
+        On the default columnar backend this *is* the committed index
+        (no copy — memmap identity is preserved for loaded snapshots).
+        On a sharded backend it is a merged in-memory index built from
+        all attached shards, cached per generation: the dense fallback
+        for consumers that read raw permutation columns (the vectorized
+        samplers, range workloads).  Accessor-level consumers should
+        prefer :attr:`backend`, which routes to shards without merging.
+        """
+        backend = self.backend
+        if isinstance(backend, ColumnarBackend):
+            return backend.index
+        cache = self._merged_cache
+        if cache is None or cache[0] != self.generation:
+            self._merged_cache = (
+                self.generation,
+                ColumnarIndex.from_array(backend.rows()),
+            )
+        return self._merged_cache[1]
 
     @property
     def _triples(self) -> Set[Triple]:
         """Materialised set view of the current generation (cached).
 
-        Kept for the legacy dict indexes and external callers written
-        against the original set-backed implementation; internal hot
-        paths read :attr:`columnar` instead.
+        Kept for external callers written against the original
+        set-backed implementation; internal hot paths read
+        :attr:`backend` instead.
         """
         cache = self._set_cache
         if cache is not None and cache[0] == self.generation:
             return cache[1]
-        col = self.columnar
-        triples = set(
-            zip(col.spo_s.tolist(), col.spo_p.tolist(), col.spo_o.tolist())
-        )
+        triples = set(map(tuple, self.backend.rows().tolist()))
         self._set_cache = (self.generation, triples)
         return triples
 
@@ -390,10 +401,7 @@ class TripleStore:
         return triple in self._pending_probe
 
     def __iter__(self) -> Iterator[Triple]:
-        col = self.columnar
-        return iter(
-            zip(col.spo_s.tolist(), col.spo_p.tolist(), col.spo_o.tolist())
-        )
+        return iter(map(tuple, self.backend.rows().tolist()))
 
     @property
     def num_triples(self) -> int:
@@ -403,14 +411,14 @@ class TripleStore:
         """All node ids appearing as subject or object (sorted, cached)."""
         cache = self._nodes_cache
         if cache is None or cache[0] != self.generation:
-            nodes = self.columnar.nodes().tolist()
+            nodes = self.backend.nodes().tolist()
             self._nodes_cache = (self.generation, nodes)
             return nodes
         return cache[1]
 
     def predicates(self) -> List[int]:
         """All predicate ids in use (sorted)."""
-        return self.columnar.predicates().tolist()
+        return self.backend.predicates().tolist()
 
     @property
     def num_nodes(self) -> int:
@@ -418,127 +426,83 @@ class TripleStore:
 
     @property
     def num_predicates(self) -> int:
-        return int(self.columnar.predicates().size)
+        return int(self.backend.predicates().size)
 
     def subjects(self) -> List[int]:
         """All distinct subject ids (sorted)."""
-        return self.columnar.subjects().tolist()
+        return self.backend.subjects().tolist()
 
     def objects(self) -> List[int]:
         """All distinct object ids (sorted)."""
-        return self.columnar.objects().tolist()
+        return self.backend.objects().tolist()
 
     def objects_of(self, s: int, p: int) -> Set[int]:
-        """Objects o with (s, p, o) in the store."""
-        return set(self.columnar.objects_of(s, p).tolist())
+        """Objects o with (s, p, o) in the store.
+
+        Legacy set shim; array consumers should call
+        ``store.backend.objects_of(s, p)`` (sorted ndarray, no copy).
+        """
+        return set(self.backend.objects_of(s, p).tolist())
 
     def subjects_of(self, p: int, o: int) -> Set[int]:
-        """Subjects s with (s, p, o) in the store."""
-        return set(self.columnar.subjects_of(p, o).tolist())
+        """Subjects s with (s, p, o) in the store.
+
+        Legacy set shim; array consumers should call
+        ``store.backend.subjects_of(p, o)``.
+        """
+        return set(self.backend.subjects_of(p, o).tolist())
 
     def predicates_between(self, s: int, o: int) -> Set[int]:
-        """Predicates p with (s, p, o) in the store."""
-        return set(self.columnar.predicates_between(s, o).tolist())
+        """Predicates p with (s, p, o) in the store.
+
+        Legacy set shim; array consumers should call
+        ``store.backend.predicates_between(s, o)``.
+        """
+        return set(self.backend.predicates_between(s, o).tolist())
 
     def out_predicates(self, s: int) -> Set[int]:
-        """The emitting predicate set of *s* (its characteristic set)."""
-        return set(self.columnar.out_predicates(s).tolist())
+        """The emitting predicate set of *s* (its characteristic set).
+
+        Legacy set shim; array consumers should call
+        ``store.backend.out_predicates(s)`` (sorted distinct ndarray).
+        """
+        return set(self.backend.out_predicates(s).tolist())
 
     def subjects_with_predicate(self, p: int) -> List[int]:
         """Distinct subjects appearing with predicate *p* (sorted)."""
-        return self.columnar.predicate_subject_stats(p)[0].tolist()
+        return self.backend.predicate_subject_stats(p)[0].tolist()
 
     def objects_with_predicate(self, p: int) -> List[int]:
         """Distinct objects appearing with predicate *p* (sorted)."""
-        return self.columnar.predicate_object_stats(p)[0].tolist()
+        return self.backend.predicate_object_stats(p)[0].tolist()
 
     def out_edges(self, s: int) -> List[Tuple[int, int]]:
-        """All (p, o) pairs leaving node *s*, as a flat list (cached)."""
-        return self._adjacency()[0].get(s, [])
+        """All (p, o) pairs leaving node *s*, sorted by (p, o).
+
+        Legacy list shim; array consumers should call
+        ``store.backend.out_slice(s)`` for the two sorted columns.
+        """
+        preds, objs = self.backend.out_slice(s)
+        return list(zip(preds.tolist(), objs.tolist()))
 
     def in_edges(self, o: int) -> List[Tuple[int, int]]:
-        """All (s, p) pairs entering node *o*, as a flat list (cached)."""
-        return self._adjacency()[1].get(o, [])
+        """All (s, p) pairs entering node *o*, sorted by (s, p).
+
+        Legacy list shim; array consumers should call
+        ``store.backend.in_slice(o)`` for the two sorted columns.
+        """
+        subs, preds = self.backend.in_slice(o)
+        return list(zip(subs.tolist(), preds.tolist()))
 
     def out_degree(self, s: int) -> int:
-        return self.columnar.out_degree(s)
+        return self.backend.out_degree(s)
 
     def in_degree(self, o: int) -> int:
-        return self.columnar.in_degree(o)
+        return self.backend.in_degree(o)
 
     def predicate_count(self, p: int) -> int:
         """Number of triples with predicate *p*."""
-        return self.columnar.predicate_count(p)
-
-    def _adjacency(self) -> Tuple[dict, dict]:
-        """Flattened out-/in-adjacency dicts of the current generation.
-
-        The cache is keyed by :attr:`generation`, so a build that
-        happened before any mutation is discarded rather than served
-        stale (regression-tested).
-        """
-        cache = self._adjacency_cache
-        if cache is not None and cache[0] == self.generation:
-            return cache[1], cache[2]
-        col = self.columnar
-        out: Dict[int, List[Tuple[int, int]]] = {}
-        pairs_out = list(zip(col.spo_p.tolist(), col.spo_o.tolist()))
-        subs, degs = col.subject_degrees()
-        start = 0
-        for s, d in zip(subs.tolist(), degs.tolist()):
-            out[s] = pairs_out[start: start + d]
-            start += d
-        inc: Dict[int, List[Tuple[int, int]]] = {}
-        pairs_in = list(zip(col.osp_s.tolist(), col.osp_p.tolist()))
-        objs, indegs = col.object_degrees()
-        start = 0
-        for o, d in zip(objs.tolist(), indegs.tolist()):
-            inc[o] = pairs_in[start: start + d]
-            start += d
-        self._adjacency_cache = (self.generation, out, inc)
-        return out, inc
-
-    # ------------------------------------------------------------------
-    # Legacy dict indexes (compatibility views)
-    # ------------------------------------------------------------------
-
-    def _legacy_indexes(self) -> tuple:
-        """Dict-of-dict-of-set views of the four permutations.
-
-        Kept only for external code written against the original
-        implementation; everything internal reads :attr:`columnar`.
-        """
-        cache = self._legacy_cache
-        if cache is not None and cache[0] == self.generation:
-            return cache[1]
-        spo: Dict[int, Dict[int, Set[int]]] = defaultdict(dict)
-        pos: Dict[int, Dict[int, Set[int]]] = defaultdict(dict)
-        osp: Dict[int, Dict[int, Set[int]]] = defaultdict(dict)
-        pso: Dict[int, Dict[int, Set[int]]] = defaultdict(dict)
-        for s, p, o in self._triples:
-            spo[s].setdefault(p, set()).add(o)
-            pos[p].setdefault(o, set()).add(s)
-            osp[o].setdefault(s, set()).add(p)
-            pso[p].setdefault(s, set()).add(o)
-        indexes = (spo, pos, osp, pso)
-        self._legacy_cache = (self.generation, indexes)
-        return indexes
-
-    @property
-    def _spo(self) -> Dict[int, Dict[int, Set[int]]]:
-        return self._legacy_indexes()[0]
-
-    @property
-    def _pos(self) -> Dict[int, Dict[int, Set[int]]]:
-        return self._legacy_indexes()[1]
-
-    @property
-    def _osp(self) -> Dict[int, Dict[int, Set[int]]]:
-        return self._legacy_indexes()[2]
-
-    @property
-    def _pso(self) -> Dict[int, Dict[int, Set[int]]]:
-        return self._legacy_indexes()[3]
+        return self.backend.predicate_count(p)
 
     # ------------------------------------------------------------------
     # Single-pattern matching
@@ -568,37 +532,37 @@ class TripleStore:
     def _candidates(
         self, tp: TriplePattern, s_b: bool, p_b: bool, o_b: bool
     ) -> Iterator[Triple]:
-        """Slice the best permutation for the bound positions."""
-        col = self.columnar
+        """Route the bound positions to the backend's best access path."""
+        backend = self.backend
         if s_b and p_b and o_b:
             triple = tp.as_triple()
-            if col.contains(*triple):
+            if backend.contains(*triple):
                 yield triple
             return
         if s_b and p_b:
-            for o in col.objects_of(tp.s, tp.p).tolist():
+            for o in backend.objects_of(tp.s, tp.p).tolist():
                 yield (tp.s, tp.p, o)
             return
         if p_b and o_b:
-            for s in col.subjects_of(tp.p, tp.o).tolist():
+            for s in backend.subjects_of(tp.p, tp.o).tolist():
                 yield (s, tp.p, tp.o)
             return
         if s_b and o_b:
-            for p in col.predicates_between(tp.s, tp.o).tolist():
+            for p in backend.predicates_between(tp.s, tp.o).tolist():
                 yield (tp.s, p, tp.o)
             return
         if s_b:
-            preds, objs = col.out_slice(tp.s)
+            preds, objs = backend.out_slice(tp.s)
             for p, o in zip(preds.tolist(), objs.tolist()):
                 yield (tp.s, p, o)
             return
         if p_b:
-            subs, objs = col.pred_slice(tp.p)
+            subs, objs = backend.pred_slice(tp.p)
             for s, o in zip(subs.tolist(), objs.tolist()):
                 yield (s, tp.p, o)
             return
         if o_b:
-            subs, preds = col.in_slice(tp.o)
+            subs, preds = backend.in_slice(tp.o)
             for s, p in zip(subs.tolist(), preds.tolist()):
                 yield (s, p, tp.o)
             return
@@ -608,28 +572,18 @@ class TripleStore:
         """Exact result count of a single triple pattern.
 
         Every no-repeated-variable shape is a pure range width on one
-        permutation — no candidate materialisation.
+        permutation (routed to the owning shard on a sharded backend) —
+        no candidate materialisation.
         """
         has_repeat = len(tp.variables) != len(set(tp.variables))
         if has_repeat:
             return sum(1 for _ in self.match_pattern(tp))
-        col = self.columnar
-        s_b, p_b, o_b = is_bound(tp.s), is_bound(tp.p), is_bound(tp.o)
-        if s_b and p_b and o_b:
-            return 1 if col.contains(*tp.as_triple()) else 0
-        if s_b and p_b:
-            return col.count_sp(tp.s, tp.p)
-        if p_b and o_b:
-            return col.count_po(tp.p, tp.o)
-        if s_b and o_b:
-            return col.count_so(tp.s, tp.o)
-        if s_b:
-            return col.out_degree(tp.s)
-        if p_b:
-            return col.predicate_count(tp.p)
-        if o_b:
-            return col.in_degree(tp.o)
-        return len(self)
+        s = tp.s if is_bound(tp.s) else None
+        p = tp.p if is_bound(tp.p) else None
+        o = tp.o if is_bound(tp.o) else None
+        if s is None and p is None and o is None:
+            return len(self)
+        return self.backend.count(s, p, o)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -647,6 +601,25 @@ class TripleStore:
         return store
 
     @classmethod
+    def from_backend(
+        cls,
+        backend: StoreBackend,
+        dictionary: Optional[GraphDictionary] = None,
+    ) -> "TripleStore":
+        """Adopt an existing backend as the committed state, as-is.
+
+        The backend becomes the committed state at generation 0 with no
+        per-triple work.  If it is memmap-backed, the first mutation
+        demotes the store to in-memory arrays; the underlying files are
+        never modified.
+        """
+        store = cls(dictionary)
+        store._committed = backend
+        backend.generation = 0
+        store._backend_cache = (0, backend)
+        return store
+
+    @classmethod
     def from_columnar(
         cls,
         index: ColumnarIndex,
@@ -654,15 +627,10 @@ class TripleStore:
     ) -> "TripleStore":
         """Adopt an existing index (typically a loaded snapshot) as-is.
 
-        The index becomes the committed snapshot at generation 0 with no
-        per-triple work.  If it is memmap-backed, the first mutation
-        demotes the store to in-memory arrays; the underlying files are
-        never modified.
+        The index is wrapped in a :class:`ColumnarBackend`;
+        ``store.columnar`` keeps returning this exact object.
         """
-        store = cls(dictionary)
-        store._committed = index
-        store._columnar_cache = (0, index)
-        return store
+        return cls.from_backend(ColumnarBackend(index), dictionary)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -693,14 +661,24 @@ class TripleStore:
         return None
 
     def save_snapshot(
-        self, directory: Union[str, Path], record_source: bool = True
+        self,
+        directory: Union[str, Path],
+        record_source: bool = True,
+        shards: Optional[int] = None,
+        shard_by: str = "subject",
     ) -> Path:
-        """Persist the store (index + dictionaries) to *directory*.
+        """Persist the store (backend + dictionaries) to *directory*.
 
-        Writes one ``.npy`` per permutation column, the term
-        dictionaries as JSON when present, and a versioned manifest
-        carrying the triple count plus content and dictionary checksums.
-        Returns the manifest path.
+        With ``shards=None`` (default) the committed backend is written
+        in its own representation — a columnar store writes the familiar
+        single-index snapshot, a sharded store its shard directories.
+        ``shards=N`` re-shards the full triple set into N directories
+        (``shard_by`` selects ``"subject"`` — the default, uniform hash
+        of the subject — or ``"predicate"`` routing) behind a top-level
+        manifest listing every shard with its triple count and CRC32.
+        In every case the term dictionaries are written as JSON when
+        present, the manifest carries the dictionary checksum, and the
+        manifest is written last.  Returns the manifest path.
 
         By default the directory is recorded as this store's
         :attr:`snapshot_source`.  Pass ``record_source=False`` for
@@ -718,7 +696,17 @@ class TripleStore:
                 json.dumps(self.dictionary.to_payload()) + "\n",
                 encoding="utf-8",
             )
-        manifest = self.columnar.save(directory, extra_manifest=extra)
+        backend = self.backend
+        if shards is not None:
+            if (
+                not isinstance(backend, ShardedBackend)
+                or backend.num_shards != shards
+                or backend.shard_by != shard_by
+            ):
+                backend = ShardedBackend.from_rows(
+                    backend.rows(), shards, shard_by
+                )
+        manifest = backend.save(directory, extra_manifest=extra)
         if record_source:
             self._snapshot_path = directory
             self._snapshot_generation = self.generation
@@ -732,8 +720,18 @@ class TripleStore:
         verify: bool = True,
         read_only: bool = False,
         load_dictionary: bool = True,
+        shard_ids: Optional[Sequence[int]] = None,
     ) -> "TripleStore":
         """Load a saved store: columns come back as read-only memmaps.
+
+        Works on both snapshot formats — the manifest's ``format``
+        marker picks :class:`ColumnarBackend` or
+        :class:`ShardedBackend`, so callers need not know how the
+        snapshot was saved.  ``shard_ids=[...]`` attaches only those
+        shards of a sharded snapshot (the per-shard worker mode; the
+        store then answers as if it held exactly those shards' triples);
+        passing it for a single-index snapshot raises
+        :class:`SnapshotError`.
 
         There is no per-triple work; with the default ``verify=True``
         the load still performs one O(N) sequential CRC32 pass over the
@@ -752,10 +750,12 @@ class TripleStore:
         corrupted, truncated, or version-mismatched snapshot.
         """
         directory = Path(directory)
-        index = ColumnarIndex.load(
-            directory, mmap_mode=mmap_mode, verify=verify
+        backend, manifest = load_backend(
+            directory,
+            mmap_mode=mmap_mode,
+            verify=verify,
+            shard_ids=shard_ids,
         )
-        manifest = read_manifest(directory)
         dictionary = None
         if manifest.get("has_dictionary") and load_dictionary:
             path = directory / DICTIONARY_NAME
@@ -779,16 +779,17 @@ class TripleStore:
                         f"snapshot dictionary at {path} failed checksum "
                         f"verification ({checksum} != {expected!r})"
                     )
-        store = cls.from_columnar(index, dictionary)
+        store = cls.from_backend(backend, dictionary)
         store._read_only = bool(read_only)
         store._snapshot_path = directory
         store._snapshot_generation = store.generation
         return store
 
     def memory_bytes(self) -> int:
-        """Resident size of the columnar permutations, in bytes.
+        """Resident size of the permutation columns, in bytes.
 
         Used by the Table II memory comparison: four permutations of
-        three int64 columns each, 96 bytes per triple.
+        three int64 columns each, 96 bytes per triple (shard count does
+        not change the total — shards partition the triples).
         """
         return len(self) * 3 * 8 * 4

@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.rdf.pattern import QueryPattern
 from repro.rdf.store import TripleStore
 from repro.rdf.terms import PatternTerm, TriplePattern, Variable, is_bound
@@ -104,11 +106,10 @@ def count_tree(store: TripleStore, query: QueryPattern) -> Optional[int]:
         return None
     root, children = _build_rooted_tree(query)
 
-    # The DP makes huge numbers of tiny (term, value) lookups; the
-    # generation-cached dict indexes answer those by reference, unlike
-    # the columnar ranges which pay a binary search per probe.
-    spo, pos = store._spo, store._pos
-    empty: Set[int] = set()
+    # The DP makes huge numbers of tiny (term, value) probes; each is
+    # one sorted-range slice on the backend (routed to the owning shard
+    # on a sharded store), memoised per (tree node, graph value).
+    backend = store.backend
 
     memo: Dict[Tuple[PatternTerm, int], int] = {}
 
@@ -120,18 +121,24 @@ def count_tree(store: TripleStore, query: QueryPattern) -> Optional[int]:
         product = 1
         for predicate, child, outgoing in children.get(term, []):
             neighbours = (
-                spo.get(value, {}).get(predicate, empty)
+                backend.objects_of(value, predicate)
                 if outgoing
-                else pos.get(predicate, {}).get(value, empty)
+                else backend.subjects_of(predicate, value)
             )
             if isinstance(child, Variable):
                 total = 0
-                for w in neighbours:
+                for w in neighbours.tolist():
                     total += subtree_count(child, w, depth + 1)
             else:
+                # neighbours is sorted: membership is one bisect.
+                pos = int(np.searchsorted(neighbours, child))
+                present = (
+                    pos < neighbours.size
+                    and int(neighbours[pos]) == child
+                )
                 total = (
                     subtree_count(child, child, depth + 1)
-                    if child in neighbours
+                    if present
                     else 0
                 )
             if total == 0:

@@ -261,16 +261,17 @@ class ChainSampler:
             int(np.searchsorted(self._exact_start_cdf, rng.random()))
         ]
         flat: List[int] = [node]
+        backend = self.store.backend
         for remaining in range(self.size, 0, -1):
             table = tables[remaining - 1]
-            edges = self.store.out_edges(node)
+            preds, objs = backend.out_slice(node)
             weights = np.array(
-                [float(table.get(o, 0)) for _, o in edges]
+                [float(table.get(o, 0)) for o in objs.tolist()]
             )
             cdf = np.cumsum(weights / weights.sum())
-            p, o = edges[int(np.searchsorted(cdf, rng.random()))]
-            flat.extend((p, o))
-            node = o
+            pick = int(np.searchsorted(cdf, rng.random()))
+            node = int(objs[pick])
+            flat.extend((int(preds[pick]), node))
         return tuple(flat)
 
     def sample_many(self, count: int) -> List[Instance]:

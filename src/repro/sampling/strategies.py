@@ -131,19 +131,22 @@ class DegreeWeightedRW(InstanceStrategy):
     def _walk(self) -> Optional[Instance]:
         node = self._start()
         flat: List[int] = [node]
+        backend = self.store.backend
         if self.topology == "star":
-            edges = self.store.out_edges(node)
+            preds, objs = backend.out_slice(node)
+            degree = int(preds.size)
             for _ in range(self.size):
-                p, o = edges[int(self._rng.integers(len(edges)))]
-                flat.extend((p, o))
+                pick = int(self._rng.integers(degree))
+                flat.extend((int(preds[pick]), int(objs[pick])))
             return tuple(flat)
         for _ in range(self.size):
-            edges = self.store.out_edges(node)
-            if not edges:
+            preds, objs = backend.out_slice(node)
+            degree = int(preds.size)
+            if degree == 0:
                 return None
-            p, o = edges[int(self._rng.integers(len(edges)))]
-            flat.extend((p, o))
-            node = o
+            pick = int(self._rng.integers(degree))
+            node = int(objs[pick])
+            flat.extend((int(preds[pick]), node))
         return tuple(flat)
 
     def sample_many(self, count: int) -> List[Instance]:
@@ -160,8 +163,10 @@ class DegreeWeightedRW(InstanceStrategy):
 def _subgraph_store(store: TripleStore, nodes: Set[int]) -> TripleStore:
     """The induced subgraph over *nodes* as a fresh store."""
     sub = TripleStore()
+    backend = store.backend
     for s in nodes:
-        for p, o in store.out_edges(s):
+        preds, objs = backend.out_slice(s)
+        for p, o in zip(preds.tolist(), objs.tolist()):
             if o in nodes:
                 sub.add(s, p, o)
     return sub
@@ -233,7 +238,7 @@ class ForestFireStrategy(_SubgraphStrategy):
                 if v in burned:
                     continue
                 burned.add(v)
-                for _, o in self.store.out_edges(v):
+                for o in self.store.backend.out_slice(v)[1].tolist():
                     if (
                         o not in burned
                         and self._rng.random() < self.burn_probability
@@ -259,7 +264,7 @@ class SnowballStrategy(_SubgraphStrategy):
                 if v in collected:
                     continue
                 collected.add(v)
-                for _, o in self.store.out_edges(v):
+                for o in self.store.backend.out_slice(v)[1].tolist():
                     if o not in collected:
                         frontier.append(o)
         return collected

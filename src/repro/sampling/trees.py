@@ -37,21 +37,23 @@ def sample_tree_instance(
     while len(triples) < size and attempts < size * 20:
         attempts += 1
         node = frontier[int(rng.integers(len(frontier)))]
-        out_edges = store.out_edges(node)
-        in_edges = store.in_edges(node)
-        total = len(out_edges) + len(in_edges)
+        backend = store.backend
+        out_p, out_o = backend.out_slice(node)
+        in_s, in_p = backend.in_slice(node)
+        out_n = int(out_p.size)
+        total = out_n + int(in_s.size)
         if total == 0:
             continue
         pick = int(rng.integers(total))
-        if pick < len(out_edges):
-            p, o = out_edges[pick]
+        if pick < out_n:
+            p, o = int(out_p[pick]), int(out_o[pick])
             if o in visited:
                 continue
             triples.append((node, p, o))
             visited.add(o)
             frontier.append(o)
         else:
-            s, p = in_edges[pick - len(out_edges)]
+            s, p = int(in_s[pick - out_n]), int(in_p[pick - out_n])
             if s in visited:
                 continue
             triples.append((s, p, node))

@@ -264,15 +264,9 @@ class TestHistogramRangeEstimator:
         base = star_pattern(
             v("x"), [(p, v(f"o{i}")) for i, p in enumerate(preds)]
         )
-        objects = sorted(
-            {o for _, o in lubm_store._pso[preds[0]].items() for o in o}
-            if False
-            else {
-                o
-                for o_set in lubm_store._pso[preds[0]].values()
-                for o in o_set
-            }
-        )
+        objects = lubm_store.backend.predicate_object_stats(preds[0])[
+            0
+        ].tolist()
         mid = objects[len(objects) // 2]
         unconstrained = est.estimate(RangeQuery(base))
         constrained = est.estimate(

@@ -1,0 +1,455 @@
+"""The `StoreBackend` seam: ShardedBackend ≡ ColumnarBackend, exactly.
+
+The adapter contract promises that sharding is invisible: every lookup,
+count, accessor, and labeled query must come back *byte-identical* from
+a sharded backend and from the single columnar index over the same
+rows, for every pattern shape, across shard counts 1/2/8 and both
+routing keys.  Hypothesis drives random small graphs through the whole
+contract; the corrupt-manifest tests pin the typed `SnapshotError`
+surface a sharded snapshot load relies on.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import TripleStore
+from repro.rdf.backend import (
+    ColumnarBackend,
+    ShardedBackend,
+    load_backend,
+    read_sharded_manifest,
+    shard_of,
+    snapshot_format,
+)
+from repro.rdf.columnar import SnapshotError
+from repro.rdf.fastcount import count_query
+from repro.rdf.pattern import chain_pattern, star_pattern
+from repro.rdf.terms import Variable, pattern
+
+MAX_NODE = 10
+MAX_PRED = 3
+SHARD_COUNTS = (1, 2, 8)
+SHARD_MODES = ("subject", "predicate")
+
+triples_strategy = st.lists(
+    st.tuples(
+        st.integers(1, MAX_NODE),
+        st.integers(1, MAX_PRED),
+        st.integers(1, MAX_NODE),
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+#: a pattern position: a bound id or None (a fresh distinct variable)
+maybe_node = st.one_of(st.none(), st.integers(1, MAX_NODE))
+maybe_pred = st.one_of(st.none(), st.integers(1, MAX_PRED))
+
+
+def _rows(triples):
+    return np.array(sorted(set(triples)), dtype=np.int64)
+
+
+def _backends(triples):
+    """(ColumnarBackend, [every sharded layout]) over the same rows."""
+    rows = _rows(triples)
+    flat = ColumnarBackend.from_rows(rows)
+    sharded = [
+        ShardedBackend.from_rows(rows, shards, shard_by=mode)
+        for shards in SHARD_COUNTS
+        for mode in SHARD_MODES
+    ]
+    return flat, sharded
+
+
+def _label(backend):
+    s = backend.stats()
+    return f"{s.num_shards} shard(s) by {s.shard_by}"
+
+
+class TestLookupEquivalence:
+    @given(triples_strategy, maybe_node, maybe_pred, maybe_node)
+    @settings(max_examples=150, deadline=None)
+    def test_lookup_and_count_every_shape(self, triples, s, p, o):
+        """All 8 bound/unbound shapes: identical rows, identical count."""
+        flat, sharded = _backends(triples)
+        expected = flat.lookup(s, p, o)
+        expected_count = flat.count(s, p, o)
+        assert expected_count == expected.shape[0]
+        for backend in sharded:
+            got = backend.lookup(s, p, o)
+            assert got.dtype == expected.dtype
+            assert np.array_equal(got, expected), _label(backend)
+            assert backend.count(s, p, o) == expected_count, _label(backend)
+
+    @given(triples_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_rows_and_membership(self, triples):
+        flat, sharded = _backends(triples)
+        rows = flat.rows()
+        probe = np.concatenate([rows, rows + 1]) if rows.size else rows
+        for backend in sharded:
+            assert backend.size == flat.size
+            assert np.array_equal(backend.rows(), rows), _label(backend)
+            assert np.array_equal(
+                backend.isin_rows(probe), flat.isin_rows(probe)
+            ), _label(backend)
+
+
+class TestAccessorEquivalence:
+    @given(triples_strategy, st.integers(1, MAX_NODE),
+           st.integers(1, MAX_PRED), st.integers(1, MAX_NODE))
+    @settings(max_examples=100, deadline=None)
+    def test_point_and_slice_accessors(self, triples, s, p, o):
+        flat, sharded = _backends(triples)
+        subjects = flat.subjects()
+        for backend in sharded:
+            note = _label(backend)
+            assert backend.contains(s, p, o) == flat.contains(s, p, o), note
+            for got, expected in [
+                (backend.objects_of(s, p), flat.objects_of(s, p)),
+                (backend.subjects_of(p, o), flat.subjects_of(p, o)),
+                (backend.predicates_between(s, o),
+                 flat.predicates_between(s, o)),
+                (backend.out_predicates(s), flat.out_predicates(s)),
+            ]:
+                assert np.array_equal(got, expected), note
+            for got_pair, expected_pair in [
+                (backend.out_slice(s), flat.out_slice(s)),
+                (backend.in_slice(o), flat.in_slice(o)),
+                (backend.pred_slice(p), flat.pred_slice(p)),
+                (backend.pred_slice_by_object(p),
+                 flat.pred_slice_by_object(p)),
+            ]:
+                for got, expected in zip(got_pair, expected_pair):
+                    assert np.array_equal(got, expected), note
+            assert backend.out_degree(s) == flat.out_degree(s), note
+            assert backend.in_degree(o) == flat.in_degree(o), note
+            assert backend.predicate_count(p) == flat.predicate_count(p)
+            assert backend.count_sp(s, p) == flat.count_sp(s, p), note
+            assert backend.count_po(p, o) == flat.count_po(p, o), note
+            assert backend.count_so(s, o) == flat.count_so(s, o), note
+            got_obj, got_len = backend.sp_objects(subjects, p)
+            exp_obj, exp_len = flat.sp_objects(subjects, p)
+            assert np.array_equal(got_obj, exp_obj), note
+            assert np.array_equal(got_len, exp_len), note
+            assert np.array_equal(
+                backend.sp_counts(subjects, p), flat.sp_counts(subjects, p)
+            ), note
+            assert np.array_equal(
+                backend.sp_have_object(subjects, p, o),
+                flat.sp_have_object(subjects, p, o),
+            ), note
+
+    @given(triples_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_domain_and_stats_accessors(self, triples):
+        flat, sharded = _backends(triples)
+        for backend in sharded:
+            note = _label(backend)
+            for got, expected in [
+                (backend.subjects(), flat.subjects()),
+                (backend.objects(), flat.objects()),
+                (backend.predicates(), flat.predicates()),
+                (backend.nodes(), flat.nodes()),
+            ]:
+                assert np.array_equal(got, expected), note
+            for got_pair, expected_pair in [
+                (backend.subject_degrees(), flat.subject_degrees()),
+                (backend.object_degrees(), flat.object_degrees()),
+                (backend.predicate_triple_counts(),
+                 flat.predicate_triple_counts()),
+                (backend.distinct_sp_pairs(), flat.distinct_sp_pairs()),
+            ]:
+                for got, expected in zip(got_pair, expected_pair):
+                    assert np.array_equal(got, expected), note
+            for p in range(1, MAX_PRED + 1):
+                for got, expected in zip(
+                    backend.predicate_subject_stats(p),
+                    flat.predicate_subject_stats(p),
+                ):
+                    assert np.array_equal(got, expected), note
+                for got, expected in zip(
+                    backend.predicate_object_stats(p),
+                    flat.predicate_object_stats(p),
+                ):
+                    assert np.array_equal(got, expected), note
+            assert list(backend.subject_predicate_groups()) == list(
+                flat.subject_predicate_groups()
+            ), note
+
+
+class TestFacadeEquivalence:
+    """TripleStore over a sharded backend answers like the flat store."""
+
+    @given(triples_strategy, maybe_node, maybe_pred, maybe_node)
+    @settings(max_examples=100, deadline=None)
+    def test_match_and_count_pattern(self, triples, s, p, o):
+        flat, sharded = _backends(triples)
+        reference = TripleStore.from_backend(flat)
+        tp = pattern(
+            s if s is not None else Variable("s"),
+            p if p is not None else Variable("p"),
+            o if o is not None else Variable("o"),
+        )
+        repeated = pattern(Variable("x"), 1, Variable("x"))
+        for backend in sharded:
+            store = TripleStore.from_backend(backend)
+            note = _label(backend)
+            assert list(store.match_pattern(tp)) == list(
+                reference.match_pattern(tp)
+            ), note
+            assert store.count_pattern(tp) == reference.count_pattern(tp)
+            assert list(store.match_pattern(repeated)) == list(
+                reference.match_pattern(repeated)
+            ), note
+
+    @given(
+        triples_strategy,
+        st.one_of(st.none(), st.integers(1, MAX_NODE)),
+        st.lists(
+            st.tuples(st.integers(1, MAX_PRED), maybe_node),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_star_labeling(self, triples, centre, pairs):
+        flat, sharded = _backends(triples)
+        reference = TripleStore.from_backend(flat)
+        centre_term = Variable("c") if centre is None else centre
+        edges = [
+            (p, Variable(f"o{i}") if o is None else o)
+            for i, (p, o) in enumerate(pairs)
+        ]
+        query = star_pattern(centre_term, edges)
+        expected = count_query(reference, query)
+        for backend in sharded:
+            store = TripleStore.from_backend(backend)
+            assert count_query(store, query) == expected, _label(backend)
+
+    @given(
+        triples_strategy,
+        st.lists(st.integers(1, MAX_PRED), min_size=1, max_size=3),
+        st.booleans(),
+        st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_chain_labeling(self, triples, predicates, bind_head, bind_tail):
+        flat, sharded = _backends(triples)
+        reference = TripleStore.from_backend(flat)
+        nodes = [Variable(f"v{i}") for i in range(len(predicates) + 1)]
+        if bind_head:
+            nodes[0] = 1
+        if bind_tail:
+            nodes[-1] = 2
+        terms = []
+        for i, node in enumerate(nodes):
+            terms.append(node)
+            if i < len(predicates):
+                terms.append(predicates[i])
+        query = chain_pattern(terms)
+        expected = count_query(reference, query)
+        for backend in sharded:
+            store = TripleStore.from_backend(backend)
+            assert count_query(store, query) == expected, _label(backend)
+
+
+@pytest.fixture
+def rows():
+    rng = np.random.default_rng(42)
+    raw = rng.integers(1, 40, size=(300, 3))
+    return np.unique(raw, axis=0).astype(np.int64)
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("shard_by", SHARD_MODES)
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_save_load_byte_identical(self, rows, tmp_path, shards, shard_by):
+        backend = ShardedBackend.from_rows(rows, shards, shard_by=shard_by)
+        backend.save(tmp_path / "snap")
+        assert snapshot_format(tmp_path / "snap") == "repro-sharded"
+        loaded, manifest = load_backend(tmp_path / "snap")
+        assert isinstance(loaded, ShardedBackend)
+        assert loaded.num_shards == shards
+        assert loaded.shard_by == shard_by
+        assert manifest["num_triples"] == rows.shape[0]
+        assert np.array_equal(loaded.rows(), backend.rows())
+        assert np.array_equal(loaded.rows(), rows)
+        stats = loaded.stats()
+        assert stats.backend == "sharded"
+        assert stats.num_shards == shards
+        assert stats.attached_shards == shards
+
+    def test_flat_snapshot_loads_columnar(self, rows, tmp_path):
+        ColumnarBackend.from_rows(rows).save(tmp_path / "snap")
+        loaded, _ = load_backend(tmp_path / "snap")
+        assert isinstance(loaded, ColumnarBackend)
+        assert np.array_equal(loaded.rows(), rows)
+
+    def test_shard_ids_on_flat_snapshot_rejected(self, rows, tmp_path):
+        ColumnarBackend.from_rows(rows).save(tmp_path / "snap")
+        with pytest.raises(SnapshotError, match="not sharded"):
+            load_backend(tmp_path / "snap", shard_ids=[0])
+
+    def test_store_save_snapshot_reshards(self, rows, tmp_path):
+        store = TripleStore.from_backend(ColumnarBackend.from_rows(rows))
+        store.save_snapshot(tmp_path / "snap", shards=2)
+        loaded = TripleStore.load_snapshot(tmp_path / "snap")
+        assert isinstance(loaded.backend, ShardedBackend)
+        assert np.array_equal(loaded.backend.rows(), rows)
+
+    def test_partial_attach_is_the_shard_subgraph(self, rows, tmp_path):
+        backend = ShardedBackend.from_rows(rows, 4)
+        backend.save(tmp_path / "snap")
+        owners = shard_of(rows[:, 0], 4)
+        partial = ShardedBackend.load(tmp_path / "snap", shard_ids=[1, 3])
+        keep = (owners == 1) | (owners == 3)
+        expected = rows[keep]
+        assert partial.size == expected.shape[0]
+        assert np.array_equal(
+            partial.rows(),
+            expected[np.lexsort((expected[:, 2], expected[:, 1],
+                                 expected[:, 0]))],
+        )
+        assert not partial.fully_attached
+        assert partial.stats().attached_shards == 2
+
+    def test_partial_attach_refuses_save(self, rows, tmp_path):
+        ShardedBackend.from_rows(rows, 4).save(tmp_path / "snap")
+        partial = ShardedBackend.load(tmp_path / "snap", shard_ids=[0])
+        with pytest.raises(SnapshotError, match="partially attached"):
+            partial.save(tmp_path / "copy")
+
+    def test_missing_shard_id_rejected(self, rows, tmp_path):
+        ShardedBackend.from_rows(rows, 2).save(tmp_path / "snap")
+        with pytest.raises(SnapshotError, match="does not exist"):
+            ShardedBackend.load(tmp_path / "snap", shard_ids=[5])
+
+
+class TestCorruptManifests:
+    """Every tampering mode fails loudly with a typed SnapshotError."""
+
+    def _save(self, rows, directory, shards=2):
+        ShardedBackend.from_rows(rows, shards).save(directory)
+        return directory / "manifest.json"
+
+    def _rewrite(self, path, **overrides):
+        manifest = json.loads(path.read_text())
+        manifest.update(overrides)
+        path.write_text(json.dumps(manifest))
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(SnapshotError, match="no snapshot manifest"):
+            read_sharded_manifest(tmp_path)
+
+    def test_unparsable_manifest(self, rows, tmp_path):
+        path = self._save(rows, tmp_path / "snap")
+        path.write_text("{not json")
+        with pytest.raises(SnapshotError, match="unreadable"):
+            read_sharded_manifest(tmp_path / "snap")
+
+    def test_foreign_format(self, rows, tmp_path):
+        path = self._save(rows, tmp_path / "snap")
+        self._rewrite(path, format="parquet")
+        with pytest.raises(SnapshotError, match="not a repro-sharded"):
+            read_sharded_manifest(tmp_path / "snap")
+
+    def test_wrong_version(self, rows, tmp_path):
+        path = self._save(rows, tmp_path / "snap")
+        self._rewrite(path, version=99)
+        with pytest.raises(SnapshotError, match="version"):
+            ShardedBackend.load(tmp_path / "snap")
+
+    def test_wrong_routing(self, rows, tmp_path):
+        path = self._save(rows, tmp_path / "snap")
+        self._rewrite(path, routing="md5")
+        with pytest.raises(SnapshotError, match="routes by"):
+            ShardedBackend.load(tmp_path / "snap")
+
+    def test_invalid_shard_by(self, rows, tmp_path):
+        path = self._save(rows, tmp_path / "snap")
+        self._rewrite(path, shard_by="object")
+        with pytest.raises(SnapshotError, match="invalid shard_by"):
+            ShardedBackend.load(tmp_path / "snap")
+
+    def test_shard_entry_count_mismatch(self, rows, tmp_path):
+        path = self._save(rows, tmp_path / "snap")
+        self._rewrite(path, num_shards=3)
+        with pytest.raises(SnapshotError, match="shard entries"):
+            ShardedBackend.load(tmp_path / "snap")
+
+    def test_missing_shard_directory(self, rows, tmp_path):
+        self._save(rows, tmp_path / "snap")
+        import shutil
+
+        shutil.rmtree(tmp_path / "snap" / "shard-0001")
+        with pytest.raises(SnapshotError):
+            ShardedBackend.load(tmp_path / "snap")
+
+    def test_total_triple_count_mismatch(self, rows, tmp_path):
+        path = self._save(rows, tmp_path / "snap")
+        manifest = json.loads(path.read_text())
+        manifest["num_triples"] += 1
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="sums to"):
+            ShardedBackend.load(tmp_path / "snap")
+
+    def test_per_shard_triple_count_mismatch(self, rows, tmp_path):
+        path = self._save(rows, tmp_path / "snap")
+        manifest = json.loads(path.read_text())
+        manifest["shards"][0]["num_triples"] += 1
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="manifest says"):
+            ShardedBackend.load(tmp_path / "snap")
+
+    def test_swapped_in_shard_rejected(self, rows, tmp_path):
+        """A shard from a different snapshot has the wrong checksum."""
+        import shutil
+
+        self._save(rows, tmp_path / "a")
+        self._save(rows[: rows.shape[0] // 2], tmp_path / "b")
+        target = tmp_path / "a" / "shard-0000"
+        shutil.rmtree(target)
+        shutil.copytree(tmp_path / "b" / "shard-0000", target)
+        with pytest.raises(
+            SnapshotError, match="does not belong to this snapshot|says"
+        ):
+            ShardedBackend.load(tmp_path / "a")
+
+    def test_tampered_shard_column(self, rows, tmp_path):
+        self._save(rows, tmp_path / "snap")
+        column = next((tmp_path / "snap" / "shard-0000").glob("spo_s.npy"))
+        blob = bytearray(column.read_bytes())
+        blob[-1] ^= 0xFF
+        column.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError):
+            ShardedBackend.load(tmp_path / "snap", verify=True)
+
+
+class TestShardedMatchPool:
+    def test_match_patterns_fans_out_byte_identical(self, rows, tmp_path):
+        from repro.rdf.parallel import match_patterns, match_serial
+
+        store = TripleStore.from_backend(ColumnarBackend.from_rows(rows))
+        snap = tmp_path / "sharded"
+        store.save_snapshot(snap, record_source=False, shards=2)
+        patterns = [
+            pattern(Variable("s"), p, Variable("o"))
+            for p in range(1, MAX_PRED + 1)
+        ] + [
+            pattern(Variable("x"), 1, Variable("x")),
+            pattern(int(rows[0, 0]), Variable("p"), Variable("o")),
+            pattern(Variable("s"), Variable("p"), int(rows[0, 2])),
+            pattern(Variable("s"), Variable("p"), Variable("o")),
+        ]
+        expected = match_serial(store, patterns)
+        got = match_patterns(patterns, snapshot_dir=snap, workers=2)
+        assert len(got) == len(expected)
+        for a, b in zip(expected, got):
+            assert a.dtype == b.dtype
+            assert np.array_equal(a, b)

@@ -141,7 +141,7 @@ class TestGenerationSemantics:
         assert store.columnar is not index
         assert 9 in store.nodes()
         assert store.out_edges(9) == [(1, 1)]
-        assert 1 in store._spo[9]
+        assert store.backend.objects_of(9, 1).tolist() == [1]
 
     @given(st.lists(triples_strategy, min_size=1, max_size=4))
     @settings(max_examples=40, deadline=None)

@@ -212,11 +212,11 @@ class TestGenerationCounter:
         tiny_store.add(42, 1, 1)
         assert 42 in tiny_store.nodes()
 
-    def test_legacy_dict_views_refresh(self, tiny_store):
-        assert 2 not in tiny_store._spo[4]
+    def test_backend_view_refreshes(self, tiny_store):
+        assert 2 not in tiny_store.backend.out_predicates(4).tolist()
         tiny_store.add(4, 2, 7)
-        assert 7 in tiny_store._spo[4][2]
-        assert 4 in tiny_store._pso[2]
+        assert 7 in tiny_store.backend.objects_of(4, 2).tolist()
+        assert 4 in tiny_store.backend.pred_slice(2)[0].tolist()
 
     def test_count_pattern_after_mutation(self, tiny_store):
         before = tiny_store.count_pattern(pattern("s", 1, "o"))
