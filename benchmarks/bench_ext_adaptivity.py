@@ -9,13 +9,20 @@ chains — against two deployments of the same initial star-only model:
 - *adaptive*: the :class:`~repro.core.monitor.AdaptiveLMKG` loop with a
   sliding-window drift detector.
 
-Reported: phase-2 accuracy of both deployments and the adaptation log.
-The shape claim: adaptation restores phase-2 accuracy to the same order
-as a model trained for chains up front.
+Reported: phase-2 accuracy of both deployments and the adaptation log,
+persisted into ``benchmarks/results/BENCH_store.json`` under
+``adaptivity``.  The shape claim: adaptation restores phase-2 accuracy
+to the same order as a model trained for chains up front.
 """
 
+from pathlib import Path
+
 from repro.bench import get_context
-from repro.bench.reporting import format_table
+from repro.bench.reporting import format_table, merge_json
+
+RESULT_PATH = (
+    Path(__file__).parent / "results" / "BENCH_store.json"
+)
 from repro.core.framework import LMKG
 from repro.core.lmkg_s import LMKGSConfig
 from repro.core.metrics import summarize
@@ -102,6 +109,26 @@ def test_ext_adaptivity(benchmark, report):
         return rows, summaries, log
 
     rows, summaries, log = benchmark.pedantic(run, rounds=1, iterations=1)
+    merge_json(
+        RESULT_PATH,
+        {
+            "adaptivity": {
+                "dataset": "lubm",
+                "size": size,
+                "phase2_queries": len(chains),
+                "log": log,
+                **{
+                    name: {
+                        "mean_qerr": round(summary.mean, 2),
+                        "median_qerr": round(summary.median, 2),
+                        "p90_qerr": round(summary.p90, 2),
+                        "max_qerr": round(summary.max, 2),
+                    }
+                    for name, summary in summaries.items()
+                },
+            }
+        },
+    )
     report(
         format_table(
             ("deployment", "mean q-err", "median", "max"),

@@ -34,9 +34,15 @@ Measures, on a synthetic ~100k-triple hub-heavy graph:
   (``repro.serve.BatchScheduler``) under concurrent single-query
   clients, against the sequential one-request-at-a-time baseline, with
   request-latency p50/p99; the gate asserts the micro-batched path is
-  at least **2x** the sequential-request throughput.
+  at least **2x** the sequential-request throughput,
+- **maintenance** (`test_maintenance_incremental`, its own ~20k-triple
+  graph): one incremental maintenance run over a 1% vocabulary-
+  preserving delta — relabel affected queries, fine-tune touched
+  models — against a forced full refit of the same live graph (gates:
+  >= 5x faster, mean q-error on the affected shapes within 2x of the
+  refit's).
 
-Results print as a table and persist to
+Results print as tables and persist (merged, section by section) to
 ``benchmarks/results/BENCH_store.json`` so successive PRs can track the
 numbers.
 """
@@ -49,7 +55,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.bench.harness import build_throughput_store
-from repro.bench.reporting import format_table, write_json
+from repro.bench.reporting import format_table, merge_json
 from repro.core.framework import LMKG
 from repro.core.lmkg_s import LMKGSConfig
 from repro.rdf import fastcount
@@ -598,7 +604,7 @@ def test_store_throughput(report, tmp_path):
             "latency_p99_ms": latency.get("p99"),
         },
     }
-    write_json(RESULT_PATH, results)
+    merge_json(RESULT_PATH, results)
 
     report(
         format_table(
@@ -788,3 +794,190 @@ def test_store_throughput(report, tmp_path):
         f"batch (< 2): micro-batching is not engaging"
     )
     assert RESULT_PATH.exists()
+
+
+#: maintenance bench scale: its own graph (smaller than the throughput
+#: one so the full refit stays a few seconds) and a training config
+#: heavy enough that refitting is genuinely expensive relative to the
+#: delta work — the trade the maintenance subsystem exists to win.
+MAINT_TRIPLES = 20_000
+MAINT_SHAPES = (("star", 2), ("chain", 2))
+MAINT_QUERIES_PER_SHAPE = 400
+MAINT_EPOCHS = 150
+MAINT_FINETUNE_EPOCHS = 2
+MAINT_HIDDEN = (96, 96)
+#: delta size as a fraction of the graph (the "1% delta" scenario).
+MAINT_DELTA_FRACTION = 0.01
+
+
+def _vocab_preserving_delta(store, fraction, rng):
+    """~fraction*|store| novel triples over the *existing* vocabulary.
+
+    Recombines stored subjects/predicates/objects so node and predicate
+    counts (and the dictionary) stay fixed — the precondition for the
+    incremental path; new vocabulary correctly forces a full rebuild
+    and would bench the wrong thing.
+    """
+    rows = store.backend.rows()
+    subjects = np.unique(rows[:, 0])
+    predicates = np.unique(rows[:, 1])
+    objects = np.unique(rows[:, 2])
+    target = max(int(len(store) * fraction), 1)
+    delta = np.empty((0, 3), dtype=np.int64)
+    while delta.shape[0] < target:
+        candidates = np.stack(
+            [
+                rng.choice(subjects, 4 * target),
+                rng.choice(predicates, 4 * target),
+                rng.choice(objects, 4 * target),
+            ],
+            axis=1,
+        ).astype(np.int64)
+        candidates = np.unique(candidates, axis=0)
+        candidates = candidates[~store.backend.isin_rows(candidates)]
+        delta = np.unique(
+            np.concatenate([delta, candidates]), axis=0
+        )
+    return delta[:target]
+
+
+def test_maintenance_incremental(report, tmp_path):
+    """Incremental maintenance vs full refit on a 1% graph delta.
+
+    Gates: the incremental run (relabel affected + fine-tune touched
+    models from the previous checkpoint) must be >= 5x faster than a
+    forced full rebuild of the same live graph, and its accuracy on the
+    affected shapes must stay within 2x of the full refit's mean
+    q-error — the quality the time saving must not cost.
+    """
+    from repro.core.metrics import summarize
+    from repro.maintain import MaintenanceRunner
+    from repro.sampling.workload import generate_workload
+    from repro.serve.artifacts import load_checkpoint
+
+    store = build_throughput_store(MAINT_TRIPLES, seed=0)
+    rng = np.random.default_rng(13)
+
+    runner = MaintenanceRunner(
+        store,
+        tmp_path / "maintain-state",
+        shapes=MAINT_SHAPES,
+        queries_per_shape=MAINT_QUERIES_PER_SHAPE,
+        epochs=MAINT_EPOCHS,
+        finetune_epochs=MAINT_FINETUNE_EPOCHS,
+        hidden_sizes=MAINT_HIDDEN,
+        seed=0,
+    )
+    first, first_s = _timed(runner.run)
+    assert first.action == "full"
+
+    delta = _vocab_preserving_delta(store, MAINT_DELTA_FRACTION, rng)
+    store.add_all(delta)
+
+    incremental, incremental_s = _timed(runner.run)
+    assert incremental.action == "incremental", (
+        f"1% vocabulary-preserving delta planned a "
+        f"{incremental.action} run ({(incremental.plan or {}).get('reason')})"
+    )
+
+    # The comparison point: a from-scratch rebuild of the same live
+    # graph with the same config, in its own state directory.
+    refit_runner = MaintenanceRunner(
+        store,
+        tmp_path / "refit-state",
+        shapes=MAINT_SHAPES,
+        queries_per_shape=MAINT_QUERIES_PER_SHAPE,
+        epochs=MAINT_EPOCHS,
+        finetune_epochs=MAINT_FINETUNE_EPOCHS,
+        hidden_sizes=MAINT_HIDDEN,
+        seed=0,
+    )
+    refit, refit_s = _timed(lambda: refit_runner.run(full=True))
+    speedup = refit_s / incremental_s
+
+    # Accuracy parity on the affected shapes: both checkpoints answer a
+    # fresh labelled workload drawn from the live (mutated) graph.
+    fw_incremental, _ = load_checkpoint(
+        incremental.checkpoint_dir, store
+    )
+    fw_refit, _ = load_checkpoint(refit.checkpoint_dir, store)
+    parity = {}
+    for topology, size in MAINT_SHAPES:
+        test = generate_workload(
+            store, topology, size, 150, seed=99
+        ).records
+        truths = [r.cardinality for r in test]
+        queries = [r.query for r in test]
+        parity[f"{topology}_{size}"] = {
+            "incremental_mean_qerr": round(
+                summarize(
+                    fw_incremental.estimate_batch(queries).tolist(),
+                    truths,
+                ).mean,
+                2,
+            ),
+            "refit_mean_qerr": round(
+                summarize(
+                    fw_refit.estimate_batch(queries).tolist(), truths
+                ).mean,
+                2,
+            ),
+        }
+
+    results = {
+        "maintenance": {
+            "num_triples": len(store),
+            "delta_triples": int(delta.shape[0]),
+            "epochs": MAINT_EPOCHS,
+            "finetune_epochs": MAINT_FINETUNE_EPOCHS,
+            "queries_per_shape": MAINT_QUERIES_PER_SHAPE,
+            "first_materialization_s": round(first_s, 3),
+            "full_refit_s": round(refit_s, 3),
+            "incremental_s": round(incremental_s, 3),
+            "incremental_speedup": round(speedup, 2),
+            "relabeled": incremental.relabeled,
+            "qerror_parity": parity,
+        }
+    }
+    merge_json(RESULT_PATH, results)
+
+    report(
+        format_table(
+            ("Metric", "Value"),
+            [
+                ["triples", len(store)],
+                ["delta triples (1%)", int(delta.shape[0])],
+                ["first materialization s", round(first_s, 2)],
+                ["full refit s", round(refit_s, 2)],
+                ["incremental run s", round(incremental_s, 2)],
+                ["incremental speedup", round(speedup, 2)],
+            ]
+            + [
+                [
+                    f"{shape} mean q-err (incremental / refit)",
+                    f"{p['incremental_mean_qerr']} / "
+                    f"{p['refit_mean_qerr']}",
+                ]
+                for shape, p in sorted(parity.items())
+            ],
+            title=(
+                "Incremental maintenance — 1% delta on "
+                f"{len(store)} triples -> {RESULT_PATH.name}"
+            ),
+        )
+    )
+
+    # The acceptance gates of the maintenance subsystem.
+    assert speedup >= 5.0, (
+        f"incremental maintenance {speedup:.2f}x < 5x the full refit "
+        f"({incremental_s:.2f}s vs {refit_s:.2f}s)"
+    )
+    for shape, p in parity.items():
+        assert (
+            p["incremental_mean_qerr"]
+            <= p["refit_mean_qerr"] * 2.0
+        ), (
+            f"incremental model lost accuracy parity on {shape}: mean "
+            f"q-error {p['incremental_mean_qerr']} vs refit "
+            f"{p['refit_mean_qerr']} (tolerance 2x)"
+        )

@@ -67,6 +67,32 @@ def write_json(path, payload: dict) -> None:
         handle.write("\n")
 
 
+def merge_json(path, sections: dict) -> dict:
+    """Merge *sections* into the JSON result file at *path*.
+
+    Top-level keys in *sections* replace the same keys in the existing
+    file; all other sections survive.  This is how independent benches
+    (`bench_store_throughput`, `bench_ext_adaptivity`, the maintenance
+    bench) share one ``BENCH_store.json`` without clobbering each
+    other's numbers.  Returns the merged payload.
+    """
+    import json
+    from pathlib import Path
+
+    path = Path(path)
+    merged: dict = {}
+    if path.is_file():
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            existing = None
+        if isinstance(existing, dict):
+            merged.update(existing)
+    merged.update(sections)
+    write_json(path, merged)
+    return merged
+
+
 def format_bytes(num_bytes: int) -> str:
     """Human-readable size like the paper's Table II (KB/MB)."""
     if num_bytes >= 1_000_000:

@@ -13,8 +13,22 @@ Subcommands:
 - ``plan``    — pick a join order for a SPARQL query and compare it
   against the true-optimal order,
 - ``snapshot``— persist a graph as a memory-mapped columnar snapshot
-  (``snapshot save``) and load/inspect one without per-triple work
-  (``snapshot load``; ``--no-verify`` skips the checksum pass),
+  (``snapshot save``), load/inspect one without per-triple work
+  (``snapshot load``; ``--no-verify`` skips the checksum pass), and
+  describe one from its manifest alone — format version, flat/sharded
+  layout, per-shard row counts and CRC32s — without attaching a single
+  column (``snapshot info``; ``--json`` for machines),
+- ``maintain``— incrementally maintain a trained estimator over a
+  mutating graph (``maintain run``): diff the live store against the
+  last materialization's watermark, relabel only the affected training
+  queries, fine-tune only the touched models from the previous
+  generation's checkpoint, and publish a new versioned generation
+  (checkpoint + snapshot + watermark) under ``--state-dir`` — with
+  ``--reload-url`` the new generation is handed to a running server's
+  ``/admin/reload`` for a zero-downtime swap.  The first run (or
+  ``--full``) materializes everything from scratch; ``--dry-run``
+  prints the plan without touching anything; ``maintain status``
+  reports the watermark, freshness verdict, and pending delta,
 - ``serve``   — serve the batched estimation API over HTTP with
   micro-batching across concurrent requests (``POST /estimate``,
   ``GET /healthz``, ``GET /stats``); attaches to a store snapshot
@@ -47,6 +61,12 @@ Examples::
         --count 1000 --workers 4 --out /tmp/train.tsv
     python -m repro snapshot save --dataset lubm --out /tmp/lubm_snap
     python -m repro snapshot load --dir /tmp/lubm_snap
+    python -m repro snapshot info --dir /tmp/lubm_snap --json
+    python -m repro maintain run --snapshot /tmp/lubm_snap \
+        --state-dir /tmp/lubm_maintain --reload-url \
+        http://127.0.0.1:8310/admin/reload
+    python -m repro maintain status --snapshot /tmp/lubm_snap \
+        --state-dir /tmp/lubm_maintain
     python -m repro serve --snapshot /tmp/lubm_snap --port 8310 \
         --max-batch 128 --max-delay-ms 2 --workers 2
 """
@@ -384,6 +404,198 @@ def cmd_snapshot_load(args) -> int:
     return 0
 
 
+def cmd_snapshot_info(args) -> int:
+    import json
+
+    from repro.rdf.backend import (
+        read_sharded_manifest,
+        snapshot_format,
+    )
+    from repro.rdf.columnar import SnapshotError, read_manifest
+
+    try:
+        layout = snapshot_format(args.dir)
+        if layout == "repro-sharded":
+            manifest = read_sharded_manifest(args.dir)
+        else:
+            manifest = read_manifest(args.dir)
+    except SnapshotError as exc:
+        raise SystemExit(f"snapshot inspection failed: {exc}")
+    info = {
+        "directory": str(args.dir),
+        "format": manifest.get("format"),
+        "version": manifest.get("version"),
+        "layout": "sharded" if layout == "repro-sharded" else "flat",
+        "num_triples": manifest.get("num_triples"),
+        "has_dictionary": bool(manifest.get("has_dictionary")),
+        "dictionary_checksum": manifest.get("dictionary_checksum"),
+    }
+    if info["layout"] == "sharded":
+        info["num_shards"] = manifest["num_shards"]
+        info["shard_by"] = manifest["shard_by"]
+        info["shards"] = [
+            {
+                "directory": entry["directory"],
+                "num_triples": entry["num_triples"],
+                "crc32": entry["checksum"],
+            }
+            for entry in manifest["shards"]
+        ]
+    else:
+        info["crc32"] = manifest.get("checksum")
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print(f"snapshot:    {args.dir}")
+    print(
+        f"format:      {info['format']} v{info['version']} "
+        f"({info['layout']})"
+    )
+    print(f"triples:     {info['num_triples']}")
+    if info["has_dictionary"]:
+        print(
+            f"dictionary:  yes (checksum "
+            f"{info['dictionary_checksum']})"
+        )
+    else:
+        print("dictionary:  no")
+    if info["layout"] == "sharded":
+        print(f"shards:      {info['num_shards']} by {info['shard_by']}")
+        for sid, entry in enumerate(info["shards"]):
+            print(
+                f"  shard {sid}: {entry['directory']}  "
+                f"rows={entry['num_triples']}  "
+                f"crc32={entry['crc32']}"
+            )
+    else:
+        print(f"crc32:       {info['crc32']}")
+    return 0
+
+
+def _make_maintenance_runner(args):
+    from repro.maintain import FreshnessPolicy, MaintenanceRunner
+    from repro.rdf.columnar import SnapshotError
+
+    if args.snapshot:
+        try:
+            store = TripleStore.load_snapshot(args.snapshot)
+        except SnapshotError as exc:
+            raise SystemExit(f"snapshot load failed: {exc}")
+    else:
+        store = _load_store(args)
+    if store.dictionary is None:
+        raise SystemExit(
+            "maintain requires a dictionary-encoded store"
+        )
+    return MaintenanceRunner(
+        store,
+        args.state_dir,
+        shapes=_parse_shapes(args.shapes),
+        queries_per_shape=args.queries,
+        epochs=args.epochs,
+        finetune_epochs=args.finetune_epochs,
+        hidden_sizes=tuple(args.hidden),
+        seed=args.seed,
+        grouping=args.grouping,
+        policy=FreshnessPolicy(
+            warn_after=args.freshness_warn,
+            error_after=args.freshness_error,
+        ),
+    )
+
+
+def cmd_maintain_run(args) -> int:
+    import json
+
+    from repro.maintain import MaintenanceError
+
+    runner = _make_maintenance_runner(args)
+    try:
+        report = runner.run(
+            full=args.full,
+            dry_run=args.dry_run,
+            reload_url=args.reload_url,
+        )
+    except MaintenanceError as exc:
+        raise SystemExit(f"maintenance run failed: {exc}")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    plan = report.plan or {}
+    print(
+        f"action:      {report.action}"
+        + (f" ({plan.get('reason')})" if plan.get("reason") else "")
+    )
+    print(f"generation:  {report.run}")
+    print(f"delta:       {plan.get('num_delta', 0)} triples")
+    if report.relabeled:
+        relabelled = ", ".join(
+            f"{shape}={count}"
+            for shape, count in sorted(report.relabeled.items())
+        )
+        print(f"relabelled:  {relabelled}")
+    if report.finetune:
+        models = report.finetune.get("models", {})
+        tuned = ", ".join(sorted(map(str, models))) or "none"
+        print(
+            f"fine-tuned:  {tuned} "
+            f"({report.finetune.get('epochs')} epoch(s))"
+        )
+    if report.checkpoint_dir:
+        print(f"checkpoint:  {report.checkpoint_dir}")
+    if report.snapshot_dir:
+        print(f"snapshot:    {report.snapshot_dir}")
+    if report.reload_response is not None:
+        print(f"reload:      {report.reload_response.get('status')}")
+    print(f"elapsed:     {report.seconds:.2f} s")
+    return 0
+
+
+def cmd_maintain_status(args) -> int:
+    import json
+
+    runner = _make_maintenance_runner(args)
+    status = runner.status()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    watermark = status["watermark"]
+    freshness = status["freshness"]
+    plan = status["plan"]
+    store_info = status["store"]
+    if watermark is None:
+        print("watermark:   none (never materialized; run maintain run)")
+    else:
+        print(
+            f"watermark:   generation {watermark['run']} at "
+            f"{watermark['num_triples']} triples"
+        )
+    print(
+        f"store:       {store_info['num_triples']} triples, "
+        f"{store_info['num_nodes']} nodes, "
+        f"{store_info['num_predicates']} predicates"
+    )
+    print(
+        f"freshness:   {freshness['status']} "
+        f"(lag {freshness['lag_triples']} triples, "
+        f"warn after {freshness['thresholds']['warn_after']}, "
+        f"error after {freshness['thresholds']['error_after']})"
+    )
+    if plan["full"]:
+        print(f"next run:    full rebuild ({plan['reason']})")
+    elif not plan["stale_shapes"]:
+        print("next run:    noop (materialization is current)")
+    else:
+        shapes = ", ".join(
+            f"{t}:{s}" for t, s in plan["stale_shapes"]
+        )
+        print(
+            f"next run:    incremental over {shapes} "
+            f"({plan['num_delta']} delta triples)"
+        )
+    return 0
+
+
 def cmd_serve(args) -> int:
     import os
     import signal
@@ -535,6 +747,8 @@ def cmd_serve(args) -> int:
                 and service.artifact.shapes is not None
                 else ShapeManifest.from_framework(service.framework)
             )
+        from repro.maintain.freshness import FreshnessPolicy
+
         runtime = ServingRuntime(
             service,
             scheduler,
@@ -544,6 +758,10 @@ def cmd_serve(args) -> int:
             artifact=service.artifact,
             checkpoint_dir=checkpoint_dir,
             admission_enabled=not args.no_admission,
+            freshness_policy=FreshnessPolicy(
+                warn_after=args.freshness_warn,
+                error_after=args.freshness_error,
+            ),
         )
         server = make_server(
             service,
@@ -769,6 +987,138 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip checksum verification (still validates shapes)",
     )
     p_snap_load.set_defaults(func=cmd_snapshot_load)
+    p_snap_info = snap_sub.add_parser(
+        "info",
+        help=(
+            "describe a snapshot from its manifest alone (layout, "
+            "shard rows, CRC32s) without loading any column"
+        ),
+    )
+    p_snap_info.add_argument(
+        "--dir", required=True, help="snapshot directory to describe"
+    )
+    p_snap_info.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON instead of the table",
+    )
+    p_snap_info.set_defaults(func=cmd_snapshot_info)
+
+    from repro.maintain.finetune import DEFAULT_FINETUNE_EPOCHS
+    from repro.maintain.freshness import FreshnessPolicy
+
+    p_maint = sub.add_parser(
+        "maintain",
+        help=(
+            "incrementally maintain a trained estimator over a "
+            "mutating graph (dbt-style materialization)"
+        ),
+    )
+    maint_sub = p_maint.add_subparsers(
+        dest="maintain_command", required=True
+    )
+
+    def _add_maintain_options(sub_parser) -> None:
+        _add_store_options(sub_parser)
+        sub_parser.add_argument(
+            "--snapshot",
+            help=(
+                "load the live graph from this snapshot directory "
+                "instead of building a dataset"
+            ),
+        )
+        sub_parser.add_argument(
+            "--state-dir",
+            required=True,
+            help=(
+                "maintenance state directory (watermark, workload "
+                "TSVs, per-generation checkpoints and snapshots)"
+            ),
+        )
+        sub_parser.add_argument(
+            "--shapes",
+            nargs="+",
+            default=["star:2", "chain:2"],
+            help="topology:size pairs the materialization covers",
+        )
+        sub_parser.add_argument(
+            "--queries",
+            type=int,
+            default=300,
+            help="training queries per shape (full materialization)",
+        )
+        sub_parser.add_argument(
+            "--epochs",
+            type=int,
+            default=15,
+            help="training epochs for a full materialization",
+        )
+        sub_parser.add_argument(
+            "--finetune-epochs",
+            type=int,
+            default=DEFAULT_FINETUNE_EPOCHS,
+            help="epochs per touched model on an incremental run",
+        )
+        sub_parser.add_argument(
+            "--hidden", type=int, nargs="+", default=[64, 64]
+        )
+        sub_parser.add_argument("--seed", type=int, default=0)
+        sub_parser.add_argument(
+            "--grouping",
+            choices=("specialized", "type", "size", "single"),
+            default="size",
+            help="model grouping strategy (must stay fixed per state dir)",
+        )
+        sub_parser.add_argument(
+            "--freshness-warn",
+            type=int,
+            default=FreshnessPolicy.warn_after,
+            help="triple lag at which freshness degrades to warn",
+        )
+        sub_parser.add_argument(
+            "--freshness-error",
+            type=int,
+            default=FreshnessPolicy.error_after,
+            help="triple lag at which freshness degrades to error",
+        )
+        sub_parser.add_argument(
+            "--json",
+            action="store_true",
+            help="machine-readable JSON instead of the table",
+        )
+
+    p_maint_run = maint_sub.add_parser(
+        "run",
+        help=(
+            "plan, relabel, fine-tune, and publish the next "
+            "generation (first run materializes from scratch)"
+        ),
+    )
+    _add_maintain_options(p_maint_run)
+    p_maint_run.add_argument(
+        "--full",
+        action="store_true",
+        help="force a from-scratch rebuild",
+    )
+    p_maint_run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the plan without training or publishing anything",
+    )
+    p_maint_run.add_argument(
+        "--reload-url",
+        help=(
+            "POST the published generation to this /admin/reload "
+            "endpoint for a zero-downtime swap"
+        ),
+    )
+    p_maint_run.set_defaults(func=cmd_maintain_run)
+    p_maint_status = maint_sub.add_parser(
+        "status",
+        help="watermark vs. live store, freshness verdict, pending delta",
+    )
+    _add_maintain_options(p_maint_status)
+    p_maint_status.set_defaults(func=cmd_maintain_status)
 
     p_serve = sub.add_parser(
         "serve",
@@ -896,6 +1246,21 @@ def build_parser() -> argparse.ArgumentParser:
             "disable parse-time admission control by trained shape "
             "(uncovered shapes then 422 after reaching the backend)"
         ),
+    )
+    p_serve.add_argument(
+        "--freshness-warn",
+        type=int,
+        default=FreshnessPolicy.warn_after,
+        help=(
+            "triple lag between the served model's watermark and the "
+            "live store at which /healthz freshness degrades to warn"
+        ),
+    )
+    p_serve.add_argument(
+        "--freshness-error",
+        type=int,
+        default=FreshnessPolicy.error_after,
+        help="triple lag at which /healthz freshness degrades to error",
     )
     p_serve.add_argument(
         "--faults",

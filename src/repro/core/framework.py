@@ -398,13 +398,25 @@ class LMKG(Estimator):
 
     @classmethod
     def load(
-        cls, path: Union[str, Path], store: TripleStore
+        cls,
+        path: Union[str, Path],
+        store: TripleStore,
+        allow_stale_store: bool = False,
     ) -> "LMKG":
         """Rebuild a saved framework against *store*.
 
         The store must be the graph the models were trained on (or a
         snapshot of it): the term encoders derive their widths from the
         store's node/predicate counts.
+
+        ``allow_stale_store=True`` relaxes exactly one check — the
+        triple-count equality — for the incremental-maintenance path
+        (:mod:`repro.maintain`), which deliberately loads a checkpoint
+        against a graph that has gained or lost triples since training
+        in order to fine-tune it.  The vocabulary gates (node/predicate
+        counts, dictionary checksum) still hold: the encoders derive
+        their widths from them, so a vocabulary change can never be
+        absorbed by fine-tuning and always forces a full rebuild.
         """
         path = Path(path)
         manifest_path = path / "manifest.json"
@@ -426,13 +438,15 @@ class LMKG(Estimator):
                 f"{manifest.get('version')!r}"
             )
         store_info = manifest.get("store", {})
+        checks = [
+            ("num_nodes", store.num_nodes),
+            ("num_predicates", store.num_predicates),
+        ]
+        if not allow_stale_store:
+            checks.insert(0, ("num_triples", len(store)))
         mismatches = [
             f"{key}: checkpoint {store_info[key]} vs store {actual}"
-            for key, actual in (
-                ("num_triples", len(store)),
-                ("num_nodes", store.num_nodes),
-                ("num_predicates", store.num_predicates),
-            )
+            for key, actual in checks
             if store_info.get(key) not in (None, actual)
         ]
         saved_checksum = store_info.get("dictionary_checksum")

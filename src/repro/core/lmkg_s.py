@@ -139,6 +139,49 @@ class LMKGS(Estimator):
         )
         return self.history
 
+    def finetune(
+        self,
+        records: Sequence[QueryRecord],
+        epochs: Optional[int] = None,
+    ) -> TrainingHistory:
+        """Continue training from the current weights on *records*.
+
+        The incremental-maintenance path (:mod:`repro.maintain`): a few
+        epochs over the relabelled queries of the affected shapes, from
+        the bit-exact float64 checkpoint masters, instead of a fresh
+        :meth:`fit`.  The scaler keeps its fitted bounds — targets are
+        mapped through :meth:`LogMinMaxScaler.transform`, not refit —
+        so the output head's calibration survives; a cardinality beyond
+        the original range saturates rather than shifting every other
+        estimate.  The loss is rebuilt per the config (a loaded
+        checkpoint carries a placeholder loss).
+        """
+        if self._regressor is None:
+            raise RuntimeError("finetune() before fit() or load()")
+        if not records:
+            raise ValueError("cannot fine-tune on an empty workload")
+        queries = [r.query for r in records]
+        cards = np.array([r.cardinality for r in records], dtype=np.float64)
+        features = self.featurize(queries)
+        targets = self.scaler.transform(cards)
+        if self.config.loss == "q_error":
+            loss = QErrorLoss(self.scaler.span)
+        elif self.config.loss == "mse":
+            loss = MSELoss()
+        else:
+            raise ValueError(f"unknown loss {self.config.loss!r}")
+        self._regressor = Regressor(
+            self._regressor.network, loss, lr=self.config.learning_rate
+        )
+        self.history = self._regressor.fit(
+            features,
+            targets,
+            epochs=self.config.epochs if epochs is None else epochs,
+            batch_size=self.config.batch_size,
+            seed=self.config.seed + 1,
+        )
+        return self.history
+
     def _estimate_batch(self, queries: List[QueryPattern]) -> np.ndarray:
         """Vectorised estimation for a batch of queries."""
         if self._regressor is None:

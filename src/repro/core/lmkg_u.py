@@ -443,6 +443,48 @@ class LMKGU(Estimator):
         )
         return self.history
 
+    def finetune(
+        self, epochs: int = 1, instances=None
+    ) -> List[float]:
+        """Continue training from the current weights on fresh samples.
+
+        The incremental-maintenance path (:mod:`repro.maintain`): bound
+        instances are re-sampled from the (mutated) live store — same
+        seed and budget as :meth:`fit`, so the delta triples surface in
+        the sample in proportion to their share of the graph — and the
+        ResMADE trains a few more epochs from its float64 masters
+        (:meth:`MADE.fit` continues from the current weights with a
+        fresh optimizer).  The shape universe count is recomputed from
+        the live store, which is what moves the estimate's ``N_shape``
+        factor even before the conditionals adjust.
+        """
+        if self.model is None or self.universe is None:
+            raise RuntimeError("finetune() before fit() or load()")
+        if instances is None:
+            instances, universe = sample_instances(
+                self.store,
+                self.topology,
+                self.size,
+                self.config.training_samples,
+                seed=self.config.seed,
+                method=self.config.sample_method,
+            )
+        else:
+            _, universe = sample_instances(
+                self.store, self.topology, self.size, 0,
+            )
+        self.universe = universe
+        data = np.array(instances, dtype=np.int64)
+        history = self.model.fit(
+            data,
+            epochs=epochs,
+            batch_size=self.config.batch_size,
+            lr=self.config.learning_rate,
+            seed=self.config.seed + 1,
+        )
+        self.history.extend(history)
+        return history
+
     # ------------------------------------------------------------------
     # Query → position constraints
     # ------------------------------------------------------------------

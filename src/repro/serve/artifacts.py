@@ -224,7 +224,9 @@ def save_checkpoint(framework, path: Union[str, Path]) -> Path:
     return write_artifact(framework, path)
 
 
-def load_checkpoint(path: Union[str, Path], store):
+def load_checkpoint(
+    path: Union[str, Path], store, allow_stale_store: bool = False
+):
     """Gate-check then load a framework checkpoint.
 
     Returns ``(framework, artifact)``.  The artifact gate runs first —
@@ -233,11 +235,16 @@ def load_checkpoint(path: Union[str, Path], store):
     level failures (graph fingerprint mismatch, unreadable npz that a
     v1 artifact had no checksum for) still surface as
     :class:`~repro.core.framework.CheckpointError`.
+    ``allow_stale_store`` forwards to :meth:`LMKG.load` — the
+    incremental-maintenance path, which loads a checkpoint against a
+    graph that has drifted since training in order to fine-tune it.
     """
     from repro.core.framework import LMKG
 
     artifact = load_artifact(path)
-    framework = LMKG.load(path, store)
+    framework = LMKG.load(
+        path, store, allow_stale_store=allow_stale_store
+    )
     if artifact.shapes is None:
         artifact = CheckpointArtifact(
             schema_version=artifact.schema_version,

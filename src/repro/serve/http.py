@@ -14,8 +14,10 @@ concurrent requests into batched ``estimate_batch`` calls.  Routes:
   is untrained, else post-execution with ``reason:
   "estimation_failed"``; a full scheduler queue is a 429 carrying a
   ``Retry-After`` header and ``reason: "queue_full"``.
-- ``POST /admin/reload`` — body ``{}`` or ``{"checkpoint": "<dir>"}``;
-  hot-swaps the serving checkpoint with zero downtime (see
+- ``POST /admin/reload`` — body ``{}``, ``{"checkpoint": "<dir>"}``, or
+  ``{"checkpoint": "<dir>", "snapshot": "<dir>"}``; hot-swaps the
+  serving checkpoint — and, with ``snapshot``, the served graph (the
+  maintenance hand-off) — with zero downtime (see
   :class:`~repro.serve.supervisor.ServingRuntime.reload`).  A checkpoint
   that fails the artifact gate is a 409 with the typed ``reason``
   (``corrupt`` / ``checksum`` / ``incompatible`` / ...) and the old
@@ -23,7 +25,10 @@ concurrent requests into batched ``estimate_batch`` calls.  Routes:
   501.
 - ``GET /healthz`` — liveness, the served graph/model summary, and (with
   a runtime) the fault-tolerance surface: checkpoint generation + schema
-  version, per-worker liveness/restart counts, circuit-breaker state.
+  version, per-worker liveness/restart counts, circuit-breaker state,
+  and the dbt-sources-style ``freshness`` block (model generation vs.
+  store generation, triple lag classified pass/warn/error against the
+  declared thresholds).
 - ``GET /stats`` — scheduler counters and latency percentiles.
 
 Everything else is a 404.  The server never dies on a bad request: all
@@ -38,6 +43,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from repro.core.framework import CheckpointError, EstimationError
+from repro.rdf.columnar import SnapshotError
 from repro.rdf.parser import ParseError
 from repro.serve.admission import AdmissionError
 from repro.serve.artifacts import ArtifactError
@@ -200,6 +206,7 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         checkpoint = None
+        snapshot = None
         if body:
             try:
                 payload = json.loads(body)
@@ -211,7 +218,10 @@ class _Handler(BaseHTTPRequestHandler):
             if not isinstance(payload, dict):
                 self._send_json(
                     400,
-                    {"error": 'body must be {} or {"checkpoint": dir}'},
+                    {
+                        "error": "body must be {} or "
+                        '{"checkpoint": dir, "snapshot": dir}'
+                    },
                 )
                 return
             checkpoint = payload.get("checkpoint")
@@ -222,15 +232,21 @@ class _Handler(BaseHTTPRequestHandler):
                     400, {"error": '"checkpoint" must be a string'}
                 )
                 return
+            snapshot = payload.get("snapshot")
+            if snapshot is not None and not isinstance(snapshot, str):
+                self._send_json(
+                    400, {"error": '"snapshot" must be a string'}
+                )
+                return
         try:
-            summary = runtime.reload(checkpoint)
+            summary = runtime.reload(checkpoint, snapshot_dir=snapshot)
         except ArtifactError as exc:
             # Typed gate rejection; the old checkpoint keeps serving.
             self._send_json(
                 409, {"error": str(exc), "reason": exc.reason}
             )
             return
-        except (CheckpointError, ServiceError) as exc:
+        except (CheckpointError, ServiceError, SnapshotError) as exc:
             self._send_json(
                 409, {"error": str(exc), "reason": "checkpoint_error"}
             )

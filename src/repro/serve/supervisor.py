@@ -591,7 +591,11 @@ class SupervisedPool:
     # Hot reload (blue-green worker set swap)
     # ------------------------------------------------------------------
 
-    def reload(self, checkpoint_dir: Union[str, Path]) -> int:
+    def reload(
+        self,
+        checkpoint_dir: Union[str, Path],
+        snapshot_dir: Union[str, Path, None] = None,
+    ) -> int:
         """Swap every worker onto *checkpoint_dir* with zero downtime.
 
         A complete new set is spawned and handshaked while the old set
@@ -599,8 +603,22 @@ class SupervisedPool:
         batches (under the dispatch lock), and the old set is stopped.
         Any new-worker failure aborts the swap with the old set
         untouched.  Returns the new worker-set generation.
+
+        *snapshot_dir* additionally re-attaches the new set to a
+        different snapshot — the maintenance path, which publishes a
+        fresh snapshot with every checkpoint generation because a
+        fine-tuned checkpoint only gate-checks against the graph it
+        was fine-tuned on.  The old set keeps serving the old snapshot
+        until the flip, and a failed spawn restores it for restarts.
         """
-        new_workers = self._spawn_set(str(checkpoint_dir))
+        old_snapshot = self.snapshot_dir
+        if snapshot_dir is not None:
+            self.snapshot_dir = str(snapshot_dir)
+        try:
+            new_workers = self._spawn_set(str(checkpoint_dir))
+        except BaseException:
+            self.snapshot_dir = old_snapshot
+            raise
         with self._dispatch_lock:
             with self._state_cv:
                 old_workers = self._workers
@@ -946,6 +964,7 @@ class ServingRuntime:
         artifact: Optional[CheckpointArtifact] = None,
         checkpoint_dir: Union[str, Path, None] = None,
         admission_enabled: bool = True,
+        freshness_policy=None,
     ) -> None:
         self.service = service
         self.scheduler = scheduler
@@ -957,6 +976,10 @@ class ServingRuntime:
         self.checkpoint_dir = (
             str(checkpoint_dir) if checkpoint_dir is not None else None
         )
+        #: declared max-staleness thresholds for the /healthz freshness
+        #: block (a :class:`repro.maintain.freshness.FreshnessPolicy`;
+        #: None uses that module's defaults).
+        self.freshness_policy = freshness_policy
         self._reload_lock = threading.Lock()
         self.reloads = 0
 
@@ -967,7 +990,9 @@ class ServingRuntime:
     # -- hot reload -----------------------------------------------------
 
     def reload(
-        self, checkpoint_dir: Union[str, Path, None] = None
+        self,
+        checkpoint_dir: Union[str, Path, None] = None,
+        snapshot_dir: Union[str, Path, None] = None,
     ) -> dict:
         """Atomically swap the serving checkpoint; returns a summary.
 
@@ -978,6 +1003,16 @@ class ServingRuntime:
         In-flight batches drain against the old framework; requests
         submitted after this method returns are answered by the new
         generation.
+
+        *snapshot_dir* swaps the served graph along with the model —
+        the maintenance hand-off, where each published generation pairs
+        a fine-tuned checkpoint with the snapshot it was tuned against.
+        The new snapshot is verified and the checkpoint gate-checked
+        against it before anything is swapped; on any failure the old
+        snapshot, framework, and worker set keep serving.  The
+        degradation fallback keeps its construction-time store — it
+        stays available mid-swap, at worst one generation stale until
+        the process restarts or the caller rebuilds it.
         """
         with self._reload_lock:
             path = (
@@ -991,28 +1026,74 @@ class ServingRuntime:
                     "the server with --checkpoint/--save-checkpoint "
                     'or POST {"checkpoint": "<dir>"}'
                 )
-            framework, artifact = load_checkpoint(
-                path, self.service.store
-            )
+            if snapshot_dir is not None:
+                from repro.rdf.store import TripleStore
+
+                store = TripleStore.load_snapshot(str(snapshot_dir))
+                if store.dictionary is None:
+                    raise ReloadError(
+                        f"snapshot at {snapshot_dir} has no term "
+                        "dictionary; queries could not be parsed"
+                    )
+            else:
+                store = self.service.store
+            framework, artifact = load_checkpoint(path, store)
             if self.pool is not None:
-                self.pool.reload(path)
+                self.pool.reload(path, snapshot_dir=snapshot_dir)
                 new_fn = self.pool.estimate_batch
             else:
                 new_fn = framework.estimate_batch
             self.backend.swap_primary(new_fn)
+            self.service.store = store
             self.service.framework = framework
             self.artifact = artifact
             if self.admission_enabled:
                 self.admission = artifact.shapes
             self.checkpoint_dir = path
             self.reloads += 1
-            return {
+            summary = {
                 "generation": self.generation,
                 "checkpoint": path,
                 "schema_version": artifact.schema_version,
             }
+            if snapshot_dir is not None:
+                summary["snapshot"] = str(snapshot_dir)
+            return summary
 
     # -- introspection --------------------------------------------------
+
+    def freshness(self) -> dict:
+        """The dbt-sources-style freshness verdict for ``/healthz``.
+
+        The watermark stamped into the active checkpoint (by
+        :mod:`repro.maintain`) is compared against the served store
+        under the declared thresholds; a pre-maintenance checkpoint
+        falls back to the artifact's store fingerprint (run/generation
+        unknown, triple lag still measurable); a startup-fitted server
+        has no materialization record at all and reports ``unknown``.
+        """
+        from repro.maintain.freshness import (
+            check_freshness,
+            watermark_from_fingerprint,
+        )
+        from repro.maintain.watermark import (
+            WatermarkError,
+            read_watermark,
+        )
+
+        watermark = None
+        if self.checkpoint_dir is not None:
+            try:
+                watermark = read_watermark(self.checkpoint_dir)
+            except WatermarkError:
+                watermark = None
+        if watermark is None and self.artifact is not None:
+            watermark = watermark_from_fingerprint(
+                self.artifact.store
+            )
+        return check_freshness(
+            watermark, self.service.store, self.freshness_policy
+        ).to_dict()
 
     def healthz_extras(self) -> dict:
         breaker = self.backend.breaker.state_dict()
@@ -1027,6 +1108,7 @@ class ServingRuntime:
             "circuit_breaker": breaker,
             "backend": self.backend.stats(),
             "reloads": self.reloads,
+            "freshness": self.freshness(),
         }
         if self.admission is not None:
             payload["admitted_shapes"] = self.admission.to_dict()

@@ -1,0 +1,59 @@
+"""Shared fixtures for the maintenance-subsystem tests.
+
+The stores here are small but real: the same hub-heavy SWDF-like
+generator the throughput benches use, dictionary-encoded so the full
+watermark surface (including the checksum guard) is exercised.  The
+delta helper recombines *existing* terms into novel triples — the
+mutation the incremental path is for, where the vocabulary is stable
+and only the triple set moves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import build_throughput_store
+
+
+@pytest.fixture
+def live_store():
+    """A fresh mutable ~2.4k-triple graph with a term dictionary."""
+    return build_throughput_store(3_000, seed=0)
+
+
+@pytest.fixture
+def make_delta():
+    """Factory for vocabulary-preserving deltas against a store.
+
+    Returns novel ``(N, 3)`` triples built from the store's existing
+    subjects/predicates/objects, so node and predicate counts (and the
+    dictionary) are untouched and the planner stays on the incremental
+    path.
+    """
+
+    def _make(store, count, seed=13):
+        rng = np.random.default_rng(seed)
+        rows = store.backend.rows()
+        subjects = np.unique(rows[:, 0])
+        predicates = np.unique(rows[:, 1])
+        objects = np.unique(rows[:, 2])
+        out = np.empty((0, 3), dtype=np.int64)
+        while out.shape[0] < count:
+            candidates = np.stack(
+                [
+                    rng.choice(subjects, 4 * count),
+                    rng.choice(predicates, 4 * count),
+                    rng.choice(objects, 4 * count),
+                ],
+                axis=1,
+            ).astype(np.int64)
+            candidates = np.unique(candidates, axis=0)
+            candidates = candidates[
+                ~store.backend.isin_rows(candidates)
+            ]
+            out = np.unique(
+                np.concatenate([out, candidates]), axis=0
+            )
+        rng.shuffle(out)
+        return out[:count]
+
+    return _make

@@ -1,0 +1,136 @@
+"""dbt-sources-style freshness classification tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.maintain.freshness import (
+    FRESHNESS_ERROR,
+    FRESHNESS_PASS,
+    FRESHNESS_UNKNOWN,
+    FRESHNESS_WARN,
+    FreshnessPolicy,
+    check_freshness,
+    watermark_from_fingerprint,
+)
+from repro.maintain.watermark import Watermark
+
+
+class TestPolicy:
+    def test_classification_bands(self):
+        policy = FreshnessPolicy(warn_after=10, error_after=100)
+        assert policy.classify(0) == FRESHNESS_PASS
+        assert policy.classify(9) == FRESHNESS_PASS
+        assert policy.classify(10) == FRESHNESS_WARN
+        assert policy.classify(99) == FRESHNESS_WARN
+        assert policy.classify(100) == FRESHNESS_ERROR
+
+    def test_default_warns_on_any_drift(self):
+        assert FreshnessPolicy().classify(1) == FRESHNESS_WARN
+        assert FreshnessPolicy().classify(0) == FRESHNESS_PASS
+
+    def test_inverted_thresholds_rejected(self):
+        with pytest.raises(ValueError, match="error_after"):
+            FreshnessPolicy(warn_after=100, error_after=10)
+
+    def test_negative_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            FreshnessPolicy(warn_after=-1)
+
+
+class TestCheckFreshness:
+    def test_no_watermark_is_unknown(self, books_store):
+        status = check_freshness(None, books_store)
+        assert status.status == FRESHNESS_UNKNOWN
+        assert status.lag_triples is None
+        assert status.model_run is None
+        assert status.store_num_triples == len(books_store)
+
+    def test_current_watermark_passes(self, books_store):
+        snapshot = Watermark.of_store(books_store, run=1)
+        status = check_freshness(snapshot, books_store)
+        assert status.status == FRESHNESS_PASS
+        assert status.lag_triples == 0
+        assert status.vocabulary_ok is True
+        assert status.model_run == 1
+
+    def test_drift_classified_by_thresholds(
+        self, live_store, make_delta
+    ):
+        snapshot = Watermark.of_store(live_store, run=1)
+        live_store.add_all(make_delta(live_store, 7))
+        warn = check_freshness(
+            snapshot,
+            live_store,
+            FreshnessPolicy(warn_after=1, error_after=100),
+        )
+        assert warn.status == FRESHNESS_WARN
+        assert warn.lag_triples == 7
+        error = check_freshness(
+            snapshot,
+            live_store,
+            FreshnessPolicy(warn_after=1, error_after=5),
+        )
+        assert error.status == FRESHNESS_ERROR
+
+    def test_vocabulary_mismatch_is_error_at_zero_lag(
+        self, books_store
+    ):
+        snapshot = Watermark.of_store(books_store, run=1)
+        altered = dataclasses.replace(
+            snapshot, num_nodes=snapshot.num_nodes + 1
+        )
+        status = check_freshness(altered, books_store)
+        assert status.status == FRESHNESS_ERROR
+        assert status.lag_triples == 0
+        assert status.vocabulary_ok is False
+
+    def test_to_dict_carries_thresholds(self, books_store):
+        payload = check_freshness(
+            Watermark.of_store(books_store, run=1),
+            books_store,
+            FreshnessPolicy(warn_after=3, error_after=30),
+        ).to_dict()
+        assert payload["thresholds"] == {
+            "warn_after": 3,
+            "error_after": 30,
+        }
+        assert payload["status"] == FRESHNESS_PASS
+
+
+class TestFingerprintRecovery:
+    def test_recovers_degraded_watermark(self, books_store):
+        fingerprint = {
+            "num_triples": len(books_store),
+            "num_nodes": books_store.num_nodes,
+            "num_predicates": books_store.num_predicates,
+            "dictionary_checksum": books_store.dictionary.checksum(),
+        }
+        recovered = watermark_from_fingerprint(fingerprint)
+        assert recovered is not None
+        # Run and generation are unknowable from a fingerprint.
+        assert recovered.run == 0
+        assert recovered.generation == -1
+        assert recovered.vocabulary_matches(books_store)
+        assert (
+            check_freshness(recovered, books_store).status
+            == FRESHNESS_PASS
+        )
+
+    def test_checksum_stays_a_string(self):
+        recovered = watermark_from_fingerprint(
+            {
+                "num_triples": 10,
+                "num_nodes": 5,
+                "num_predicates": 2,
+                "dictionary_checksum": "deadbeef",
+            }
+        )
+        assert recovered.dictionary_checksum == "deadbeef"
+
+    def test_malformed_fingerprint_returns_none(self):
+        assert watermark_from_fingerprint({}) is None
+        assert (
+            watermark_from_fingerprint({"num_triples": "many"})
+            is None
+        )

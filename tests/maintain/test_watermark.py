@@ -1,0 +1,134 @@
+"""Watermark round-trips, corruption handling, vocabulary matching."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.maintain.watermark import (
+    WATERMARK_FILENAME,
+    Watermark,
+    WatermarkError,
+    read_watermark,
+    write_watermark,
+)
+
+
+def mark(**overrides):
+    base = dict(
+        run=3,
+        generation=7,
+        num_triples=100,
+        num_nodes=40,
+        num_predicates=5,
+        dictionary_checksum="60d1ef01",
+    )
+    base.update(overrides)
+    return Watermark(**base)
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        write_watermark(tmp_path, mark())
+        assert read_watermark(tmp_path) == mark()
+
+    def test_checksum_survives_as_a_hex_string(self, tmp_path):
+        # Regression: dictionary checksums are hex strings ("deadbeef");
+        # coercing them with int() crashed the first dictionary-encoded
+        # store this ran against.
+        write_watermark(
+            tmp_path, mark(dictionary_checksum="deadbeef")
+        )
+        loaded = read_watermark(tmp_path)
+        assert loaded.dictionary_checksum == "deadbeef"
+
+    def test_none_checksum_round_trips(self, tmp_path):
+        write_watermark(tmp_path, mark(dictionary_checksum=None))
+        assert read_watermark(tmp_path).dictionary_checksum is None
+
+    def test_missing_file_means_first_run(self, tmp_path):
+        assert read_watermark(tmp_path) is None
+
+    def test_write_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "state"
+        path = write_watermark(target, mark())
+        assert path == target / WATERMARK_FILENAME
+        assert read_watermark(target) == mark()
+
+    def test_of_store_fingerprint(self, books_store):
+        snapshot = Watermark.of_store(books_store, run=2)
+        assert snapshot.run == 2
+        assert snapshot.num_triples == len(books_store)
+        assert snapshot.num_nodes == books_store.num_nodes
+        assert snapshot.num_predicates == books_store.num_predicates
+        assert (
+            snapshot.dictionary_checksum
+            == books_store.dictionary.checksum()
+        )
+
+
+class TestCorruption:
+    def write_payload(self, tmp_path, payload):
+        (tmp_path / WATERMARK_FILENAME).write_text(payload)
+
+    def test_garbage_json_raises(self, tmp_path):
+        self.write_payload(tmp_path, "{not json")
+        with pytest.raises(WatermarkError, match="corrupt"):
+            read_watermark(tmp_path)
+
+    def test_wrong_format_marker_raises(self, tmp_path):
+        self.write_payload(
+            tmp_path, json.dumps({"format": "something-else"})
+        )
+        with pytest.raises(WatermarkError, match="not a watermark"):
+            read_watermark(tmp_path)
+
+    def test_future_version_raises(self, tmp_path):
+        payload = mark().to_dict()
+        payload["version"] = 99
+        self.write_payload(tmp_path, json.dumps(payload))
+        with pytest.raises(WatermarkError, match="version"):
+            read_watermark(tmp_path)
+
+    def test_missing_field_raises(self, tmp_path):
+        payload = mark().to_dict()
+        del payload["num_triples"]
+        self.write_payload(tmp_path, json.dumps(payload))
+        with pytest.raises(WatermarkError, match="malformed"):
+            read_watermark(tmp_path)
+
+
+class TestVocabularyMatches:
+    def test_unchanged_store_matches(self, books_store):
+        assert Watermark.of_store(
+            books_store, run=1
+        ).vocabulary_matches(books_store)
+
+    def test_triple_growth_still_matches(self, live_store, make_delta):
+        # More triples over the same terms is exactly the incremental
+        # case: the vocabulary check must not flag it.
+        snapshot = Watermark.of_store(live_store, run=1)
+        live_store.add_all(make_delta(live_store, 20))
+        assert snapshot.vocabulary_matches(live_store)
+        assert len(live_store) > snapshot.num_triples
+
+    def test_node_count_change_rejected(self, books_store):
+        snapshot = Watermark.of_store(books_store, run=1)
+        altered = dataclasses.replace(
+            snapshot, num_nodes=snapshot.num_nodes + 1
+        )
+        assert not altered.vocabulary_matches(books_store)
+
+    def test_predicate_count_change_rejected(self, books_store):
+        snapshot = Watermark.of_store(books_store, run=1)
+        altered = dataclasses.replace(
+            snapshot, num_predicates=snapshot.num_predicates + 1
+        )
+        assert not altered.vocabulary_matches(books_store)
+
+    def test_checksum_change_rejected(self, books_store):
+        snapshot = Watermark.of_store(books_store, run=1)
+        altered = dataclasses.replace(
+            snapshot, dictionary_checksum="00000000"
+        )
+        assert not altered.vocabulary_matches(books_store)

@@ -1,0 +1,241 @@
+"""The /healthz freshness block and the snapshot-aware reload body.
+
+The maintenance hand-off surface: a checkpoint published by
+``repro maintain`` carries a watermark; the serving runtime compares
+it against the served store under the declared dbt-style thresholds
+and reports pass/warn/error on ``/healthz``; ``/admin/reload`` accepts
+``{"checkpoint": ..., "snapshot": ...}`` to swap the graph together
+with the model.
+"""
+
+import copy
+import dataclasses
+import json
+import shutil
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.maintain.freshness import FreshnessPolicy
+from repro.maintain.watermark import Watermark, write_watermark
+from repro.serve import (
+    BatchScheduler,
+    ResilientBackend,
+    ServingRuntime,
+    ShapeManifest,
+    make_server,
+)
+from repro.serve.artifacts import load_artifact, save_checkpoint
+
+QUERY = (
+    "SELECT ?x ?y WHERE { ?x <ub:advisor> ?y . "
+    "?x <ub:takesCourse> ?z . }"
+)
+
+
+@pytest.fixture(scope="module")
+def marked_checkpoint(service, tmp_path_factory):
+    """A checkpoint stamped the way ``maintain run`` publishes it."""
+    path = tmp_path_factory.mktemp("freshness") / "ckpt"
+    save_checkpoint(service.framework, path)
+    write_watermark(path, Watermark.of_store(service.store, run=3))
+    return path
+
+
+@pytest.fixture()
+def runtime_factory(service):
+    """Builds throwaway runtimes over a *copy* of the shared service,
+    so store/framework swaps never leak into other test modules."""
+    schedulers = []
+
+    def build(checkpoint_dir=None, policy=None, with_artifact=True):
+        own_service = copy.copy(service)
+        backend = ResilientBackend(
+            own_service.framework.estimate_batch
+        )
+        scheduler = BatchScheduler(
+            backend, max_batch=8, max_delay_ms=1.0
+        )
+        schedulers.append(scheduler)
+        artifact = (
+            load_artifact(checkpoint_dir)
+            if with_artifact and checkpoint_dir is not None
+            else None
+        )
+        return ServingRuntime(
+            own_service,
+            scheduler,
+            backend,
+            admission=ShapeManifest.from_framework(
+                own_service.framework
+            ),
+            artifact=artifact,
+            checkpoint_dir=checkpoint_dir,
+            freshness_policy=policy,
+        )
+
+    yield build
+    for scheduler in schedulers:
+        scheduler.close()
+
+
+class TestFreshnessVerdicts:
+    def test_no_record_at_all_is_unknown(self, runtime_factory):
+        freshness = runtime_factory().freshness()
+        assert freshness["status"] == "unknown"
+        assert freshness["lag_triples"] is None
+
+    def test_watermarked_checkpoint_passes(
+        self, runtime_factory, marked_checkpoint
+    ):
+        freshness = runtime_factory(marked_checkpoint).freshness()
+        assert freshness["status"] == "pass"
+        assert freshness["model_run"] == 3
+        assert freshness["lag_triples"] == 0
+        assert freshness["vocabulary_ok"] is True
+
+    def test_pre_maintenance_checkpoint_uses_fingerprint(
+        self, runtime_factory, service, tmp_path
+    ):
+        # No watermark.json: the artifact's store fingerprint still
+        # measures triple lag; run/generation degrade to 0 / -1.
+        plain = tmp_path / "plain"
+        save_checkpoint(service.framework, plain)
+        freshness = runtime_factory(plain).freshness()
+        assert freshness["status"] == "pass"
+        assert freshness["model_run"] == 0
+        assert freshness["model_generation"] == -1
+        assert freshness["lag_triples"] == 0
+
+    def test_stale_watermark_classified_by_policy(
+        self, runtime_factory, service, marked_checkpoint, tmp_path
+    ):
+        stale_dir = tmp_path / "stale"
+        shutil.copytree(marked_checkpoint, stale_dir)
+        behind = dataclasses.replace(
+            Watermark.of_store(service.store, run=2),
+            num_triples=len(service.store) - 7,
+        )
+        write_watermark(stale_dir, behind)
+        warn = runtime_factory(stale_dir).freshness()
+        assert warn["status"] == "warn"
+        assert warn["lag_triples"] == 7
+        error = runtime_factory(
+            stale_dir,
+            policy=FreshnessPolicy(warn_after=1, error_after=5),
+        ).freshness()
+        assert error["status"] == "error"
+
+    def test_vocabulary_mismatch_is_error(
+        self, runtime_factory, service, marked_checkpoint, tmp_path
+    ):
+        mismatched = tmp_path / "mismatched"
+        shutil.copytree(marked_checkpoint, mismatched)
+        alien = dataclasses.replace(
+            Watermark.of_store(service.store, run=2),
+            num_nodes=service.store.num_nodes + 1,
+        )
+        write_watermark(mismatched, alien)
+        freshness = runtime_factory(mismatched).freshness()
+        assert freshness["status"] == "error"
+        assert freshness["vocabulary_ok"] is False
+
+
+@pytest.fixture()
+def stack(runtime_factory, marked_checkpoint):
+    runtime = runtime_factory(marked_checkpoint)
+    server = make_server(
+        runtime.service, runtime.scheduler, port=0, runtime=runtime
+    )
+    thread = threading.Thread(
+        target=server.serve_forever, daemon=True
+    )
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", runtime
+    server.shutdown()
+    server.server_close()
+    thread.join(5.0)
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.load(response)
+
+
+def post(url, body=None):
+    data = (
+        json.dumps(body).encode("utf-8") if body is not None else b""
+    )
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as error:
+        return error.code, json.load(error)
+
+
+class TestHealthzFreshnessBlock:
+    def test_healthz_carries_the_verdict(self, stack):
+        base_url, _ = stack
+        status, payload = get(f"{base_url}/healthz")
+        assert status == 200
+        freshness = payload["freshness"]
+        assert freshness["status"] == "pass"
+        assert freshness["model_run"] == 3
+        assert set(freshness["thresholds"]) == {
+            "warn_after",
+            "error_after",
+        }
+
+
+class TestSnapshotAwareReload:
+    def test_reload_swaps_store_and_model_together(
+        self, stack, marked_checkpoint, snapshot_dir, tmp_path
+    ):
+        base_url, runtime = stack
+        old_store = runtime.service.store
+        new_snapshot = tmp_path / "gen-0002"
+        shutil.copytree(snapshot_dir, new_snapshot)
+        status, payload = post(
+            f"{base_url}/admin/reload",
+            {
+                "checkpoint": str(marked_checkpoint),
+                "snapshot": str(new_snapshot),
+            },
+        )
+        assert status == 200, payload
+        assert payload["snapshot"] == str(new_snapshot)
+        assert runtime.service.store is not old_store
+        assert len(runtime.service.store) == len(old_store)
+        # The swapped stack still answers queries.
+        status, answer = post(
+            f"{base_url}/estimate", {"queries": [QUERY]}
+        )
+        assert status == 200
+        assert answer["generation"] == runtime.generation
+
+    def test_bad_snapshot_rejected_old_keeps_serving(
+        self, stack, marked_checkpoint, tmp_path
+    ):
+        base_url, runtime = stack
+        generation = runtime.generation
+        old_store = runtime.service.store
+        status, payload = post(
+            f"{base_url}/admin/reload",
+            {
+                "checkpoint": str(marked_checkpoint),
+                "snapshot": str(tmp_path / "void"),
+            },
+        )
+        assert status == 409, payload
+        assert runtime.generation == generation
+        assert runtime.service.store is old_store
+        status, _ = post(
+            f"{base_url}/estimate", {"queries": [QUERY]}
+        )
+        assert status == 200

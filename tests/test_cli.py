@@ -320,6 +320,235 @@ class TestSnapshotCommands:
         assert set(loaded) == set(direct)
 
 
+class TestSnapshotInfo:
+    def save(self, tmp_path, capsys):
+        directory = tmp_path / "snap"
+        assert (
+            main(
+                [
+                    "snapshot",
+                    "save",
+                    "--dataset",
+                    "lubm",
+                    "--scale",
+                    "0.25",
+                    "--out",
+                    str(directory),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return directory
+
+    def test_flat_layout_human_output(self, tmp_path, capsys):
+        directory = self.save(tmp_path, capsys)
+        assert main(["snapshot", "info", "--dir", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "(flat)" in out
+        assert "repro-columnar" in out
+        assert "dictionary:  yes" in out
+        assert "crc32:" in out
+
+    def test_flat_layout_json(self, tmp_path, capsys):
+        import json
+
+        from repro.rdf import TripleStore
+
+        directory = self.save(tmp_path, capsys)
+        assert (
+            main(["snapshot", "info", "--dir", str(directory), "--json"])
+            == 0
+        )
+        info = json.loads(capsys.readouterr().out)
+        assert info["layout"] == "flat"
+        assert info["format"] == "repro-columnar"
+        assert info["has_dictionary"] is True
+        assert info["crc32"]
+        store = TripleStore.load_snapshot(directory)
+        assert info["num_triples"] == len(store)
+        assert (
+            info["dictionary_checksum"]
+            == store.dictionary.checksum()
+        )
+
+    def test_sharded_layout_lists_per_shard_rows(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        from repro.datasets import load_dataset
+
+        store = load_dataset("lubm", scale=0.25)
+        directory = tmp_path / "sharded"
+        store.save_snapshot(directory, shards=2)
+        assert (
+            main(["snapshot", "info", "--dir", str(directory), "--json"])
+            == 0
+        )
+        info = json.loads(capsys.readouterr().out)
+        assert info["layout"] == "sharded"
+        assert info["num_shards"] == 2
+        assert len(info["shards"]) == 2
+        assert (
+            sum(entry["num_triples"] for entry in info["shards"])
+            == len(store)
+        )
+        for entry in info["shards"]:
+            assert entry["crc32"]
+        capsys.readouterr()
+        assert main(["snapshot", "info", "--dir", str(directory)]) == 0
+        out = capsys.readouterr().out
+        assert "(sharded)" in out
+        assert "shard 0:" in out and "shard 1:" in out
+
+    def test_missing_dir_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="snapshot inspection"):
+            main(["snapshot", "info", "--dir", str(tmp_path / "nope")])
+
+
+class TestMaintainCommands:
+    def materialize(self, tmp_path, capsys):
+        """One full maintain run against a saved snapshot."""
+        snapshot = tmp_path / "snap"
+        assert (
+            main(
+                [
+                    "snapshot",
+                    "save",
+                    "--dataset",
+                    "lubm",
+                    "--scale",
+                    "0.25",
+                    "--out",
+                    str(snapshot),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        state = tmp_path / "state"
+        base = [
+            "maintain",
+            "run",
+            "--snapshot",
+            str(snapshot),
+            "--state-dir",
+            str(state),
+            "--shapes",
+            "star:2",
+            "--queries",
+            "25",
+            "--epochs",
+            "2",
+            "--hidden",
+            "16",
+        ]
+        return snapshot, state, base
+
+    def test_run_full_then_noop_then_status(self, tmp_path, capsys):
+        import json
+
+        snapshot, state, base = self.materialize(tmp_path, capsys)
+        assert main(base + ["--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["action"] == "full"
+        assert report["run"] == 1
+        assert (state / "watermark.json").is_file()
+        assert (
+            state / "checkpoints" / "gen-0001" / "watermark.json"
+        ).is_file()
+        # Second run: the snapshot has not moved, nothing to do.
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "action:      noop" in out
+        assert "generation:  1" in out
+        # Status agrees, with a passing freshness verdict.
+        status_args = [
+            "maintain",
+            "status",
+            "--snapshot",
+            str(snapshot),
+            "--state-dir",
+            str(state),
+            "--shapes",
+            "star:2",
+        ]
+        assert main(status_args + ["--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["watermark"]["run"] == 1
+        assert status["freshness"]["status"] == "pass"
+        assert status["plan"]["full"] is False
+        assert main(status_args) == 0
+        out = capsys.readouterr().out
+        assert "watermark:   generation 1" in out
+        assert "freshness:   pass" in out
+        assert "next run:    noop" in out
+
+    def test_status_before_first_run(self, tmp_path, capsys):
+        snapshot, state, _ = self.materialize(tmp_path, capsys)
+        assert (
+            main(
+                [
+                    "maintain",
+                    "status",
+                    "--snapshot",
+                    str(snapshot),
+                    "--state-dir",
+                    str(tmp_path / "virgin"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "watermark:   none" in out
+        assert "next run:    full rebuild" in out
+
+    def test_dry_run_publishes_nothing(self, tmp_path, capsys):
+        import json
+
+        _, state, base = self.materialize(tmp_path, capsys)
+        assert main(base + ["--dry-run", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["action"] == "dry-run"
+        assert report["run"] == 0
+        assert not (state / "watermark.json").exists()
+
+    def test_requires_dictionary_encoded_store(
+        self, tmp_path, capsys
+    ):
+        from repro.rdf import TripleStore
+
+        bare = TripleStore()
+        bare.add_all([(1, 1, 2), (2, 1, 3), (1, 2, 3)])
+        snapshot = tmp_path / "bare"
+        bare.save_snapshot(snapshot)
+        with pytest.raises(SystemExit, match="dictionary"):
+            main(
+                [
+                    "maintain",
+                    "run",
+                    "--snapshot",
+                    str(snapshot),
+                    "--state-dir",
+                    str(tmp_path / "state"),
+                ]
+            )
+
+    def test_bad_snapshot_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="snapshot load failed"):
+            main(
+                [
+                    "maintain",
+                    "run",
+                    "--snapshot",
+                    str(tmp_path / "nope"),
+                    "--state-dir",
+                    str(tmp_path / "state"),
+                ]
+            )
+
+
 class TestLabelCommand:
     def test_label_serial(self, capsys):
         code = main(
