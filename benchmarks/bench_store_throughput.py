@@ -40,7 +40,14 @@ Measures, on a synthetic ~100k-triple hub-heavy graph:
   preserving delta — relabel affected queries, fine-tune touched
   models — against a forced full refit of the same live graph (gates:
   >= 5x faster, mean q-error on the affected shapes within 2x of the
-  refit's).
+  refit's),
+- **replay** (`test_workload_replay`, its own ~20k-triple graph behind
+  the full serving stack): an open-loop trace replay at a calibrated
+  sustainable rate (gates: SLO verdict ``ok``, achieved >= 0.95x
+  offered, zero non-{200,429}), plus a chaos run — worker kill and two
+  incremental maintenance publishes racing the same traffic — that
+  must complete every timeline step with the response surface still
+  inside {200, 429}.
 
 Results print as tables and persist (merged, section by section) to
 ``benchmarks/results/BENCH_store.json`` so successive PRs can track the
@@ -981,3 +988,198 @@ def test_maintenance_incremental(report, tmp_path):
             f"q-error {p['incremental_mean_qerr']} vs refit "
             f"{p['refit_mean_qerr']} (tolerance 2x)"
         )
+
+
+#: replay bench scale: its own ~20k-triple graph behind the full
+#: serving stack (supervised workers + scheduler + admission), driven
+#: open-loop by ``repro.replay``.  The offered rate is *calibrated*:
+#: a deliberately saturating probe measures the stack's drain capacity
+#: and the gated run offers a sustainable fraction of it, so the gate
+#: tracks regressions in the serving path rather than the speed of the
+#: CI machine.
+REPLAY_TRIPLES = 20_000
+REPLAY_FIT_SHAPES = (
+    ("star", 2), ("star", 3), ("chain", 2), ("chain", 3)
+)
+#: saturating probe: far above what the small fit can drain.
+REPLAY_PROBE_RATE = 500.0
+REPLAY_PROBE_DURATION_S = 2.0
+#: the gated run offers this fraction of the measured capacity.
+REPLAY_SUSTAINABLE_FRACTION = 0.5
+REPLAY_DURATION_S = 6.0
+REPLAY_CHAOS_DURATION_S = 5.0
+REPLAY_CHAOS_TIMELINE = """
+at 0.5s: kill worker
+at 1.0s: mutate 300
+at 1.5s: maintain
+at 3.0s: mutate 200
+at 3.5s: maintain
+"""
+
+
+def test_workload_replay(report, tmp_path):
+    """Open-loop workload replay against the live serving stack.
+
+    Gates: at the calibrated sustainable rate the SLO verdict must be
+    ``ok`` (achieved >= 0.95x offered, zero non-{200,429} responses,
+    bounded shed), and a chaos run — worker kill plus two incremental
+    maintenance publishes racing the same traffic — must complete every
+    timeline step and keep the response surface inside {200, 429}.
+    """
+    from repro.replay import (
+        SLO,
+        ReplayDriver,
+        ReplayHarness,
+        covering_shapes,
+        generate_trace,
+        parse_timeline,
+        start_timeline,
+    )
+    from repro.serve import FitDefaults
+
+    store = build_throughput_store(REPLAY_TRIPLES, seed=0)
+    snapshot_dir = tmp_path / "replay-snapshot"
+    store.save_snapshot(snapshot_dir)
+    fit = FitDefaults(
+        shapes=REPLAY_FIT_SHAPES,
+        queries_per_shape=100,
+        epochs=4,
+        hidden_sizes=(32, 32),
+    )
+    harness = ReplayHarness(
+        snapshot_dir,
+        workers=2,
+        fit_defaults=fit,
+        max_batch=64,
+        max_delay_ms=2.0,
+        maintain_state_dir=tmp_path / "replay-maintain",
+        maintain_options={
+            "shapes": REPLAY_FIT_SHAPES,
+            "queries_per_shape": 40,
+        },
+        seed=0,
+    )
+    try:
+        harness.wait_ready()
+
+        # -- calibration: saturate, measure the drain capacity --------
+        probe = generate_trace(
+            store,
+            rate_qps=REPLAY_PROBE_RATE,
+            duration_s=REPLAY_PROBE_DURATION_S,
+            seed=7,
+        )
+        assert set(covering_shapes(probe)) <= set(REPLAY_FIT_SHAPES)
+        probe_report, _ = ReplayDriver(
+            harness.host,
+            harness.port,
+            deadline_s=15.0,
+            connections=16,
+            max_retries=0,
+        ).run(probe)
+        capacity = probe_report.achieved_rate_qps
+        offered = max(10.0, capacity * REPLAY_SUSTAINABLE_FRACTION)
+
+        # -- the gated steady-state run -------------------------------
+        slo = SLO(
+            p99_ms=500.0,
+            max_shed_rate=0.05,
+            min_achieved_fraction=0.95,
+            max_error_rate=0.0,
+        )
+        trace = generate_trace(
+            store,
+            rate_qps=offered,
+            duration_s=REPLAY_DURATION_S,
+            seed=17,
+        )
+        steady, steady_s = _timed(
+            lambda: ReplayDriver(
+                harness.host, harness.port, deadline_s=5.0
+            ).run(trace)[0]
+        )
+        steady.evaluate(slo)
+
+        # -- the chaos run: same rate, storms mid-replay --------------
+        steps = parse_timeline(REPLAY_CHAOS_TIMELINE)
+        chaos_trace = generate_trace(
+            store,
+            rate_qps=offered,
+            duration_s=REPLAY_CHAOS_DURATION_S,
+            seed=23,
+        )
+        thread, timeline_log = start_timeline(steps, harness)
+        chaos, _ = ReplayDriver(
+            harness.host, harness.port, deadline_s=10.0
+        ).run(chaos_trace)
+        thread.join(180.0)
+        assert not thread.is_alive(), "chaos timeline never finished"
+    finally:
+        harness.close()
+
+    results = {
+        "replay": {
+            "num_triples": len(store),
+            "calibration": {
+                "probe_rate_qps": REPLAY_PROBE_RATE,
+                "capacity_qps": round(capacity, 1),
+                "sustainable_fraction": REPLAY_SUSTAINABLE_FRACTION,
+                "offered_rate_qps": round(offered, 1),
+            },
+            "steady": steady.to_dict(),
+            "chaos": {
+                "report": chaos.to_dict(),
+                "timeline": timeline_log,
+            },
+        }
+    }
+    merge_json(RESULT_PATH, results)
+
+    report(
+        format_table(
+            ("Metric", "Value"),
+            [
+                ["capacity (probe)", f"{capacity:.1f} qps"],
+                ["offered (calibrated)", f"{offered:.1f} qps"],
+                [
+                    "steady achieved",
+                    f"{steady.achieved_rate_qps:.1f} qps "
+                    f"({steady.achieved_fraction:.2f}x offered)",
+                ],
+                [
+                    "steady p50 / p99",
+                    f"{steady.latency_ms.get('p50', 0):.1f} / "
+                    f"{steady.latency_ms.get('p99', 0):.1f} ms",
+                ],
+                ["steady shed rate", f"{steady.shed_rate:.3f}"],
+                ["steady verdict", steady.verdict],
+                [
+                    "chaos statuses",
+                    " ".join(
+                        f"{k}:{v}"
+                        for k, v in sorted(
+                            chaos.status_counts.items()
+                        )
+                    ),
+                ],
+                [
+                    "chaos timeline",
+                    f"{sum(e['ok'] for e in timeline_log)}/"
+                    f"{len(timeline_log)} steps ok",
+                ],
+            ],
+            title=(
+                f"Workload replay — {len(store)} triples "
+                f"-> {RESULT_PATH.name}"
+            ),
+        )
+    )
+
+    # The acceptance gates of the replay subsystem.
+    assert steady.verdict == "ok", steady.violations
+    assert steady.achieved_fraction >= 0.95, steady.to_dict()
+    assert set(chaos.status_counts) <= {"200", "429"}, (
+        f"chaos run answered outside {{200, 429}}: "
+        f"{chaos.status_counts}"
+    )
+    assert all(e["ok"] for e in timeline_log), timeline_log

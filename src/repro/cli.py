@@ -46,7 +46,17 @@ Subcommands:
   hot-swaps the checkpoint with zero downtime.  ``--faults`` injects
   deterministic chaos (see :mod:`repro.serve.faults`).
   Micro-batching knobs: ``--max-batch``, ``--max-delay-ms``,
-  ``--max-queue``.
+  ``--max-queue``.  SIGTERM drains gracefully: new requests get 503,
+  in-flight batches flush, then the process exits 0,
+- ``replay``  — prove the stack under fire (``repro.replay``):
+  ``replay record`` generates a recorded trace (shape mixes,
+  Zipf-skewed popularity, Poisson arrivals); ``replay run`` fires it
+  **open-loop** at a server — self-hosted in-process (``--snapshot``,
+  required for chaos) or external (``--url``) — optionally racing a
+  scripted chaos timeline (``at 5s: kill worker; at 12s: maintain``,
+  see :mod:`repro.replay.timeline`), grades the outcome against SLOs
+  (p50/p99/p99.9, shed rate, achieved vs. offered) and exits nonzero
+  on violation; ``replay report`` pretty-prints a saved report.
 
 Examples::
 
@@ -69,6 +79,13 @@ Examples::
         --state-dir /tmp/lubm_maintain
     python -m repro serve --snapshot /tmp/lubm_snap --port 8310 \
         --max-batch 128 --max-delay-ms 2 --workers 2
+    python -m repro replay record --snapshot /tmp/lubm_snap \
+        --rate 80 --duration 30 --out /tmp/lubm.trace
+    python -m repro replay run --trace /tmp/lubm.trace \
+        --snapshot /tmp/lubm_snap --workers 2 \
+        --timeline 'at 5s: kill worker; at 10s: mutate 400; at 12s: maintain' \
+        --report /tmp/slo.json
+    python -m repro replay report /tmp/slo.json
 """
 
 from __future__ import annotations
@@ -596,6 +613,35 @@ def cmd_maintain_status(args) -> int:
     return 0
 
 
+def cmd_maintain_gc(args) -> int:
+    import json
+
+    from repro.maintain import GCError, WatermarkError, gc_generations
+
+    try:
+        report = gc_generations(
+            args.state_dir, keep=args.keep, dry_run=args.dry_run
+        )
+    except (GCError, WatermarkError) as exc:
+        raise SystemExit(f"maintain gc refused: {exc}")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    verb = "would remove" if report.dry_run else "removed"
+    print(f"live:        generation {report.live} (never collected)")
+    print(
+        "kept:        "
+        + (", ".join(str(run) for run in report.kept) or "none")
+    )
+    print(
+        f"{verb}:     "
+        + (", ".join(str(run) for run in report.removed) or "nothing")
+    )
+    for path in report.removed_paths:
+        print(f"  {path}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     import os
     import signal
@@ -796,6 +842,25 @@ def cmd_serve(args) -> int:
                     daemon=True,
                 ).start(),
             )
+        # Graceful drain on SIGTERM: stop accepting (new requests on
+        # live keep-alive connections get 503), flush every in-flight
+        # scheduler batch so accepted requests still get answers, then
+        # exit 0 — a TERM mid-batch never drops queued requests.
+        got_sigterm = threading.Event()
+
+        def _on_sigterm(signum, frame) -> None:
+            got_sigterm.set()
+            server.begin_drain()
+            # shutdown() blocks until serve_forever returns, so it must
+            # run off the signal-handling (main) thread.
+            threading.Thread(
+                target=server.shutdown,
+                name="repro-sigterm-drain",
+                daemon=True,
+            ).start()
+
+        if hasattr(signal, "SIGTERM"):
+            signal.signal(signal.SIGTERM, _on_sigterm)
         host, port = server.server_address[:2]
         print(
             f"serving {len(service.store)} triples at "
@@ -813,6 +878,14 @@ def cmd_serve(args) -> int:
         finally:
             server.server_close()
             scheduler.close()
+            drained = server.wait_inflight_drained()
+            if got_sigterm.is_set():
+                print(
+                    "SIGTERM: drained "
+                    + ("cleanly" if drained else "with stragglers")
+                    + ", exiting 0",
+                    flush=True,
+                )
     finally:
         if pool is not None:
             pool.close()
@@ -821,6 +894,222 @@ def cmd_serve(args) -> int:
         if shard_tempdir is not None:
             shard_tempdir.cleanup()
     return 0
+
+
+def cmd_replay_record(args) -> int:
+    from repro.replay import generate_trace, parse_mix, save_trace
+    from repro.replay.trace import TraceFormatError
+
+    if args.snapshot:
+        store = TripleStore.load_snapshot(args.snapshot, verify=False)
+    else:
+        store = _load_store(args)
+    mix = parse_mix(args.mix) if args.mix else None
+    try:
+        trace = generate_trace(
+            store,
+            rate_qps=args.rate,
+            duration_s=args.duration,
+            mix=mix,
+            seed=args.seed,
+            zipf_s=args.zipf_s,
+            arrivals=args.arrivals,
+        )
+    except (TraceFormatError, ValueError) as exc:
+        raise SystemExit(f"trace generation failed: {exc}")
+    path = save_trace(trace, args.out)
+    print(
+        f"recorded {len(trace)} events over {trace.duration_s:.1f}s "
+        f"({trace.offered_rate_qps:.1f} qps offered, "
+        f"zipf_s={args.zipf_s}, arrivals={args.arrivals}) -> {path}"
+    )
+    return 0
+
+
+def _parse_url(url: str) -> Tuple[str, int]:
+    from urllib.parse import urlparse
+
+    parsed = urlparse(url if "//" in url else f"http://{url}")
+    if not parsed.hostname or not parsed.port:
+        raise SystemExit(
+            f"--url must look like http://host:port, got {url!r}"
+        )
+    return parsed.hostname, parsed.port
+
+
+#: timeline actions that need in-process access to the serving stack —
+#: refused up front when replaying against an external ``--url``.
+_SELF_HOSTED_ACTIONS = {
+    "kill_worker",
+    "mutate",
+    "maintain",
+    "corrupt_next_checkpoint",
+    "corrupt_checkpoint",
+}
+
+
+def cmd_replay_run(args) -> int:
+    import json
+    import os
+    from pathlib import Path
+
+    from repro.replay import (
+        ReplayDriver,
+        ReplayHarness,
+        SLO,
+        TimelineError,
+        covering_shapes,
+        format_report,
+        load_trace,
+        parse_timeline,
+        start_timeline,
+    )
+    from repro.replay.trace import TraceFormatError
+    from repro.serve import FitDefaults
+
+    try:
+        trace = load_trace(args.trace)
+    except TraceFormatError as exc:
+        raise SystemExit(f"--trace: {exc}")
+    steps = []
+    if args.timeline:
+        text = args.timeline
+        if os.path.isfile(text):
+            text = Path(text).read_text()
+        try:
+            steps = parse_timeline(text)
+        except TimelineError as exc:
+            raise SystemExit(f"--timeline: {exc}")
+    slo = SLO(
+        p99_ms=args.slo_p99_ms,
+        p999_ms=args.slo_p999_ms,
+        max_shed_rate=args.slo_max_shed,
+        min_achieved_fraction=args.slo_min_achieved,
+        max_error_rate=args.slo_max_errors,
+    )
+    harness = None
+    if args.url:
+        blocked = sorted(
+            {s.action for s in steps} & _SELF_HOSTED_ACTIONS
+        )
+        if blocked:
+            raise SystemExit(
+                "timeline actions "
+                + ", ".join(blocked)
+                + " need the self-hosted harness (--snapshot), not "
+                "--url: they reach into the server process"
+            )
+        host, port = _parse_url(args.url)
+    else:
+        if not args.snapshot:
+            raise SystemExit(
+                "replay run needs --snapshot (self-hosted) or --url"
+            )
+        # Fit (and later maintain) exactly the shapes the trace needs:
+        # an admission manifest narrower than the workload would turn
+        # covered queries into 422s and fail the error gate spuriously.
+        shapes = covering_shapes(trace)
+        fit_kwargs = dict(
+            queries_per_shape=args.fit_queries,
+            epochs=args.fit_epochs,
+        )
+        if shapes:
+            fit_kwargs["shapes"] = shapes
+        harness = ReplayHarness(
+            args.snapshot,
+            args.checkpoint,
+            workers=args.workers,
+            fit_defaults=FitDefaults(**fit_kwargs),
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            max_queue=args.max_queue,
+            maintain_state_dir=args.maintain_state_dir,
+            maintain_options={"shapes": shapes} if shapes else None,
+            seed=args.seed,
+        )
+        harness.wait_ready()
+        host, port = harness.host, harness.port
+        print(
+            f"self-hosted server at {harness.url} "
+            f"({args.workers} worker(s))"
+        )
+    timeline_log: List[dict] = []
+    try:
+        driver = ReplayDriver(
+            host,
+            port,
+            deadline_s=args.deadline_s,
+            connections=args.connections,
+            honor_retry_after=not args.no_retry_after,
+            max_retries=args.max_retries,
+            rate_scale=args.rate_scale,
+        )
+        timeline_thread = None
+        if steps:
+            if harness is None:
+                raise SystemExit(
+                    "--timeline needs the self-hosted harness"
+                )
+            timeline_thread, timeline_log = start_timeline(
+                steps, harness
+            )
+            print(
+                f"chaos timeline armed: {len(steps)} step(s), "
+                f"last at {steps[-1].at_s:.0f}s"
+            )
+        report, _ = driver.run(trace)
+        if timeline_thread is not None:
+            timeline_thread.join(timeout=120.0)
+    finally:
+        if harness is not None:
+            harness.close()
+    report.evaluate(slo)
+    print(format_report(report))
+    timeline_ok = all(entry.get("ok") for entry in timeline_log)
+    for entry in timeline_log:
+        marker = "ok " if entry.get("ok") else "FAIL"
+        print(
+            f"  [{marker}] at {entry['at_s']:>5.1f}s "
+            f"{entry['action']} {' '.join(entry['args'])}: "
+            f"{entry['detail']}"
+        )
+    if args.report:
+        payload = report.to_dict()
+        payload["timeline"] = timeline_log
+        payload["timeline_ok"] = timeline_ok
+        Path(args.report).write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        print(f"SLO report written to {args.report}")
+    if not timeline_ok:
+        print("FAIL: chaos timeline had failing steps", flush=True)
+        return 1
+    if report.verdict != "ok":
+        print("FAIL: SLO violated", flush=True)
+        return 1
+    return 0
+
+
+def cmd_replay_report(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.replay import SLOReport, format_report
+
+    payload = json.loads(Path(args.report).read_text())
+    report = SLOReport.from_dict(payload)
+    print(format_report(report))
+    timeline = payload.get("timeline") or []
+    for entry in timeline:
+        marker = "ok " if entry.get("ok") else "FAIL"
+        print(
+            f"  [{marker}] at {entry['at_s']:>5.1f}s "
+            f"{entry['action']} {' '.join(entry['args'])}: "
+            f"{entry['detail']}"
+        )
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    return 0 if report.verdict == "ok" else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1119,6 +1408,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_maintain_options(p_maint_status)
     p_maint_status.set_defaults(func=cmd_maintain_status)
+    p_maint_gc = maint_sub.add_parser(
+        "gc",
+        help=(
+            "retire old gen-NNNN checkpoint/snapshot generations, "
+            "never the live/base one"
+        ),
+    )
+    p_maint_gc.add_argument(
+        "--state-dir",
+        required=True,
+        help="maintenance state directory to collect",
+    )
+    p_maint_gc.add_argument(
+        "--keep",
+        type=int,
+        required=True,
+        help="number of newest generations to retain (>= 1)",
+    )
+    p_maint_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without deleting anything",
+    )
+    p_maint_gc.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON instead of the table",
+    )
+    p_maint_gc.set_defaults(func=cmd_maintain_gc)
 
     p_serve = sub.add_parser(
         "serve",
@@ -1276,6 +1594,170 @@ def build_parser() -> argparse.ArgumentParser:
         help="log every HTTP request",
     )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="open-loop workload replay with SLO gates and chaos",
+    )
+    replay_sub = p_replay.add_subparsers(
+        dest="replay_command", required=True
+    )
+
+    p_rec = replay_sub.add_parser(
+        "record",
+        help="generate a recorded trace (mixes, Zipf skew, arrivals)",
+    )
+    _add_store_options(p_rec)
+    p_rec.add_argument(
+        "--snapshot",
+        help="sample queries from this snapshot instead of a dataset",
+    )
+    p_rec.add_argument(
+        "--rate", type=float, default=50.0, help="offered rate (qps)"
+    )
+    p_rec.add_argument(
+        "--duration", type=float, default=30.0, help="trace length (s)"
+    )
+    p_rec.add_argument(
+        "--mix",
+        action="append",
+        help=(
+            "topology:size[:weight], repeatable "
+            "(default star:2:0.5 star:3:0.2 chain:2:0.2 chain:3:0.1)"
+        ),
+    )
+    p_rec.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.1,
+        help="Zipf skew of query popularity (0 = uniform)",
+    )
+    p_rec.add_argument(
+        "--arrivals",
+        choices=("poisson", "uniform"),
+        default="poisson",
+        help="arrival process",
+    )
+    p_rec.add_argument("--seed", type=int, default=0)
+    p_rec.add_argument(
+        "--out", required=True, help="trace file to write (TSV)"
+    )
+    p_rec.set_defaults(func=cmd_replay_record)
+
+    p_run = replay_sub.add_parser(
+        "run",
+        help=(
+            "fire a trace open-loop at a server (self-hosted via "
+            "--snapshot, or external via --url) with optional chaos "
+            "timeline; exits nonzero on SLO or timeline failure"
+        ),
+    )
+    p_run.add_argument(
+        "--trace", required=True, help="trace file from 'replay record'"
+    )
+    p_run.add_argument(
+        "--snapshot",
+        help="self-host an in-process server on this snapshot",
+    )
+    p_run.add_argument(
+        "--checkpoint",
+        help="trained checkpoint for the self-hosted server",
+    )
+    p_run.add_argument(
+        "--url",
+        help=(
+            "replay against an already-running server instead "
+            "(http://host:port); timelines that reach into the server "
+            "process are refused"
+        ),
+    )
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="supervised workers for the self-hosted server",
+    )
+    p_run.add_argument(
+        "--timeline",
+        help="chaos timeline: inline DSL text or a path to a script",
+    )
+    p_run.add_argument(
+        "--maintain-state-dir",
+        help="state dir for timeline 'maintain' steps (default scratch)",
+    )
+    p_run.add_argument("--fit-queries", type=int, default=100)
+    p_run.add_argument("--fit-epochs", type=int, default=4)
+    p_run.add_argument("--max-batch", type=int, default=64)
+    p_run.add_argument("--max-delay-ms", type=float, default=2.0)
+    p_run.add_argument("--max-queue", type=int, default=4096)
+    p_run.add_argument(
+        "--deadline-s",
+        type=float,
+        default=5.0,
+        help="per-request deadline from scheduled arrival",
+    )
+    p_run.add_argument(
+        "--connections",
+        type=int,
+        default=8,
+        help="keep-alive client pool size",
+    )
+    p_run.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="429 retries per request (honoring server backoff)",
+    )
+    p_run.add_argument(
+        "--no-retry-after",
+        action="store_true",
+        help="ignore server Retry-After hints (fixed 1s backoff)",
+    )
+    p_run.add_argument(
+        "--rate-scale",
+        type=float,
+        default=1.0,
+        help="replay the trace at N x its recorded rate",
+    )
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--slo-p99-ms", type=float, default=500.0, help="p99 gate (ms)"
+    )
+    p_run.add_argument(
+        "--slo-p999-ms", type=float, default=None, help="p99.9 gate (ms)"
+    )
+    p_run.add_argument(
+        "--slo-max-shed",
+        type=float,
+        default=0.05,
+        help="max shed (429) fraction",
+    )
+    p_run.add_argument(
+        "--slo-min-achieved",
+        type=float,
+        default=0.95,
+        help="min achieved/offered rate fraction",
+    )
+    p_run.add_argument(
+        "--slo-max-errors",
+        type=float,
+        default=0.0,
+        help="max non-{200,429} fraction (0 = the chaos gate)",
+    )
+    p_run.add_argument(
+        "--report", help="write the SLO report (+ timeline log) as JSON"
+    )
+    p_run.set_defaults(func=cmd_replay_run)
+
+    p_rep = replay_sub.add_parser(
+        "report",
+        help="pretty-print a saved SLO report; exits nonzero if violated",
+    )
+    p_rep.add_argument("report", help="report JSON from 'replay run'")
+    p_rep.add_argument(
+        "--json", action="store_true", help="also dump the raw JSON"
+    )
+    p_rep.set_defaults(func=cmd_replay_report)
     return parser
 
 

@@ -22,7 +22,10 @@ Modules:
 - :mod:`repro.maintain.finetune`   — few-epoch fine-tuning of touched
   models from their bit-exact float64 masters,
 - :mod:`repro.maintain.runner`     — the orchestrator behind
-  ``repro maintain run/status``.
+  ``repro maintain run/status``,
+- :mod:`repro.maintain.gc`         — retire old ``gen-NNNN``
+  generations (``repro maintain gc --keep N``), never the live/base
+  one.
 """
 
 from repro.maintain.freshness import (
@@ -33,6 +36,12 @@ from repro.maintain.freshness import (
     FreshnessPolicy,
     FreshnessStatus,
     check_freshness,
+)
+from repro.maintain.gc import (
+    GCError,
+    GCReport,
+    gc_generations,
+    list_generations,
 )
 from repro.maintain.planner import MaintenancePlan, plan_maintenance
 from repro.maintain.relabel import (
@@ -60,6 +69,8 @@ __all__ = [
     "FRESHNESS_WARN",
     "FreshnessPolicy",
     "FreshnessStatus",
+    "GCError",
+    "GCReport",
     "MaintenanceError",
     "MaintenancePlan",
     "MaintenanceReport",
@@ -69,6 +80,8 @@ __all__ = [
     "WatermarkError",
     "affected_mask",
     "check_freshness",
+    "gc_generations",
+    "list_generations",
     "merge_records",
     "plan_maintenance",
     "read_watermark",

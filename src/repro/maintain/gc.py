@@ -1,0 +1,128 @@
+"""Retire old maintenance generations (``repro maintain gc``).
+
+Every :class:`~repro.maintain.runner.MaintenanceRunner` run publishes a
+``gen-NNNN`` checkpoint directory and a matching snapshot directory
+under the state dir; nothing ever deleted them, so a long-lived
+deployment accretes one full model + graph copy per run.  The collector
+keeps the newest ``--keep N`` generations and removes the rest — with
+two hard guarantees:
+
+- the **live generation** (the watermark's run, which is also the
+  *base* snapshot the incremental planner diffs the live store against)
+  is never deleted, whatever ``N`` says;
+- any generation **newer** than the watermark is never deleted either
+  (it may be a publish racing this collector, crash-ordered so the
+  watermark flips last).
+
+When the watermark is missing or corrupt the collector refuses with a
+typed error instead of guessing which generation is live:
+:class:`GCError` when there is no watermark at all,
+:class:`~repro.maintain.watermark.WatermarkError` when one exists but
+cannot be trusted.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Union
+
+from repro.maintain.runner import (
+    CHECKPOINTS_DIRNAME,
+    SNAPSHOTS_DIRNAME,
+    MaintenanceError,
+    generation_dirname,
+)
+from repro.maintain.watermark import read_watermark
+
+_GEN_DIRNAME = re.compile(r"^gen-(\d{4,})$")
+
+
+class GCError(MaintenanceError):
+    """The collector cannot run safely (no watermark, bad ``--keep``)."""
+
+
+@dataclass
+class GCReport:
+    """What ``gc_generations`` kept and removed."""
+
+    live: int
+    keep: int
+    dry_run: bool
+    kept: List[int] = field(default_factory=list)
+    removed: List[int] = field(default_factory=list)
+    removed_paths: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "live": self.live,
+            "keep": self.keep,
+            "dry_run": self.dry_run,
+            "kept": list(self.kept),
+            "removed": list(self.removed),
+            "removed_paths": list(self.removed_paths),
+        }
+
+
+def list_generations(state_dir: Union[str, Path]) -> List[int]:
+    """Every run number with a ``gen-NNNN`` checkpoint or snapshot
+    directory under *state_dir*, ascending."""
+    state = Path(state_dir)
+    runs = set()
+    for subdir in (CHECKPOINTS_DIRNAME, SNAPSHOTS_DIRNAME):
+        parent = state / subdir
+        if not parent.is_dir():
+            continue
+        for entry in parent.iterdir():
+            match = _GEN_DIRNAME.match(entry.name)
+            if match and entry.is_dir():
+                runs.add(int(match.group(1)))
+    return sorted(runs)
+
+
+def gc_generations(
+    state_dir: Union[str, Path],
+    keep: int,
+    dry_run: bool = False,
+) -> GCReport:
+    """Remove all but the newest *keep* generations under *state_dir*.
+
+    The watermark generation (live/base) and anything newer survive
+    unconditionally.  With ``dry_run`` the report lists what *would* be
+    removed without touching the filesystem.
+
+    Raises:
+        GCError: ``keep < 1``, or no watermark has ever been written.
+        WatermarkError: a watermark file exists but is unreadable.
+    """
+    if keep < 1:
+        raise GCError(f"--keep must be >= 1, got {keep}")
+    state = Path(state_dir)
+    watermark = read_watermark(state)  # WatermarkError propagates
+    if watermark is None:
+        raise GCError(
+            f"no watermark under {state}: cannot tell which "
+            "generation is live; run maintain run first"
+        )
+    live = watermark.run
+    runs = list_generations(state)
+    newest_first = sorted(runs, reverse=True)
+    retained = set(newest_first[:keep])
+    retained.add(live)
+    retained.update(run for run in runs if run > live)
+    report = GCReport(live=live, keep=keep, dry_run=dry_run)
+    report.kept = sorted(retained & set(runs))
+    for run in runs:
+        if run in retained:
+            continue
+        report.removed.append(run)
+        for subdir in (CHECKPOINTS_DIRNAME, SNAPSHOTS_DIRNAME):
+            target = state / subdir / generation_dirname(run)
+            if not target.exists():
+                continue
+            report.removed_paths.append(str(target))
+            if not dry_run:
+                shutil.rmtree(target)
+    return report

@@ -1,0 +1,78 @@
+"""Fuzzer counterexample corpus: past violations become regressions.
+
+When a generative fuzz property fails, hypothesis shrinks the failure
+to a minimal example — which then lives only in hypothesis' local
+database and is lost to CI and to other machines.  This module persists
+those minimized counterexamples as small JSON files under
+``tests/replay/corpus/``; a deterministic tier-1 test replays every
+entry through the same assertions on every run, so a contract violation
+found once can never quietly come back.
+
+Entry schema (one JSON object per file)::
+
+    {
+      "kind": "serve_taxonomy" | "estimator_contract",
+      "queries": ["SELECT ...", ...],     # or "body": <raw JSON body>
+      "note": "why this was interesting",
+      "added": "PR 10 seed"
+    }
+
+File names are content-addressed (sha1 of the canonical JSON), so
+re-saving the same counterexample is idempotent and merges never
+conflict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterator, Tuple, Union
+
+
+class CorpusError(RuntimeError):
+    """A corpus entry that cannot be read."""
+
+
+def entry_name(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha1(canonical).hexdigest()[:16] + ".json"
+
+
+def save_counterexample(
+    directory: Union[str, Path], payload: dict
+) -> Path:
+    """Persist one minimized counterexample; returns its path.
+
+    Content-addressed: saving the same payload twice writes one file.
+    """
+    if "kind" not in payload:
+        raise CorpusError("corpus entries need a 'kind' field")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / entry_name(payload)
+    if not path.exists():
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return path
+
+
+def iter_corpus(
+    directory: Union[str, Path],
+) -> Iterator[Tuple[Path, dict]]:
+    """Yield every (path, entry) under *directory*, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CorpusError(f"unreadable corpus entry {path}: {exc}")
+        if not isinstance(payload, dict) or "kind" not in payload:
+            raise CorpusError(
+                f"corpus entry {path} must be an object with 'kind'"
+            )
+        yield path, payload

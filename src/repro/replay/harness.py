@@ -1,0 +1,415 @@
+"""In-process serving stack + chaos hooks for replay runs.
+
+:class:`ReplayHarness` assembles the full PR 1–9 serving stack — the
+snapshot-backed :class:`~repro.serve.service.EstimatorService`, an
+optional :class:`~repro.serve.supervisor.SupervisedPool` of worker
+processes, the circuit-breaker
+:class:`~repro.serve.supervisor.ResilientBackend`, the micro-batching
+:class:`~repro.serve.scheduler.BatchScheduler`, the
+:class:`~repro.serve.supervisor.ServingRuntime`, and the HTTP server on
+an ephemeral port — inside the current process, so a chaos timeline can
+reach the parts an external client cannot: worker PIDs to SIGKILL, the
+live store copy to mutate, the maintenance runner to race against
+traffic.
+
+It is also the :class:`~repro.replay.timeline.TimelineContext`: the
+``kill worker`` / ``reload`` / ``mutate`` / ``maintain`` / ``corrupt``
+actions all dispatch here.  ``repro replay run`` and the replay bench
+build one; tests build smaller ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import tempfile
+import threading
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rdf.store import TripleStore
+from repro.serve import (
+    BatchScheduler,
+    CircuitBreaker,
+    EstimatorService,
+    FaultSpec,
+    FitDefaults,
+    ResilientBackend,
+    ServingRuntime,
+    ShapeManifest,
+    SupervisedPool,
+    make_server,
+    save_checkpoint,
+)
+from repro.serve.faults import corrupt_checkpoint
+
+
+class HarnessError(RuntimeError):
+    """The harness cannot perform a requested action."""
+
+
+def vocab_preserving_delta(
+    store: TripleStore, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """*count* novel triples recombined from the existing vocabulary.
+
+    Node/predicate counts and the dictionary stay fixed, which keeps
+    the maintenance planner on the incremental path (new vocabulary
+    correctly forces a full rebuild — a different scenario).
+    """
+    rows = store.backend.rows()
+    subjects = np.unique(rows[:, 0])
+    predicates = np.unique(rows[:, 1])
+    objects = np.unique(rows[:, 2])
+    target = max(int(count), 1)
+    delta = np.empty((0, 3), dtype=np.int64)
+    while delta.shape[0] < target:
+        candidates = np.stack(
+            [
+                rng.choice(subjects, 4 * target),
+                rng.choice(predicates, 4 * target),
+                rng.choice(objects, 4 * target),
+            ],
+            axis=1,
+        ).astype(np.int64)
+        candidates = np.unique(candidates, axis=0)
+        candidates = candidates[~store.backend.isin_rows(candidates)]
+        delta = np.unique(np.concatenate([delta, candidates]), axis=0)
+    return delta[:target]
+
+
+class ReplayHarness:
+    """A live in-process server plus every chaos hook the DSL needs.
+
+    Args:
+        snapshot_dir: store snapshot to serve (and to seed the mutable
+            live-store copy the maintenance runner works on).
+        checkpoint_dir: trained checkpoint; None = startup-fit from
+            *fit_defaults* (checkpointed to a scratch dir when workers
+            or maintenance need one on disk).
+        workers: > 1 spawns a supervised worker pool (required for
+            ``kill worker``).
+        maintain_state_dir: maintenance state dir; None = scratch.
+        maintain_options: kwargs forwarded to
+            :class:`~repro.maintain.runner.MaintenanceRunner` (shapes,
+            queries_per_shape, epochs, finetune_epochs, hidden_sizes,
+            seed, grouping).
+    """
+
+    def __init__(
+        self,
+        snapshot_dir,
+        checkpoint_dir=None,
+        *,
+        workers: int = 1,
+        fit_defaults: Optional[FitDefaults] = None,
+        max_batch: int = 64,
+        max_delay_ms: float = 2.0,
+        max_queue: int = 4096,
+        fault_spec: Optional[FaultSpec] = None,
+        fallback: bool = True,
+        admission: bool = True,
+        request_timeout: float = 30.0,
+        restart_budget: int = 16,
+        maintain_state_dir=None,
+        maintain_options: Optional[dict] = None,
+        seed: int = 0,
+    ) -> None:
+        from repro.baselines.independence import IndependenceEstimator
+        from repro.maintain.freshness import FreshnessPolicy
+
+        self.snapshot_dir = str(snapshot_dir)
+        self._tempdir = tempfile.TemporaryDirectory(
+            prefix="repro-replay-"
+        )
+        self._rng = np.random.default_rng(seed)
+        self._corrupt_next: Optional[str] = None
+        self._mutable_store: Optional[TripleStore] = None
+        self._runner = None
+        self._maintain_options = dict(maintain_options or {})
+        self.maintain_state_dir = str(
+            maintain_state_dir
+            if maintain_state_dir is not None
+            else Path(self._tempdir.name) / "maintain-state"
+        )
+        self.service = EstimatorService.from_snapshot(
+            self.snapshot_dir, checkpoint_dir, fit_defaults
+        )
+        self.checkpoint_dir = checkpoint_dir
+        self.pool = None
+        if workers > 1 or checkpoint_dir is None:
+            # Workers rebuild from disk, and a corrupt-checkpoint storm
+            # needs an artifact to damage: make sure one exists.
+            if checkpoint_dir is None:
+                self.checkpoint_dir = str(
+                    Path(self._tempdir.name) / "checkpoint"
+                )
+                save_checkpoint(
+                    self.service.framework, self.checkpoint_dir
+                )
+        if workers > 1:
+            self.pool = SupervisedPool(
+                self.snapshot_dir,
+                self.checkpoint_dir,
+                workers,
+                request_timeout=request_timeout,
+                restart_budget=restart_budget,
+                fault_spec=fault_spec,
+            )
+            primary = self.pool.estimate_batch
+            backend_faults = None
+        else:
+            primary = self.service.framework.estimate_batch
+            backend_faults = fault_spec
+        self.backend = ResilientBackend(
+            primary,
+            fallback=(
+                IndependenceEstimator(self.service.store).estimate_batch
+                if fallback
+                else None
+            ),
+            breaker=CircuitBreaker(),
+            faults=backend_faults,
+        )
+        self.scheduler = BatchScheduler(
+            self.backend,
+            max_batch=max_batch,
+            max_delay_ms=max_delay_ms,
+            max_queue=max_queue,
+        )
+        if self.service.artifact is None and self.checkpoint_dir:
+            from repro.serve import load_artifact
+
+            self.service.artifact = load_artifact(self.checkpoint_dir)
+        manifest = None
+        if admission:
+            manifest = (
+                self.service.artifact.shapes
+                if self.service.artifact is not None
+                and self.service.artifact.shapes is not None
+                else ShapeManifest.from_framework(self.service.framework)
+            )
+        self.runtime = ServingRuntime(
+            self.service,
+            self.scheduler,
+            self.backend,
+            pool=self.pool,
+            admission=manifest,
+            artifact=self.service.artifact,
+            checkpoint_dir=self.checkpoint_dir,
+            admission_enabled=admission,
+            freshness_policy=FreshnessPolicy(),
+        )
+        self.server = make_server(
+            self.service,
+            self.scheduler,
+            port=0,
+            runtime=self.runtime,
+        )
+        self._thread = threading.Thread(
+            target=self.server.serve_forever,
+            name="repro-replay-server",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Address surface
+    # ------------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # TimelineContext
+    # ------------------------------------------------------------------
+
+    def kill_worker(self, index: Optional[int] = None) -> str:
+        """SIGKILL a supervised worker; the supervisor must recover."""
+        if self.pool is None:
+            raise HarnessError(
+                "kill worker needs a supervised pool (workers > 1)"
+            )
+        workers = [
+            w
+            for w in self.pool._workers
+            if w.process is not None and w.process.is_alive()
+        ]
+        if not workers:
+            raise HarnessError("no live worker to kill")
+        victim = workers[index if index is not None else 0]
+        pid = victim.process.pid
+        os.kill(pid, signal.SIGKILL)
+        return f"killed worker pid {pid}"
+
+    def _post(self, path: str, payload: dict) -> Tuple[int, dict]:
+        conn = HTTPConnection(self.host, self.port, timeout=60.0)
+        try:
+            conn.request(
+                "POST",
+                path,
+                body=json.dumps(payload),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                body = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                body = {}
+            return response.status, body
+        finally:
+            conn.close()
+
+    def reload(
+        self,
+        checkpoint: Optional[str] = None,
+        snapshot: Optional[str] = None,
+    ) -> str:
+        payload: dict = {}
+        if checkpoint:
+            payload["checkpoint"] = checkpoint
+        if snapshot:
+            payload["snapshot"] = snapshot
+        status, body = self._post("/admin/reload", payload)
+        if status != 200:
+            raise HarnessError(
+                f"reload answered {status}: {body.get('error')}"
+            )
+        return (
+            f"reloaded generation {body.get('generation')} "
+            f"from {body.get('checkpoint')}"
+        )
+
+    @property
+    def mutable_store(self) -> TripleStore:
+        """The live-store copy maintenance sees (lazy snapshot load)."""
+        if self._mutable_store is None:
+            self._mutable_store = TripleStore.load_snapshot(
+                self.snapshot_dir, verify=False
+            )
+        return self._mutable_store
+
+    def mutate(self, count: int) -> str:
+        store = self.mutable_store
+        delta = vocab_preserving_delta(store, count, self._rng)
+        added = store.add_all(delta)
+        return f"added {added} vocabulary-preserving triples"
+
+    def _maintenance_runner(self):
+        if self._runner is None:
+            from repro.maintain import MaintenanceRunner
+
+            options = dict(self._maintain_options)
+            options.setdefault("shapes", (("star", 2), ("chain", 2)))
+            options.setdefault("queries_per_shape", 60)
+            options.setdefault("epochs", 4)
+            options.setdefault("finetune_epochs", 2)
+            options.setdefault("hidden_sizes", (32, 32))
+            self._runner = MaintenanceRunner(
+                self.mutable_store,
+                self.maintain_state_dir,
+                **options,
+            )
+        return self._runner
+
+    def maintain(self, full: bool = False) -> str:
+        """Run the maintenance cycle and hand the generation to the
+        live server — through the armed corruption, if any."""
+        runner = self._maintenance_runner()
+        report = runner.run(full=full)
+        if report.action == "noop":
+            return "maintain: noop (materialization is current)"
+        detail = (
+            f"maintain: {report.action} -> generation {report.run}"
+        )
+        mode = self._corrupt_next
+        if mode is not None:
+            self._corrupt_next = None
+            corrupt_checkpoint(report.checkpoint_dir, mode)
+            status, body = self._post(
+                "/admin/reload",
+                {
+                    "checkpoint": report.checkpoint_dir,
+                    "snapshot": report.snapshot_dir,
+                },
+            )
+            if status != 409:
+                raise HarnessError(
+                    f"corrupted checkpoint was not rejected: "
+                    f"{status} {body.get('error')}"
+                )
+            return (
+                detail
+                + f", corrupted ({mode}), reload rejected 409 "
+                f"({body.get('reason')}) — previous generation "
+                "keeps serving"
+            )
+        self.reload(report.checkpoint_dir, report.snapshot_dir)
+        return detail + ", reloaded"
+
+    def corrupt_next_checkpoint(self, mode: str) -> str:
+        self._corrupt_next = mode
+        return f"armed: next published checkpoint gets {mode}"
+
+    def corrupt_checkpoint(self, path: str, mode: str) -> str:
+        """Damage an explicit checkpoint now and prove the gate holds."""
+        corrupt_checkpoint(path, mode)
+        status, body = self._post(
+            "/admin/reload", {"checkpoint": path}
+        )
+        if status != 409:
+            raise HarnessError(
+                f"corrupted checkpoint was not rejected: "
+                f"{status} {body.get('error')}"
+            )
+        return (
+            f"corrupted {path} ({mode}), reload rejected 409 "
+            f"({body.get('reason')})"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / teardown
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return self.scheduler.stats()
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                conn = HTTPConnection(
+                    self.host, self.port, timeout=2.0
+                )
+                conn.request("GET", "/healthz")
+                if conn.getresponse().status == 200:
+                    conn.close()
+                    return
+                conn.close()
+            except OSError:
+                time.sleep(0.05)
+        raise HarnessError("server did not become healthy in time")
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.scheduler.close()
+        if self.pool is not None:
+            self.pool.close()
+        self._thread.join(timeout=10.0)
+        self._tempdir.cleanup()

@@ -12,8 +12,11 @@ concurrent requests into batched ``estimate_batch`` calls.  Routes:
   ``{"error": ...}``; an unestimable query is a 422 — at parse time with
   ``reason: "uncovered_shape"`` when admission control knows the shape
   is untrained, else post-execution with ``reason:
-  "estimation_failed"``; a full scheduler queue is a 429 carrying a
-  ``Retry-After`` header and ``reason: "queue_full"``.
+  "estimation_failed"``; a full scheduler queue is a 429 whose
+  ``Retry-After`` header and ``retry_after_s`` field are derived from
+  the live queue depth / drain rate (see
+  :meth:`~repro.serve.scheduler.BatchScheduler.retry_after_hint`), with
+  ``reason: "queue_full"``.
 - ``POST /admin/reload`` — body ``{}``, ``{"checkpoint": "<dir>"}``, or
   ``{"checkpoint": "<dir>", "snapshot": "<dir>"}``; hot-swaps the
   serving checkpoint — and, with ``snapshot``, the served graph (the
@@ -38,6 +41,8 @@ errors are JSON responses with the matching status code.
 from __future__ import annotations
 
 import json
+import math
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
@@ -86,6 +91,45 @@ class EstimatorHTTPServer(ThreadingHTTPServer):
         self.quiet = quiet
         self.runtime = runtime
         self.started_at = time.monotonic()
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Graceful drain (SIGTERM)
+    # ------------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admitting new ``/estimate`` work: handlers answer 503
+        while already-accepted requests keep running to completion."""
+        with self._inflight_cv:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        with self._inflight_cv:
+            return self._draining
+
+    def _track_request(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+
+    def _untrack_request(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            self._inflight_cv.notify_all()
+
+    def wait_inflight_drained(self, timeout: float = 30.0) -> bool:
+        """Block until every accepted request has written its response
+        (or *timeout* elapses); True when fully drained."""
+        deadline = time.monotonic() + timeout
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+            return True
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -119,6 +163,23 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"no route {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802
+        if self.server.draining:
+            # SIGTERM drain: the listener is closing; answer anything
+            # still arriving on live keep-alive connections with a 503
+            # and drop the connection instead of admitting new work.
+            self.close_connection = True
+            self._send_json(
+                503,
+                {"error": "server is draining", "reason": "draining"},
+            )
+            return
+        self.server._track_request()
+        try:
+            self._do_post()
+        finally:
+            self.server._untrack_request()
+
+    def _do_post(self) -> None:
         if self.path == "/admin/reload":
             self._handle_reload()
             return
@@ -158,10 +219,24 @@ class _Handler(BaseHTTPRequestHandler):
                 queries
             )
         except QueueFullError as exc:
+            # Retry-After must be integral delta-seconds (RFC 9110);
+            # the JSON field keeps the sub-second precision so a
+            # well-behaved client can come back sooner than 1 s.
+            retry_after = float(
+                getattr(exc, "retry_after_s", 1.0) or 1.0
+            )
             self._send_json(
                 429,
-                {"error": str(exc), "reason": "queue_full"},
-                headers={"Retry-After": "1"},
+                {
+                    "error": str(exc),
+                    "reason": "queue_full",
+                    "retry_after_s": round(retry_after, 3),
+                },
+                headers={
+                    "Retry-After": str(
+                        max(1, math.ceil(retry_after))
+                    )
+                },
             )
             return
         except EstimationError as exc:

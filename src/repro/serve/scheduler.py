@@ -48,7 +48,18 @@ from repro.core.estimator import finalize_estimates
 
 
 class QueueFullError(RuntimeError):
-    """The scheduler is at capacity; the caller should shed load (429)."""
+    """The scheduler is at capacity; the caller should shed load (429).
+
+    ``retry_after_s`` is the scheduler's estimate of how long the
+    current backlog needs to drain (queue depth / recent drain rate) —
+    the HTTP layer turns it into the 429 ``Retry-After`` header so
+    rejected clients spread their retries over the real recovery window
+    instead of stampeding back in lockstep after a constant delay.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
 
 
 class SchedulerClosedError(RuntimeError):
@@ -84,6 +95,11 @@ class _Counters:
     coalesced_requests: int = 0  # requests that shared a batch
     latencies: Deque[float] = field(
         default_factory=lambda: deque(maxlen=4096)
+    )
+    #: (finished_at, queries) per recent executed batch — the drain-rate
+    #: window behind :meth:`BatchScheduler.retry_after_hint`.
+    drained: Deque[tuple] = field(
+        default_factory=lambda: deque(maxlen=64)
     )
 
 
@@ -160,7 +176,8 @@ class BatchScheduler:
                 raise QueueFullError(
                     f"queue full: {self._pending_queries} queries "
                     f"pending, request adds {len(queries)}, "
-                    f"capacity {self.max_queue}"
+                    f"capacity {self.max_queue}",
+                    retry_after_s=self._retry_after_locked(),
                 )
             request = _Request(queries, future, time.monotonic())
             self._pending.append(request)
@@ -213,6 +230,8 @@ class BatchScheduler:
                 "errors": c.errors,
                 "retries": c.retries,
                 "queue_depth": self._pending_queries,
+                "drain_rate_qps": round(self._drain_rate_locked(), 2),
+                "retry_after_s": round(self._retry_after_locked(), 3),
                 "max_batch_seen": c.max_batch_seen,
                 "coalesced_requests": c.coalesced_requests,
                 "mean_batch": (
@@ -232,6 +251,52 @@ class BatchScheduler:
                 "max": round(float(latencies.max()) * 1e3, 3),
             }
         return snapshot
+
+    #: Retry-After when the drain rate is still unknown (no batch has
+    #: finished yet), and the clamp bounds for the derived estimate.
+    DEFAULT_RETRY_AFTER_S = 1.0
+    MIN_RETRY_AFTER_S = 0.05
+    MAX_RETRY_AFTER_S = 30.0
+
+    def drain_rate_qps(self) -> float:
+        """Recent backlog drain rate in queries/second (0.0 = unknown).
+
+        Measured over the window of the last executed batches: total
+        queries answered divided by the span from the oldest recorded
+        batch completion to now — so an idle scheduler's rate decays
+        instead of reporting the last burst's throughput forever.
+        """
+        with self._cv:
+            return self._drain_rate_locked()
+
+    def retry_after_hint(self) -> float:
+        """Seconds until the current backlog should have drained.
+
+        ``queue depth / drain rate``, clamped to
+        ``[MIN_RETRY_AFTER_S, MAX_RETRY_AFTER_S]``;
+        :data:`DEFAULT_RETRY_AFTER_S` before any batch has finished.
+        """
+        with self._cv:
+            return self._retry_after_locked()
+
+    def _drain_rate_locked(self) -> float:
+        drained = self._counters.drained
+        if not drained:
+            return 0.0
+        oldest = drained[0][0]
+        span = time.monotonic() - oldest
+        if span <= 0:
+            return 0.0
+        return sum(width for _, width in drained) / span
+
+    def _retry_after_locked(self) -> float:
+        rate = self._drain_rate_locked()
+        if rate <= 0:
+            return self.DEFAULT_RETRY_AFTER_S
+        return min(
+            max(self._pending_queries / rate, self.MIN_RETRY_AFTER_S),
+            self.MAX_RETRY_AFTER_S,
+        )
 
     # ------------------------------------------------------------------
     # Worker side
@@ -303,6 +368,7 @@ class BatchScheduler:
         offset = 0
         with self._cv:
             self._counters.batches += 1
+            self._counters.drained.append((finished, len(queries)))
             self._counters.max_batch_seen = max(
                 self._counters.max_batch_seen, len(queries)
             )
@@ -351,6 +417,9 @@ class BatchScheduler:
             finished = time.monotonic()
             with self._cv:
                 self._counters.batches += 1
+                self._counters.drained.append(
+                    (finished, request.size)
+                )
                 self._counters.latencies.append(
                     finished - request.enqueued
                 )

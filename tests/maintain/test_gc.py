@@ -1,0 +1,150 @@
+"""Generation garbage collection (``repro maintain gc``).
+
+State dirs are fabricated (gen-NNNN directories + a real watermark
+file) — gc only reads the watermark and directory names, so the tests
+stay seconds-fast while covering every protection rule.
+"""
+
+import json
+
+import pytest
+
+from repro.maintain import (
+    GCError,
+    WatermarkError,
+    gc_generations,
+    list_generations,
+)
+from repro.maintain.runner import (
+    CHECKPOINTS_DIRNAME,
+    SNAPSHOTS_DIRNAME,
+    generation_dirname,
+)
+from repro.maintain.watermark import Watermark, write_watermark
+
+
+def make_state(tmp_path, runs, live=None):
+    state = tmp_path / "state"
+    for run in runs:
+        for subdir in (CHECKPOINTS_DIRNAME, SNAPSHOTS_DIRNAME):
+            gen = state / subdir / generation_dirname(run)
+            gen.mkdir(parents=True)
+            (gen / "payload.bin").write_bytes(b"x" * 16)
+    if live is not None:
+        write_watermark(
+            state,
+            Watermark(
+                run=live,
+                generation=live,
+                num_triples=100,
+                num_nodes=10,
+                num_predicates=3,
+            ),
+        )
+    return state
+
+
+class TestListGenerations:
+    def test_lists_sorted_union(self, tmp_path):
+        state = make_state(tmp_path, [3, 1, 2], live=3)
+        assert list_generations(state) == [1, 2, 3]
+
+    def test_empty_state(self, tmp_path):
+        assert list_generations(tmp_path / "nothing") == []
+
+
+class TestGC:
+    def test_removes_old_keeps_newest(self, tmp_path):
+        state = make_state(tmp_path, [1, 2, 3, 4, 5], live=5)
+        report = gc_generations(state, keep=2)
+        assert report.live == 5
+        assert report.kept == [4, 5]
+        assert report.removed == [1, 2, 3]
+        assert list_generations(state) == [4, 5]
+        # both the checkpoint and the snapshot dirs are gone
+        assert len(report.removed_paths) == 6
+
+    def test_live_generation_never_removed(self, tmp_path):
+        """Even keep=1 with a stale watermark keeps the live run: it is
+        the base the incremental planner diffs against."""
+        state = make_state(tmp_path, [1, 2, 3, 4, 5], live=2)
+        report = gc_generations(state, keep=1)
+        assert 2 in report.kept
+        assert 2 not in report.removed
+        assert list_generations(state) == [2, 3, 4, 5]
+        # 3..5 are newer than the watermark: possibly a racing publish,
+        # protected too; only 1 goes.
+        assert report.removed == [1]
+
+    def test_dry_run_touches_nothing(self, tmp_path):
+        state = make_state(tmp_path, [1, 2, 3], live=3)
+        report = gc_generations(state, keep=1, dry_run=True)
+        assert report.dry_run is True
+        assert report.removed == [1, 2]
+        assert report.removed_paths  # reported...
+        assert list_generations(state) == [1, 2, 3]  # ...not deleted
+
+    def test_keep_larger_than_population(self, tmp_path):
+        state = make_state(tmp_path, [1, 2], live=2)
+        report = gc_generations(state, keep=10)
+        assert report.removed == []
+        assert list_generations(state) == [1, 2]
+
+    def test_keep_below_one_refused(self, tmp_path):
+        state = make_state(tmp_path, [1], live=1)
+        with pytest.raises(GCError):
+            gc_generations(state, keep=0)
+
+    def test_missing_watermark_refused(self, tmp_path):
+        state = make_state(tmp_path, [1, 2, 3], live=None)
+        with pytest.raises(GCError) as excinfo:
+            gc_generations(state, keep=1)
+        assert "watermark" in str(excinfo.value)
+        assert list_generations(state) == [1, 2, 3]
+
+    def test_corrupt_watermark_typed_error(self, tmp_path):
+        state = make_state(tmp_path, [1, 2], live=2)
+        (state / "watermark.json").write_text("{broken")
+        with pytest.raises(WatermarkError):
+            gc_generations(state, keep=1)
+        assert list_generations(state) == [1, 2]
+
+
+class TestCLI:
+    def test_cli_gc_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        state = make_state(tmp_path, [1, 2, 3], live=3)
+        code = main(
+            [
+                "maintain",
+                "gc",
+                "--state-dir",
+                str(state),
+                "--keep",
+                "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["live"] == 3
+        assert payload["removed"] == [1, 2]
+        assert list_generations(state) == [3]
+
+    def test_cli_gc_refuses_without_watermark(self, tmp_path):
+        from repro.cli import main
+
+        state = make_state(tmp_path, [1, 2], live=None)
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "maintain",
+                    "gc",
+                    "--state-dir",
+                    str(state),
+                    "--keep",
+                    "1",
+                ]
+            )
+        assert "refused" in str(excinfo.value)

@@ -1,0 +1,139 @@
+"""The open-loop driver against the live harness.
+
+Clean replay, overload shedding with server-derived backoff, and
+deadline accounting.
+"""
+
+import pytest
+
+from repro.replay import ReplayDriver, generate_trace
+from repro.replay.driver import _retry_after_s
+
+
+@pytest.fixture(scope="module")
+def small_trace(replay_store):
+    return generate_trace(
+        replay_store, rate_qps=30.0, duration_s=3.0, seed=21
+    )
+
+
+class TestRetryAfterParsing:
+    def test_json_field_wins(self):
+        assert _retry_after_s(
+            {"retry_after_s": 0.25}, {"retry-after": "3"}
+        ) == pytest.approx(0.25)
+
+    def test_header_fallback(self):
+        assert _retry_after_s({}, {"retry-after": "3"}) == pytest.approx(
+            3.0
+        )
+
+    def test_default(self):
+        assert _retry_after_s({}, {}) == pytest.approx(1.0)
+        assert _retry_after_s(
+            {}, {"retry-after": "soon"}
+        ) == pytest.approx(1.0)
+
+
+class TestCleanReplay:
+    def test_all_ok_at_offered_rate(self, harness, small_trace):
+        driver = ReplayDriver(
+            harness.host, harness.port, deadline_s=10.0
+        )
+        report, outcomes = driver.run(small_trace)
+        assert report.requests == len(small_trace)
+        assert report.errors == 0, report.status_counts
+        assert report.shed == 0
+        assert report.completed == len(small_trace)
+        assert report.achieved_fraction > 0.9
+        assert report.latency_ms["p99"] > 0
+        # open-loop invariant: every outcome ties back to an arrival
+        assert len(outcomes) == len(small_trace)
+
+    def test_rate_scale_compresses_schedule(self, harness, replay_store):
+        trace = generate_trace(
+            replay_store, rate_qps=10.0, duration_s=2.0, seed=3
+        )
+        driver = ReplayDriver(
+            harness.host, harness.port, deadline_s=10.0, rate_scale=4.0
+        )
+        report, _ = driver.run(trace)
+        assert report.errors == 0
+        # 2 s of trace replayed 4x faster finishes well under 2 s
+        assert report.duration_s < 1.5
+        assert report.offered_rate_qps == pytest.approx(
+            trace.offered_rate_qps * 4.0, rel=0.05
+        )
+
+
+class TestOverload:
+    @pytest.fixture(scope="class")
+    def tiny_server(self, snapshot_dir, harness):
+        """A deliberately under-provisioned server: one worker thread,
+        batch of 2, queue of 2 — reuses the session checkpoint so no
+        refit."""
+        from repro.replay import ReplayHarness
+
+        h = ReplayHarness(
+            snapshot_dir,
+            harness.checkpoint_dir,
+            workers=1,
+            max_batch=2,
+            max_delay_ms=25.0,
+            max_queue=2,
+        )
+        h.wait_ready()
+        yield h
+        h.close()
+
+    def test_sheds_and_honors_retry_after(
+        self, tiny_server, replay_store
+    ):
+        trace = generate_trace(
+            replay_store,
+            rate_qps=1500.0,
+            duration_s=0.2,
+            mix=[("star", 2, 1.0)],
+            seed=9,
+            arrivals="uniform",
+        )
+        driver = ReplayDriver(
+            tiny_server.host,
+            tiny_server.port,
+            deadline_s=5.0,
+            connections=16,
+            max_retries=2,
+        )
+        report, outcomes = driver.run(trace)
+        # conservation: every request ends exactly one way
+        assert (
+            report.completed + report.shed + report.errors
+            == report.requests
+        )
+        assert report.errors == 0, report.status_counts
+        # the queue of 2 cannot absorb a 1500 qps burst
+        assert report.shed > 0 or report.retries > 0
+        # derived backoff reached the client and was honored
+        if report.shed:
+            assert report.retries > 0
+
+    def test_deadline_misses_recorded(self, tiny_server, replay_store):
+        trace = generate_trace(
+            replay_store,
+            rate_qps=200.0,
+            duration_s=0.2,
+            mix=[("star", 2, 1.0)],
+            seed=10,
+            arrivals="uniform",
+        )
+        driver = ReplayDriver(
+            tiny_server.host,
+            tiny_server.port,
+            deadline_s=0.05,
+            connections=1,
+            max_retries=0,
+        )
+        report, outcomes = driver.run(trace)
+        assert report.deadline_missed > 0
+        missed = [o for o in outcomes if o.deadline_missed]
+        assert all(o.status == 0 for o in missed)

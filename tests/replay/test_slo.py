@@ -1,0 +1,113 @@
+"""SLO report building and error-budget verdicts (pure, no server)."""
+
+import pytest
+
+from repro.replay import (
+    SLO,
+    RequestOutcome,
+    SLOReport,
+    build_report,
+    format_report,
+)
+
+
+def outcomes_ok(n, latency_s=0.01):
+    return [
+        RequestOutcome(offset_s=i * 0.01, status=200, latency_s=latency_s)
+        for i in range(n)
+    ]
+
+
+class TestBuildReport:
+    def test_counts_and_percentiles(self):
+        outcomes = outcomes_ok(98) + [
+            RequestOutcome(1.0, 429, 0.0),
+            RequestOutcome(1.0, 0, 0.0, error="boom"),
+        ]
+        # one slow success dominates the tail
+        outcomes[0] = RequestOutcome(0.0, 200, 0.5)
+        report = build_report(
+            outcomes, offered_rate_qps=50.0, duration_s=2.0
+        )
+        assert report.requests == 100
+        assert report.completed == 98
+        assert report.shed == 1
+        assert report.errors == 1
+        assert report.status_counts["429"] == 1
+        assert report.status_counts["transport"] == 1
+        assert report.latency_ms["p50"] == pytest.approx(10.0, abs=2.0)
+        assert report.latency_ms["max"] == pytest.approx(500.0, abs=1.0)
+        assert report.latency_ms["p99"] > report.latency_ms["p50"]
+        assert report.achieved_rate_qps == pytest.approx(49.0)
+
+    def test_degraded_and_deadline_accounting(self):
+        outcomes = [
+            RequestOutcome(0.0, 200, 0.01, degraded=True, retries=2),
+            RequestOutcome(0.1, 0, 0.0, deadline_missed=True),
+        ]
+        report = build_report(outcomes, 10.0, 1.0)
+        assert report.degraded == 1
+        assert report.deadline_missed == 1
+        assert report.retries == 2
+
+    def test_empty_outcomes(self):
+        report = build_report([], 10.0, 1.0)
+        assert report.requests == 0
+        assert report.latency_ms == {}
+
+
+class TestEvaluate:
+    def test_clean_run_passes(self):
+        report = build_report(outcomes_ok(100), 50.0, 2.0)
+        report.evaluate(SLO(p99_ms=100.0, min_achieved_fraction=0.9))
+        assert report.verdict == "ok"
+        assert report.violations == []
+
+    def test_p99_violation(self):
+        report = build_report(outcomes_ok(100, latency_s=0.2), 50.0, 2.0)
+        report.evaluate(SLO(p99_ms=100.0, min_achieved_fraction=0.5))
+        assert report.verdict == "violated"
+        assert any("p99" in v for v in report.violations)
+
+    def test_error_budget_zero_tolerance(self):
+        outcomes = outcomes_ok(99) + [
+            RequestOutcome(1.0, 500, 0.01)
+        ]
+        report = build_report(outcomes, 50.0, 2.0)
+        report.evaluate(SLO(p99_ms=1000.0, min_achieved_fraction=0.5))
+        assert report.verdict == "violated"
+        assert any("error rate" in v for v in report.violations)
+
+    def test_shed_budget(self):
+        outcomes = outcomes_ok(90) + [
+            RequestOutcome(1.0, 429, 0.0) for _ in range(10)
+        ]
+        report = build_report(outcomes, 50.0, 2.0)
+        report.evaluate(
+            SLO(
+                p99_ms=1000.0,
+                max_shed_rate=0.05,
+                min_achieved_fraction=0.5,
+            )
+        )
+        assert any("shed" in v for v in report.violations)
+
+    def test_achieved_fraction_violation(self):
+        report = build_report(outcomes_ok(50), 100.0, 2.0)
+        report.evaluate(SLO(p99_ms=1000.0, min_achieved_fraction=0.95))
+        assert any("achieved" in v for v in report.violations)
+
+    def test_roundtrip_dict(self):
+        report = build_report(outcomes_ok(10), 10.0, 1.0)
+        report.evaluate(SLO())
+        clone = SLOReport.from_dict(report.to_dict())
+        assert clone.verdict == report.verdict
+        assert clone.latency_ms == report.latency_ms
+        assert clone.requests == report.requests
+
+    def test_format_report_mentions_verdict(self):
+        report = build_report(outcomes_ok(10), 10.0, 1.0)
+        report.evaluate(SLO())
+        text = format_report(report)
+        assert "verdict" in text
+        assert "offered" in text
